@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file common.hpp
+/// Shared configuration for the experiment harnesses (bench_*). Each bench
+/// reproduces one table/figure of the paper (see DESIGN.md / EXPERIMENTS.md);
+/// they all start from these two trace scenarios so results are comparable
+/// across experiments.
+///
+/// Refresh periods are scaled to trace density (as the paper scales its
+/// TTLs per trace): the Reality-like campus trace is ~40x sparser than the
+/// Infocom-like conference trace, so items refresh every 2 days vs 6 hours.
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "metrics/report.hpp"
+#include "runner/experiment.hpp"
+
+namespace dtncache::bench {
+
+inline runner::ExperimentConfig realityConfig(std::uint64_t seed = 1) {
+  runner::ExperimentConfig c;
+  c.trace = trace::realityLikeConfig(seed);
+  c.catalog.itemCount = 10;
+  c.catalog.refreshPeriod = sim::days(2);
+  c.workload.queriesPerNodePerDay = 1.0;
+  c.workload.queryDeadline = sim::days(1);
+  c.cache.cachingNodesPerItem = 8;
+  c.seed = seed;
+  return c;
+}
+
+inline runner::ExperimentConfig infocomConfig(std::uint64_t seed = 1) {
+  runner::ExperimentConfig c;
+  c.trace = trace::infocomLikeConfig(seed);
+  c.catalog.itemCount = 10;
+  c.catalog.refreshPeriod = sim::hours(6);
+  c.workload.queriesPerNodePerDay = 2.0;
+  c.workload.queryDeadline = sim::hours(3);
+  c.cache.cachingNodesPerItem = 8;
+  c.seed = seed;
+  return c;
+}
+
+inline std::string mb(std::uint64_t bytes) {
+  return metrics::fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 1);
+}
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << ": " << title << " ===\n";
+}
+
+}  // namespace dtncache::bench

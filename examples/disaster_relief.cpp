@@ -1,0 +1,85 @@
+/// \file disaster_relief.cpp
+/// Scenario: disaster-relief teams with hand-held radios and no surviving
+/// infrastructure. A coordination node periodically refreshes situational
+/// data (road status, shelter capacity, supply levels); field teams cache
+/// and query it. Stale situational data is actively harmful, so the
+/// freshness requirement θ is high, and this example shows how the
+/// probabilistic-replication knob trades maintenance traffic for the
+/// guarantee — including what the planner *predicts* it can achieve.
+///
+/// Build & run:  ./build/examples/disaster_relief
+
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "runner/experiment.hpp"
+
+using namespace dtncache;
+
+namespace {
+
+runner::ExperimentConfig reliefConfig() {
+  runner::ExperimentConfig config;
+  // Dense team mixing at a disaster site, strong sub-team structure.
+  config.trace.nodeCount = 40;
+  config.trace.duration = sim::days(7);
+  config.trace.model = trace::RateModel::kCommunity;
+  config.trace.communities = 5;  // five field teams
+  config.trace.intraCommunityBoost = 3.0;  // teams mix at the staging area
+  config.trace.meanContactsPerPairPerDay = 4.0;
+  config.trace.diurnal = true;
+  config.trace.nightActivity = 0.3;  // relief work slows, never stops
+  config.trace.seed = 3;
+
+  config.catalog.itemCount = 4;                   // road/shelter/supply/medical maps
+  config.catalog.refreshPeriod = sim::hours(12);  // situation updates
+  config.catalog.lifetimeFactor = 2.0;
+  config.catalog.itemSizeBytes = 50 * 1024;
+  config.workload.queriesPerNodePerDay = 12.0;    // teams consult maps constantly
+  config.workload.queryDeadline = sim::hours(4);
+  config.cache.cachingNodesPerItem = 9;
+  // Analytically-planned mode: responsibilities only, so the θ guarantee is
+  // exactly what the hypoexponential model predicts (relays would only add).
+  config.hierarchical.relayAssisted = false;
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Disaster relief: 40 radios in 5 field teams, situational maps\n"
+               "refreshed every 12 h at the coordination nodes.\n\n";
+
+  metrics::Table table({"theta", "predicted_P", "achieved_P", "helpers",
+                        "maintenance_MB", "teams_got_valid_map"});
+  for (double theta : {0.5, 0.8, 0.95}) {
+    auto config = reliefConfig();
+    config.scheme = runner::SchemeKind::kHierarchical;
+    config.hierarchical.replication.theta = theta;
+    const auto out = runner::runExperiment(config);
+    table.addRow({metrics::fmt(theta, 2), metrics::fmt(out.meanPredictedProbability),
+                  metrics::fmt(out.results.refreshWithinPeriodRatio),
+                  std::to_string(out.replicationAssignments),
+                  metrics::fmt(static_cast<double>(
+                                   out.results.transfers.of(net::Traffic::kRefresh).bytes) /
+                                   (1024.0 * 1024.0),
+                               1),
+                  metrics::fmt(out.results.queries.successRatio())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nRaising theta buys refresh helpers: the achieved refresh "
+               "probability climbs\nwith bounded extra maintenance traffic, and "
+               "nearly every map consultation\nreturns valid (unexpired) data.\n\n";
+
+  // Contrast with doing nothing — why freshness maintenance matters here.
+  auto config = reliefConfig();
+  config.scheme = runner::SchemeKind::kNoRefresh;
+  const auto none = runner::runExperiment(config);
+  std::cout << "Without refresh maintenance, only "
+            << metrics::fmt(100.0 * none.results.queries.successRatio(), 1)
+            << "% of map consultations return valid data ("
+            << metrics::fmt(100.0 * none.results.queries.freshAnswerRatio(), 1)
+            << "% of those current), versus the table above.\n";
+  return 0;
+}

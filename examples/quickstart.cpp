@@ -1,0 +1,58 @@
+/// \file quickstart.cpp
+/// Minimal end-to-end use of the dtncache public API:
+///   1. generate a Reality-like contact trace,
+///   2. run the paper's hierarchical freshness-maintenance scheme over the
+///      cooperative-caching substrate,
+///   3. print freshness, query validity, and overhead, next to the
+///      no-refresh baseline.
+///
+/// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "metrics/report.hpp"
+#include "runner/experiment.hpp"
+
+int main() {
+  using namespace dtncache;
+
+  runner::ExperimentConfig config;
+  config.trace = trace::infocomLikeConfig(/*seed=*/42);  // dense conference trace
+  config.catalog.itemCount = 10;
+  config.catalog.refreshPeriod = sim::hours(6);
+  config.workload.queriesPerNodePerDay = 2.0;
+  config.workload.queryDeadline = sim::hours(3);
+  config.cache.cachingNodesPerItem = 8;
+  config.hierarchical.replication.theta = 0.9;
+
+  std::cout << "dtncache quickstart: 78-node Infocom-like trace, 4 days,\n"
+               "10 items refreshed every 6 h, 8 caching nodes per item.\n\n";
+
+  metrics::Table table({"scheme", "fresh_frac", "valid_answers", "mean_delay_h",
+                        "refresh_MB"});
+  double hierarchicalFresh = 0.0;
+  double noneFresh = 0.0;
+  for (const auto kind :
+       {runner::SchemeKind::kHierarchical, runner::SchemeKind::kNoRefresh}) {
+    config.scheme = kind;
+    const auto out = runner::runExperiment(config);
+    const auto& r = out.results;
+    (kind == runner::SchemeKind::kHierarchical ? hierarchicalFresh : noneFresh) =
+        r.meanFreshFraction;
+    table.addRow({out.scheme, metrics::fmt(r.meanFreshFraction),
+                  metrics::fmt(r.queries.successRatio()),
+                  metrics::fmt(sim::toHours(r.queries.delay.mean()), 2),
+                  metrics::fmt(static_cast<double>(r.transfers.of(net::Traffic::kRefresh).bytes) /
+                                   (1024.0 * 1024.0),
+                               1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDistributed hierarchical refreshing keeps cached copies fresh "
+            << metrics::fmt(hierarchicalFresh / noneFresh, 1)
+            << "x as often as\nplain cooperative caching, which goes stale as soon"
+               " as the first refresh\nperiod ends. See bench/ for the full"
+               " evaluation and examples/ for scenarios.\n";
+  return 0;
+}

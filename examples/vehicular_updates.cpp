@@ -1,0 +1,88 @@
+/// \file vehicular_updates.cpp
+/// Scenario: a bus fleet sharing road-condition updates vehicle-to-vehicle.
+/// Buses on the same routes meet often (communities), every bus goes to
+/// the depot for shifts (churn), and congestion maps refresh every couple
+/// of hours. The example compares the paper's scheme against gossip
+/// invalidation under realistic churn, demonstrates the distributed
+/// leave/join repair, and archives the exact run spec as JSON.
+///
+/// Build & run:  ./build/examples/vehicular_updates
+
+#include <iostream>
+
+#include "metrics/load.hpp"
+#include "metrics/report.hpp"
+#include "runner/config_io.hpp"
+#include "runner/experiment.hpp"
+
+using namespace dtncache;
+
+namespace {
+
+runner::ExperimentConfig fleetConfig() {
+  runner::ExperimentConfig config;
+  config.trace.nodeCount = 60;          // buses
+  config.trace.duration = sim::days(5);
+  config.trace.model = trace::RateModel::kCommunity;
+  config.trace.communities = 6;         // routes
+  config.trace.intraCommunityBoost = 6.0;
+  config.trace.meanContactsPerPairPerDay = 3.0;
+  config.trace.diurnal = true;
+  config.trace.nightActivity = 0.05;    // depot at night
+  config.trace.seed = 11;
+
+  config.catalog.itemCount = 6;                   // one congestion map per district
+  config.catalog.refreshPeriod = sim::hours(3);   // traffic changes fast
+  config.catalog.itemSizeBytes = 30 * 1024;
+  config.workload.queriesPerNodePerDay = 20.0;    // route planning is constant
+  config.workload.queryDeadline = sim::hours(1);  // stale congestion info is useless soon
+  config.cache.cachingNodesPerItem = 10;
+
+  // Shift changes: a bus is out of service for ~4 h at a time.
+  config.churnEnabled = true;
+  config.churn.meanUptime = sim::hours(16);
+  config.churn.meanDowntime = sim::hours(4);
+  return config;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Vehicular updates: 60 buses on 6 routes, congestion maps "
+               "refreshed every 3 h,\nshift-change churn (16 h up / 4 h down).\n\n";
+
+  metrics::Table table({"scheme", "valid_route_info", "got_current_map", "wait_min",
+                        "refresh_MB", "duty_gini", "churn_repairs"});
+  for (const auto kind :
+       {runner::SchemeKind::kHierarchical, runner::SchemeKind::kInvalidation,
+        runner::SchemeKind::kEpidemic, runner::SchemeKind::kNoRefresh}) {
+    auto config = fleetConfig();
+    config.scheme = kind;
+    const auto out = runner::runExperiment(config);
+    const auto& q = out.results.queries;
+    const auto load =
+        metrics::loadStats(out.results.transfers.perNodeRefreshBytes());
+    table.addRow({out.scheme, metrics::fmt(q.successRatio()),
+                  metrics::fmt(q.freshAnswerRatio() * q.answeredRatio()),
+                  metrics::fmt(q.delay.mean() / 60.0, 1),
+                  metrics::fmt(static_cast<double>(
+                                   out.results.transfers.of(net::Traffic::kRefresh).bytes) /
+                                   (1024.0 * 1024.0),
+                               1),
+                  metrics::fmt(load.gini, 2), std::to_string(out.churnRepairs)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThe hierarchy repairs itself across shift changes "
+               "(churn_repairs column);\nrefresh duty stays spread across the "
+               "fleet (low Gini) instead of burning\nthe same few buses.\n";
+
+  // Archive the exact run spec — `dtncache --config=fleet.json` replays it.
+  const std::string specPath = "/tmp/dtncache_fleet.json";
+  auto config = fleetConfig();
+  config.scheme = runner::SchemeKind::kHierarchical;
+  runner::saveConfigFile(config, specPath);
+  std::cout << "\nRun spec archived to " << specPath
+            << " (replay: dtncache --config=" << specPath << ")\n";
+  return 0;
+}

@@ -1,0 +1,170 @@
+#include "baselines/baselines.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::baselines {
+
+void SourceDirectScheme::onContact(cache::CooperativeCache& cache, NodeId a, NodeId b,
+                                   sim::SimTime t, net::ContactChannel& channel) {
+  const std::size_t items = cache.catalog().size();
+  for (data::ItemId item = 0; item < items; ++item) {
+    const NodeId source = cache.sourceOf(item);
+    if (a == source)
+      cache.pushVersion(a, b, item, t, channel, net::Traffic::kRefresh);
+    else if (b == source)
+      cache.pushVersion(b, a, item, t, channel, net::Traffic::kRefresh);
+  }
+}
+
+void EpidemicScheme::onContact(cache::CooperativeCache& cache, NodeId a, NodeId b,
+                               sim::SimTime t, net::ContactChannel& channel) {
+  const std::size_t items = cache.catalog().size();
+  for (data::ItemId item = 0; item < items; ++item) {
+    const auto va = cache.heldVersion(a, item, t);
+    const auto vb = cache.heldVersion(b, item, t);
+    if (va && (!vb || *va > *vb))
+      cache.pushVersion(a, b, item, t, channel, net::Traffic::kRefresh);
+    else if (vb && (!va || *vb > *va))
+      cache.pushVersion(b, a, item, t, channel, net::Traffic::kRefresh);
+  }
+}
+
+void FloodingScheme::onStart(cache::CooperativeCache& cache) {
+  relay_.assign(cache.nodeCount(), {});
+}
+
+void FloodingScheme::onContact(cache::CooperativeCache& cache, NodeId a, NodeId b,
+                               sim::SimTime t, net::ContactChannel& channel) {
+  const std::size_t items = cache.catalog().size();
+  auto effectiveVersion = [&](NodeId n, data::ItemId item) -> std::optional<data::Version> {
+    auto held = cache.heldVersion(n, item, t);
+    const auto it = relay_[n].find(item);
+    if (it != relay_[n].end() && (!held || it->second > *held)) return it->second;
+    return held;
+  };
+  auto push = [&](NodeId from, NodeId to, data::ItemId item, data::Version v) {
+    if (cache.isCachingNode(to, item)) {
+      // Installs into the cache (pushSpecificVersion accounts the bytes).
+      cache.pushSpecificVersion(from, to, item, v, t, channel, net::Traffic::kRefresh);
+      return;
+    }
+    // Non-member: keep a relay copy. Same bytes on the air.
+    const std::uint32_t bytes = net::kHeaderBytes + cache.catalog().spec(item).sizeBytes;
+    if (!channel.transfer(net::Traffic::kRefresh, bytes, from)) return;
+    relay_[to][item] = v;
+  };
+
+  for (data::ItemId item = 0; item < items; ++item) {
+    const auto va = effectiveVersion(a, item);
+    const auto vb = effectiveVersion(b, item);
+    if (va && (!vb || *va > *vb))
+      push(a, b, item, *va);
+    else if (vb && (!va || *vb > *va))
+      push(b, a, item, *vb);
+  }
+}
+
+std::size_t FloodingScheme::relayCopies() const {
+  std::size_t n = 0;
+  for (const auto& m : relay_) n += m.size();
+  return n;
+}
+
+void PullScheme::onStart(cache::CooperativeCache& cache) {
+  DTNCACHE_CHECK(config_.checkPeriod > 0.0);
+  cache.simulator().schedulePeriodic(
+      config_.checkPeriod, [this, &cache](sim::SimTime t) { checkAges(cache, t); },
+      config_.checkPeriod);
+}
+
+void PullScheme::checkAges(cache::CooperativeCache& cache, sim::SimTime t) {
+  const std::size_t items = cache.catalog().size();
+  for (data::ItemId item = 0; item < items; ++item) {
+    const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+    const sim::SimTime trigger = config_.ageTriggerFraction * tau;
+    for (NodeId n : cache.cachingNodesOf(item)) {
+      const cache::CacheEntry* e = cache.storeOf(n).find(item);
+      if (e == nullptr || t - e->receivedAt < trigger) continue;
+
+      const std::uint64_t key =
+          static_cast<std::uint64_t>(n) * items + item;
+      if (const auto it = outstanding_.find(key);
+          it != outstanding_.end() && it->second > t)
+        continue;  // a pull is already in flight
+
+      net::Message m;
+      m.kind = net::MessageKind::kPull;
+      m.item = item;
+      m.dst = cache.sourceOf(item);
+      m.origin = n;
+      m.createdAt = t;
+      m.deadline = t + config_.pullTtl;
+      m.copiesLeft = cache.config().forwarding.initialCopies;
+      cache.injectMessage(n, m, t);
+      outstanding_[key] = m.deadline;
+      ++pullsIssued_;
+    }
+  }
+}
+
+void InvalidationScheme::onStart(cache::CooperativeCache& cache) {
+  known_.assign(cache.nodeCount(),
+                std::vector<data::Version>(cache.catalog().size(), 0));
+}
+
+data::Version InvalidationScheme::knownVersion(NodeId n, data::ItemId item) const {
+  return known_[n][item];
+}
+
+void InvalidationScheme::maybePull(cache::CooperativeCache& cache, NodeId n,
+                                   data::ItemId item, sim::SimTime t) {
+  if (!cache.isCachingNode(n, item)) return;
+  const auto held = cache.heldVersion(n, item, t);
+  if (held && *held >= known_[n][item]) return;  // copy is as new as rumor
+
+  const std::uint64_t key =
+      static_cast<std::uint64_t>(n) * cache.catalog().size() + item;
+  if (const auto it = outstanding_.find(key); it != outstanding_.end() && it->second > t)
+    return;
+
+  net::Message m;
+  m.kind = net::MessageKind::kPull;
+  m.item = item;
+  m.dst = cache.sourceOf(item);
+  m.origin = n;
+  m.createdAt = t;
+  m.deadline = t + config_.pullTtl;
+  m.copiesLeft = cache.config().forwarding.initialCopies;
+  cache.injectMessage(n, m, t);
+  outstanding_[key] = m.deadline;
+  ++pullsIssued_;
+}
+
+void InvalidationScheme::onContact(cache::CooperativeCache& cache, NodeId a, NodeId b,
+                                   sim::SimTime t, net::ContactChannel& channel) {
+  const std::size_t items = cache.catalog().size();
+  // Version-number gossip, both directions; tiny but accounted.
+  const std::uint64_t gossipBytes =
+      static_cast<std::uint64_t>(config_.gossipBytesPerItem) * items;
+  if (!channel.transfer(net::Traffic::kControl, gossipBytes, a)) return;
+  if (!channel.transfer(net::Traffic::kControl, gossipBytes, b)) return;
+
+  for (data::ItemId item = 0; item < items; ++item) {
+    // Each side's knowledge: rumors heard + what it actually holds (the
+    // source always knows the live version).
+    data::Version ka = known_[a][item];
+    if (const auto held = cache.heldVersion(a, item, t)) ka = std::max(ka, *held);
+    data::Version kb = known_[b][item];
+    if (const auto held = cache.heldVersion(b, item, t)) kb = std::max(kb, *held);
+    const data::Version merged = std::max(ka, kb);
+    known_[a][item] = merged;
+    known_[b][item] = merged;
+
+    maybePull(cache, a, item, t);
+    maybePull(cache, b, item, t);
+  }
+}
+
+}  // namespace dtncache::baselines

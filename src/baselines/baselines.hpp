@@ -1,0 +1,138 @@
+#pragma once
+
+/// \file baselines.hpp
+/// Baseline refresh schemes the paper's scheme is compared against.
+///
+/// - NoRefresh:    copies are never updated after placement; they go stale
+///                 at the first version bump and expire at their lifetime —
+///                 what plain cooperative caching (INFOCOM'11) does.
+/// - SourceDirect: only the source pushes new versions, to caching nodes it
+///                 meets in person. The "flat" non-hierarchical design —
+///                 cheap, but a source that rarely meets a caching node
+///                 leaves it permanently stale.
+/// - Epidemic:     any caching node (or the source) with a newer version
+///                 pushes it to any stale caching node it meets. The
+///                 freshness ceiling among member-only schemes, with
+///                 unbounded per-node responsibility.
+/// - Flooding:     every node in the network relays new versions (non-
+///                 members keep relay copies). The absolute freshness
+///                 ceiling and the overhead worst case.
+/// - Pull:         caching nodes detect their copy's age exceeding the
+///                 refresh period and send pull requests routed to the
+///                 source, which answers with a routed data copy —
+///                 client-driven validation, as in classic Web caching,
+///                 transplanted onto a DTN.
+/// - Invalidation: version *numbers* gossip epidemically among all nodes
+///                 (bytes are negligible — they ride the contact
+///                 handshake); a caching node that learns a newer version
+///                 exists pulls the data from the source. The classic
+///                 cache-invalidation design: staleness is detected almost
+///                 as fast as flooding detects it, but the heavy data
+///                 still has to travel on demand.
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/coop_cache.hpp"
+#include "cache/refresh_scheme.hpp"
+
+namespace dtncache::baselines {
+
+class NoRefreshScheme : public cache::RefreshScheme {
+ public:
+  std::string name() const override { return "NoRefresh"; }
+  void onContact(cache::CooperativeCache&, NodeId, NodeId, sim::SimTime,
+                 net::ContactChannel&) override {}
+};
+
+class SourceDirectScheme : public cache::RefreshScheme {
+ public:
+  std::string name() const override { return "SourceDirect"; }
+  void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
+                 net::ContactChannel& channel) override;
+};
+
+class EpidemicScheme : public cache::RefreshScheme {
+ public:
+  std::string name() const override { return "Epidemic"; }
+  void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
+                 net::ContactChannel& channel) override;
+};
+
+class FloodingScheme : public cache::RefreshScheme {
+ public:
+  std::string name() const override { return "Flooding"; }
+  void onStart(cache::CooperativeCache& cache) override;
+  void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
+                 net::ContactChannel& channel) override;
+
+  /// Relay copies held outside caches (diagnostics).
+  std::size_t relayCopies() const;
+
+ private:
+  /// relay_[node][item] = newest version this non-holder node carries.
+  std::vector<std::unordered_map<data::ItemId, data::Version>> relay_;
+};
+
+struct PullConfig {
+  /// A holder suspects staleness once its copy's age exceeds this fraction
+  /// of the item's refresh period.
+  double ageTriggerFraction = 1.0;
+  /// How often holders check their copies' ages.
+  sim::SimTime checkPeriod = sim::hours(1);
+  /// Relative validity of an issued pull (gives up after this).
+  sim::SimTime pullTtl = sim::hours(12);
+};
+
+class PullScheme : public cache::RefreshScheme {
+ public:
+  explicit PullScheme(PullConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "Pull"; }
+  void onStart(cache::CooperativeCache& cache) override;
+  void onContact(cache::CooperativeCache&, NodeId, NodeId, sim::SimTime,
+                 net::ContactChannel&) override {}
+
+  std::size_t pullsIssued() const { return pullsIssued_; }
+
+ private:
+  void checkAges(cache::CooperativeCache& cache, sim::SimTime t);
+
+  PullConfig config_;
+  /// (node, item) → absolute expiry of the outstanding pull, to rate-limit.
+  std::unordered_map<std::uint64_t, sim::SimTime> outstanding_;
+  std::size_t pullsIssued_ = 0;
+};
+
+struct InvalidationConfig {
+  /// Per-item bytes of the gossiped version vector (rides every contact).
+  std::uint32_t gossipBytesPerItem = 8;
+  /// Validity of an issued pull (re-pull allowed after it expires).
+  sim::SimTime pullTtl = sim::hours(12);
+};
+
+class InvalidationScheme : public cache::RefreshScheme {
+ public:
+  explicit InvalidationScheme(InvalidationConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "Invalidation"; }
+  void onStart(cache::CooperativeCache& cache) override;
+  void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
+                 net::ContactChannel& channel) override;
+
+  std::size_t pullsIssued() const { return pullsIssued_; }
+  /// Highest version node `n` has *heard of* for `item` (diagnostics).
+  data::Version knownVersion(NodeId n, data::ItemId item) const;
+
+ private:
+  void maybePull(cache::CooperativeCache& cache, NodeId n, data::ItemId item,
+                 sim::SimTime t);
+
+  InvalidationConfig config_;
+  /// known_[node][item]: newest version number the node has heard of.
+  std::vector<std::vector<data::Version>> known_;
+  std::unordered_map<std::uint64_t, sim::SimTime> outstanding_;
+  std::size_t pullsIssued_ = 0;
+};
+
+}  // namespace dtncache::baselines

@@ -1,0 +1,112 @@
+#include "cache/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::cache {
+
+std::vector<std::size_t> allocateCacheSlots(const std::vector<double>& popularity,
+                                            std::size_t totalSlots, std::size_t minPerItem,
+                                            std::size_t maxPerItem, AllocationPolicy policy) {
+  const std::size_t n = popularity.size();
+  DTNCACHE_CHECK(n > 0);
+  DTNCACHE_CHECK(minPerItem <= maxPerItem);
+  DTNCACHE_CHECK_MSG(totalSlots >= n * minPerItem && totalSlots <= n * maxPerItem,
+                     "slot budget " << totalSlots << " infeasible for " << n
+                                    << " items in [" << minPerItem << ", " << maxPerItem
+                                    << "]");
+
+  std::vector<double> weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    DTNCACHE_CHECK_MSG(popularity[i] > 0.0, "non-positive popularity for item " << i);
+    switch (policy) {
+      case AllocationPolicy::kUniform: weight[i] = 1.0; break;
+      case AllocationPolicy::kProportional: weight[i] = popularity[i]; break;
+      case AllocationPolicy::kSqrt: weight[i] = std::sqrt(popularity[i]); break;
+    }
+  }
+
+  // Iterate: assign ∝ weight within [min, max]; items pinned at a bound
+  // leave the loop and their slots are re-split among the rest.
+  std::vector<std::size_t> out(n, 0);
+  std::vector<bool> pinned(n, false);
+  double weightLeft = std::accumulate(weight.begin(), weight.end(), 0.0);
+  std::size_t slotsLeft = totalSlots;
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pinned[i]) continue;
+      const double share =
+          weightLeft > 0.0 ? static_cast<double>(slotsLeft) * weight[i] / weightLeft
+                           : static_cast<double>(slotsLeft) / static_cast<double>(n);
+      if (share <= static_cast<double>(minPerItem)) {
+        out[i] = minPerItem;
+      } else if (share >= static_cast<double>(maxPerItem)) {
+        out[i] = maxPerItem;
+      } else {
+        continue;
+      }
+      pinned[i] = true;
+      weightLeft -= weight[i];
+      slotsLeft -= out[i];
+      changed = true;
+    }
+  }
+
+  // Largest-remainder rounding of the free items.
+  std::vector<std::size_t> freeItems;
+  for (std::size_t i = 0; i < n; ++i)
+    if (!pinned[i]) freeItems.push_back(i);
+  if (!freeItems.empty()) {
+    std::vector<double> exact(freeItems.size());
+    std::size_t assigned = 0;
+    for (std::size_t k = 0; k < freeItems.size(); ++k) {
+      exact[k] = static_cast<double>(slotsLeft) * weight[freeItems[k]] / weightLeft;
+      out[freeItems[k]] = static_cast<std::size_t>(std::floor(exact[k]));
+      assigned += out[freeItems[k]];
+    }
+    std::vector<std::size_t> order(freeItems.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ra = exact[a] - std::floor(exact[a]);
+      const double rb = exact[b] - std::floor(exact[b]);
+      if (ra != rb) return ra > rb;
+      return freeItems[a] < freeItems[b];
+    });
+    const std::size_t maxScans = order.size() * (maxPerItem + 1);
+    for (std::size_t k = 0; assigned < slotsLeft && k < maxScans; ++k) {
+      const std::size_t idx = freeItems[order[k % order.size()]];
+      if (out[idx] >= maxPerItem) continue;
+      ++out[idx];
+      ++assigned;
+    }
+  }
+
+  // Correction pass: pinning can strand slots (e.g. every share ≤ min pins
+  // the whole set at min). Move single slots to the heaviest under-max /
+  // from the lightest over-min item until the sum is exact; feasibility
+  // guarantees termination.
+  std::size_t total = std::accumulate(out.begin(), out.end(), std::size_t{0});
+  while (total < totalSlots) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (out[i] < maxPerItem && (best == n || weight[i] > weight[best])) best = i;
+    DTNCACHE_CHECK(best < n);
+    ++out[best];
+    ++total;
+  }
+  while (total > totalSlots) {
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i)
+      if (out[i] > minPerItem && (best == n || weight[i] < weight[best])) best = i;
+    DTNCACHE_CHECK(best < n);
+    --out[best];
+    --total;
+  }
+  return out;
+}
+
+}  // namespace dtncache::cache

@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file allocation.hpp
+/// Dividing a global budget of cache slots among items by popularity.
+///
+/// With R caching nodes per item and I items, the network maintains R·I
+/// copies. Uniform allocation wastes slots on cold items; proportional
+/// allocation starves the tail. The square-root rule (allocate ∝ √w_i,
+/// the classic result for minimizing total miss cost under Zipf demand)
+/// sits between them. Counts are rounded largest-remainder so they sum
+/// exactly to the budget, then clamped to [min, max] with the residue
+/// redistributed by the same rule.
+
+#include <cstddef>
+#include <vector>
+
+namespace dtncache::cache {
+
+enum class AllocationPolicy {
+  kUniform,       ///< every item gets budget / items
+  kProportional,  ///< ∝ popularity weight
+  kSqrt,          ///< ∝ √popularity (square-root rule)
+};
+
+constexpr const char* allocationName(AllocationPolicy p) {
+  switch (p) {
+    case AllocationPolicy::kUniform: return "uniform";
+    case AllocationPolicy::kProportional: return "proportional";
+    case AllocationPolicy::kSqrt: return "sqrt";
+  }
+  return "?";
+}
+
+/// Split `totalSlots` among items with the given positive popularity
+/// weights. Every item gets at least `minPerItem` and at most `maxPerItem`
+/// slots; totalSlots must be feasible within those bounds.
+std::vector<std::size_t> allocateCacheSlots(const std::vector<double>& popularity,
+                                            std::size_t totalSlots, std::size_t minPerItem,
+                                            std::size_t maxPerItem, AllocationPolicy policy);
+
+}  // namespace dtncache::cache

@@ -1,0 +1,87 @@
+#include "cache/cache_store.hpp"
+
+#include <algorithm>
+
+namespace dtncache::cache {
+
+InsertResult CacheStore::insert(data::ItemId item, data::Version version,
+                                std::uint32_t sizeBytes, sim::SimTime now) {
+  InsertResult result;
+  if (sizeBytes > capacityBytes_) {
+    result.kind = InsertResult::Kind::kRejected;
+    return result;
+  }
+
+  if (auto it = entries_.find(item); it != entries_.end()) {
+    if (it->second.version >= version) {
+      result.kind = InsertResult::Kind::kAlreadyCurrent;
+      return result;
+    }
+    result.kind = InsertResult::Kind::kUpgraded;
+    result.previousVersion = it->second.version;
+    // Same item: occupancy may change if the item size changed between
+    // versions (it does not in our catalogs, but stay correct).
+    usedBytes_ -= it->second.sizeBytes;
+    usedBytes_ += sizeBytes;
+    it->second.version = version;
+    it->second.sizeBytes = sizeBytes;
+    it->second.receivedAt = now;
+    while (usedBytes_ > capacityBytes_) evictLru(result.evicted);
+    return result;
+  }
+
+  while (usedBytes_ + sizeBytes > capacityBytes_) evictLru(result.evicted);
+  CacheEntry e;
+  e.item = item;
+  e.version = version;
+  e.sizeBytes = sizeBytes;
+  e.receivedAt = now;
+  e.lastAccess = now;
+  entries_.emplace(item, e);
+  usedBytes_ += sizeBytes;
+  result.kind = InsertResult::Kind::kInserted;
+  return result;
+}
+
+const CacheEntry* CacheStore::find(data::ItemId item) const {
+  const auto it = entries_.find(item);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void CacheStore::recordAccess(data::ItemId item, sim::SimTime now) {
+  if (auto it = entries_.find(item); it != entries_.end()) {
+    it->second.lastAccess = now;
+    ++it->second.accessCount;
+  }
+}
+
+std::optional<CacheEntry> CacheStore::remove(data::ItemId item) {
+  const auto it = entries_.find(item);
+  if (it == entries_.end()) return std::nullopt;
+  CacheEntry e = it->second;
+  usedBytes_ -= e.sizeBytes;
+  entries_.erase(it);
+  return e;
+}
+
+std::vector<const CacheEntry*> CacheStore::entries() const {
+  std::vector<const CacheEntry*> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) out.push_back(&e);
+  std::sort(out.begin(), out.end(),
+            [](const CacheEntry* a, const CacheEntry* b) { return a->item < b->item; });
+  return out;
+}
+
+void CacheStore::evictLru(std::vector<CacheEntry>& out) {
+  DTNCACHE_CHECK(!entries_.empty());
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.lastAccess < victim->second.lastAccess) victim = it;
+  }
+  out.push_back(victim->second);
+  usedBytes_ -= victim->second.sizeBytes;
+  entries_.erase(victim);
+}
+
+}  // namespace dtncache::cache

@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file cache_store.hpp
+/// Per-node cache of data-item copies.
+///
+/// Byte-bounded; when an insert does not fit, least-recently-accessed
+/// entries are evicted (classic LRU — the paper's focus is freshness, not
+/// replacement, so the substrate uses the standard policy). Upgrading an
+/// entry to a newer version of the same item never changes occupancy.
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "data/item.hpp"
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace dtncache::cache {
+
+struct CacheEntry {
+  data::ItemId item = 0;
+  data::Version version = 0;
+  std::uint32_t sizeBytes = 0;
+  sim::SimTime receivedAt = 0.0;   ///< when this version arrived here
+  sim::SimTime lastAccess = 0.0;   ///< for LRU
+  std::size_t accessCount = 0;
+};
+
+/// Outcome of an insert/upgrade attempt, with any LRU victims so the caller
+/// can report evictions to the metrics layer.
+struct InsertResult {
+  enum class Kind {
+    kInserted,       ///< item was not present; copy added
+    kUpgraded,       ///< present with an older version; version replaced
+    kAlreadyCurrent, ///< present with the same or newer version; no change
+    kRejected,       ///< larger than the whole cache
+  };
+  Kind kind = Kind::kRejected;
+  data::Version previousVersion = 0;  ///< kUpgraded only
+  std::vector<CacheEntry> evicted;
+};
+
+class CacheStore {
+ public:
+  explicit CacheStore(std::size_t capacityBytes = 64 * 1024 * 1024)
+      : capacityBytes_(capacityBytes) {}
+
+  /// Insert a copy or upgrade an existing one to a newer version.
+  InsertResult insert(data::ItemId item, data::Version version, std::uint32_t sizeBytes,
+                      sim::SimTime now);
+
+  /// Entry for `item`, or nullptr.
+  const CacheEntry* find(data::ItemId item) const;
+
+  /// Record a cache hit (updates LRU recency).
+  void recordAccess(data::ItemId item, sim::SimTime now);
+
+  /// Remove an entry; returns it if present.
+  std::optional<CacheEntry> remove(data::ItemId item);
+
+  std::size_t usedBytes() const { return usedBytes_; }
+  std::size_t capacityBytes() const { return capacityBytes_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Stable iteration (item-id order) for metric scans.
+  std::vector<const CacheEntry*> entries() const;
+
+ private:
+  void evictLru(std::vector<CacheEntry>& out);
+
+  std::size_t capacityBytes_;
+  std::size_t usedBytes_ = 0;
+  std::unordered_map<data::ItemId, CacheEntry> entries_;
+};
+
+}  // namespace dtncache::cache

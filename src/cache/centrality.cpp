@@ -1,0 +1,72 @@
+#include "cache/centrality.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::cache {
+
+std::vector<double> contactCapability(const trace::RateMatrix& rates, sim::SimTime window) {
+  DTNCACHE_CHECK(window > 0.0);
+  const std::size_t n = rates.nodeCount();
+  std::vector<double> cap(n, 0.0);
+  for (NodeId i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (NodeId j = 0; j < n; ++j)
+      if (j != i) sum += rates.meetingProbability(i, j, window);
+    cap[i] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+  }
+  return cap;
+}
+
+std::vector<NodeId> selectTopCapability(const trace::RateMatrix& rates, sim::SimTime window,
+                                        std::size_t k) {
+  const auto cap = contactCapability(rates, window);
+  std::vector<NodeId> ids(rates.nodeCount());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&cap](NodeId a, NodeId b) {
+    if (cap[a] != cap[b]) return cap[a] > cap[b];
+    return a < b;
+  });
+  ids.resize(std::min(k, ids.size()));
+  return ids;
+}
+
+std::vector<NodeId> selectNcls(const trace::RateMatrix& rates, sim::SimTime window,
+                               std::size_t k) {
+  const std::size_t n = rates.nodeCount();
+  k = std::min(k, n);
+  std::vector<NodeId> chosen;
+  chosen.reserve(k);
+  // notCovered[j] = P(no chosen NCL meets j within the window).
+  std::vector<double> notCovered(n, 1.0);
+  std::vector<bool> isChosen(n, false);
+
+  for (std::size_t pick = 0; pick < k; ++pick) {
+    NodeId best = kNoNode;
+    double bestGain = -1.0;
+    for (NodeId cand = 0; cand < n; ++cand) {
+      if (isChosen[cand]) continue;
+      double gain = 0.0;
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == cand || isChosen[j]) continue;
+        gain += notCovered[j] * rates.meetingProbability(cand, j, window);
+      }
+      if (gain > bestGain) {
+        bestGain = gain;
+        best = cand;
+      }
+    }
+    DTNCACHE_CHECK(best != kNoNode);
+    isChosen[best] = true;
+    chosen.push_back(best);
+    for (NodeId j = 0; j < n; ++j) {
+      if (j == best) continue;
+      notCovered[j] *= 1.0 - rates.meetingProbability(best, j, window);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace dtncache::cache

@@ -1,0 +1,444 @@
+#include "cache/coop_cache.hpp"
+
+#include <algorithm>
+
+#include "cache/centrality.hpp"
+#include "sim/assert.hpp"
+
+namespace dtncache::cache {
+
+CooperativeCache::CooperativeCache(sim::Simulator& simulator, net::Network& network,
+                                   const data::Catalog& catalog,
+                                   trace::ContactRateEstimator& estimator,
+                                   metrics::MetricsCollector& collector,
+                                   const trace::RateMatrix& planningRates,
+                                   CoopCacheConfig config)
+    : simulator_(simulator),
+      network_(network),
+      catalog_(catalog),
+      estimator_(estimator),
+      collector_(collector),
+      config_(config),
+      nodeCount_(network.nodeCount()) {
+  DTNCACHE_CHECK(nodeCount_ >= 2);
+  DTNCACHE_CHECK(!catalog_.empty());
+
+  auto itemSetSize = [this](data::ItemId item) {
+    return config_.cachingNodesPerItemOverride.empty()
+               ? config_.cachingNodesPerItem
+               : config_.cachingNodesPerItemOverride[item];
+  };
+  if (!config_.cachingNodesPerItemOverride.empty()) {
+    DTNCACHE_CHECK_MSG(config_.cachingNodesPerItemOverride.size() == catalog_.size(),
+                       "per-item caching-node override must cover every item");
+  }
+  std::size_t maxSetSize = 0;
+  for (data::ItemId item = 0; item < catalog_.size(); ++item)
+    maxSetSize = std::max(maxSetSize, itemSetSize(item));
+  DTNCACHE_CHECK(maxSetSize >= 1);
+  DTNCACHE_CHECK_MSG(maxSetSize < nodeCount_,
+                     "need at least one non-caching node as the source");
+
+  stores_.reserve(nodeCount_);
+  buffers_.reserve(nodeCount_);
+  for (std::size_t i = 0; i < nodeCount_; ++i) {
+    stores_.emplace_back(config_.cacheCapacityBytes);
+    buffers_.emplace_back(config_.bufferCapacityBytes);
+  }
+
+  // Central ordering once; +1 head-room in case a source must be skipped.
+  centralOrder_ = selectNcls(planningRates, config_.centralityWindow,
+                             std::min(nodeCount_, maxSetSize + 1));
+
+  cachingNodes_.resize(catalog_.size());
+  for (data::ItemId item = 0; item < catalog_.size(); ++item) {
+    const NodeId source = catalog_.spec(item).source;
+    auto& set = cachingNodes_[item];
+    for (NodeId n : centralOrder_) {
+      if (n == source) continue;
+      set.push_back(n);
+      if (set.size() == itemSetSize(item)) break;
+    }
+    DTNCACHE_CHECK(set.size() == itemSetSize(item));
+  }
+}
+
+void CooperativeCache::setScheme(RefreshScheme* scheme) {
+  DTNCACHE_CHECK(!started_);
+  scheme_ = scheme;
+}
+
+void CooperativeCache::start(data::SourceProcess& sources, data::QueryWorkload* workload,
+                             sim::SimTime horizon) {
+  DTNCACHE_CHECK_MSG(!started_, "CooperativeCache::start called twice");
+  DTNCACHE_CHECK_MSG(scheme_ != nullptr, "no refresh scheme installed");
+  started_ = true;
+
+  const sim::SimTime now = simulator_.now();
+  if (config_.warmStart) {
+    for (data::ItemId item = 0; item < catalog_.size(); ++item) {
+      const data::Version v = catalog_.clock(item).currentVersion(now);
+      for (NodeId n : cachingNodes_[item]) installCopy(n, item, v, now);
+    }
+  } else {
+    emitPlacement(now);
+  }
+
+  sources.addListener([this](data::ItemId item, data::Version v, sim::SimTime t) {
+    handleNewVersion(item, v, t);
+  });
+  if (workload != nullptr) {
+    workload->addListener([this](const data::Query& q) { issueQuery(q); });
+  }
+  network_.start([this](NodeId a, NodeId b, sim::SimTime t, sim::SimTime duration,
+                        net::ContactChannel& channel) {
+    handleContact(a, b, t, duration, channel);
+  });
+  scheduleSampling(horizon);
+  scheme_->onStart(*this);
+}
+
+const std::vector<NodeId>& CooperativeCache::cachingNodesOf(data::ItemId item) const {
+  DTNCACHE_CHECK(item < cachingNodes_.size());
+  return cachingNodes_[item];
+}
+
+bool CooperativeCache::isCachingNode(NodeId node, data::ItemId item) const {
+  const auto& set = cachingNodesOf(item);
+  return std::find(set.begin(), set.end(), node) != set.end();
+}
+
+std::optional<data::Version> CooperativeCache::heldVersion(NodeId n, data::ItemId item,
+                                                           sim::SimTime t) const {
+  if (n == sourceOf(item)) return catalog_.clock(item).currentVersion(t);
+  if (const CacheEntry* e = stores_[n].find(item)) return e->version;
+  return std::nullopt;
+}
+
+bool CooperativeCache::pushVersion(NodeId from, NodeId to, data::ItemId item, sim::SimTime t,
+                                   net::ContactChannel& channel, net::Traffic category) {
+  const auto have = heldVersion(from, item, t);
+  if (!have) return false;
+  return pushSpecificVersion(from, to, item, *have, t, channel, category);
+}
+
+bool CooperativeCache::pushSpecificVersion(NodeId from, NodeId to, data::ItemId item,
+                                           data::Version version, sim::SimTime t,
+                                           net::ContactChannel& channel,
+                                           net::Traffic category) {
+  DTNCACHE_CHECK_MSG(version <= catalog_.clock(item).currentVersion(t),
+                     "scheme pushed a version from the future");
+  if (!isCachingNode(to, item)) return false;
+  const auto held = heldVersion(to, item, t);
+  if (held && *held >= version) return false;  // handshake told us: no-op
+  const std::uint32_t bytes = net::kHeaderBytes + catalog_.spec(item).sizeBytes;
+  if (!channel.transfer(category, bytes, from)) return false;
+  installCopy(to, item, version, t);
+  return true;
+}
+
+void CooperativeCache::injectMessage(NodeId at, net::Message m, sim::SimTime now) {
+  DTNCACHE_CHECK(at < nodeCount_);
+  if (m.id == 0) m.id = nextMessageId();
+  buffers_[at].add(m, now);
+}
+
+CacheStore& CooperativeCache::storeOf(NodeId n) {
+  DTNCACHE_CHECK(n < nodeCount_);
+  return stores_[n];
+}
+
+const CacheStore& CooperativeCache::storeOf(NodeId n) const {
+  DTNCACHE_CHECK(n < nodeCount_);
+  return stores_[n];
+}
+
+net::MessageBuffer& CooperativeCache::bufferOf(NodeId n) {
+  DTNCACHE_CHECK(n < nodeCount_);
+  return buffers_[n];
+}
+
+double CooperativeCache::validFraction(sim::SimTime t) const {
+  std::size_t total = 0;
+  std::size_t valid = 0;
+  for (NodeId n = 0; n < nodeCount_; ++n) {
+    for (const CacheEntry* e : stores_[n].entries()) {
+      ++total;
+      if (catalog_.clock(e->item).isValid(e->version, t)) ++valid;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(total);
+}
+
+// ---- internals --------------------------------------------------------------
+
+void CooperativeCache::installCopy(NodeId at, data::ItemId item, data::Version v,
+                                   sim::SimTime t) {
+  const auto result =
+      stores_[at].insert(item, v, catalog_.spec(item).sizeBytes, t);
+  switch (result.kind) {
+    case InsertResult::Kind::kInserted:
+      collector_.copyInstalled(item, v, t);
+      break;
+    case InsertResult::Kind::kUpgraded:
+      collector_.copyUpgraded(item, result.previousVersion, v, t);
+      break;
+    case InsertResult::Kind::kAlreadyCurrent:
+    case InsertResult::Kind::kRejected:
+      break;
+  }
+  for (const CacheEntry& victim : result.evicted)
+    collector_.copyEvicted(victim.item, victim.version, t);
+}
+
+void CooperativeCache::handleNewVersion(data::ItemId item, data::Version v, sim::SimTime t) {
+  collector_.versionBumped(item, t);
+  scheme_->onNewVersion(*this, item, v, t);
+}
+
+void CooperativeCache::handleQuery(const data::Query& q) {
+  collector_.queryIssued(q);
+  const sim::SimTime t = q.issueTime;
+  const auto& clock = catalog_.clock(q.item);
+
+  // Local answer: own source, or a valid cached copy.
+  if (q.requester == sourceOf(q.item)) {
+    collector_.queryAnswered(q.id, t, true, true, true);
+    return;
+  }
+  if (const CacheEntry* e = stores_[q.requester].find(q.item);
+      e != nullptr && clock.isValid(e->version, t)) {
+    stores_[q.requester].recordAccess(q.item, t);
+    collector_.queryAnswered(q.id, t, clock.isFresh(e->version, t), true, true);
+    return;
+  }
+
+  net::Message m;
+  m.id = nextMessageId();
+  m.kind = net::MessageKind::kQuery;
+  m.item = q.item;
+  m.origin = q.requester;
+  m.requester = q.requester;
+  m.queryId = q.id;
+  m.createdAt = t;
+  m.deadline = q.deadline;
+  m.copiesLeft = config_.forwarding.initialCopies;
+  buffers_[q.requester].add(m, t);
+}
+
+void CooperativeCache::handleContact(NodeId a, NodeId b, sim::SimTime t,
+                                     sim::SimTime duration, net::ContactChannel& channel) {
+  (void)duration;
+  estimator_.recordContact(a, b, t);
+
+  // Metadata handshake: both sides exchange version vectors (and piggyback
+  // rate gossip). Accounted per direction, and must fit before anything
+  // else moves.
+  const std::uint64_t handshakeHalf =
+      net::kHeaderBytes +
+      config_.versionVectorBytesPerItem * static_cast<std::uint64_t>(catalog_.size());
+  if (!channel.transfer(net::Traffic::kControl, handshakeHalf, a)) return;
+  if (!channel.transfer(net::Traffic::kControl, handshakeHalf, b)) return;
+
+  // Freshness maintenance gets priority on the contact's bytes: stale data
+  // serves nobody, and the paper's schemes are all push-on-contact.
+  scheme_->onContact(*this, a, b, t, channel);
+
+  // Two rounds so a reply (or pull response) generated while processing one
+  // side's buffer is handed over before the contact ends — contacts last
+  // minutes, easily enough for a request/response round trip.
+  for (int round = 0; round < 2; ++round) {
+    forwardBuffered(a, b, t, channel);
+    forwardBuffered(b, a, t, channel);
+  }
+}
+
+bool CooperativeCache::canAnswer(NodeId node, data::ItemId item, sim::SimTime t) const {
+  if (node == sourceOf(item)) return true;
+  const CacheEntry* e = stores_[node].find(item);
+  return e != nullptr && catalog_.clock(item).isValid(e->version, t);
+}
+
+void CooperativeCache::makeReply(NodeId answerer, const net::Message& query, sim::SimTime t) {
+  const auto held = heldVersion(answerer, query.item, t);
+  DTNCACHE_CHECK(held.has_value());
+  if (answerer != sourceOf(query.item)) stores_[answerer].recordAccess(query.item, t);
+
+  net::Message r;
+  r.id = nextMessageId();
+  r.kind = net::MessageKind::kReply;
+  r.item = query.item;
+  r.version = *held;
+  r.dst = query.requester;
+  r.origin = answerer;
+  r.requester = query.requester;
+  r.queryId = query.queryId;
+  r.createdAt = t;
+  r.deadline = query.deadline;
+  r.copiesLeft = config_.forwarding.initialCopies;
+  r.payloadBytes = catalog_.spec(query.item).sizeBytes;
+  buffers_[answerer].add(r, t);
+}
+
+void CooperativeCache::deliverReply(const net::Message& reply, sim::SimTime t) {
+  const auto& clock = catalog_.clock(reply.item);
+  const bool fresh = clock.isFresh(reply.version, t);
+  const bool valid = clock.isValid(reply.version, t);
+  collector_.queryAnswered(reply.queryId, t, fresh, valid, false);
+  satisfied_.insert(reply.queryId);
+  // A requester that is itself a caching node keeps the data it just got.
+  if (isCachingNode(reply.requester, reply.item))
+    installCopy(reply.requester, reply.item, reply.version, t);
+}
+
+double CooperativeCache::utilityToNode(NodeId from, NodeId dst, sim::SimTime t) const {
+  return estimator_.rate(from, dst, t);
+}
+
+double CooperativeCache::utilityToCachingSet(NodeId from, data::ItemId item,
+                                             sim::SimTime t) const {
+  double best = estimator_.rate(from, sourceOf(item), t);
+  for (NodeId n : cachingNodesOf(item)) best = std::max(best, estimator_.rate(from, n, t));
+  return best;
+}
+
+void CooperativeCache::forwardBuffered(NodeId from, NodeId to, sim::SimTime t,
+                                       net::ContactChannel& channel) {
+  auto& buf = buffers_[from];
+  buf.purgeExpired(t);
+
+  std::vector<net::MessageId> toRemove;
+  // Iterate by index: new messages land in the *peer's* buffer, and removals
+  // are deferred, so the deque is stable during the loop.
+  auto& msgs = buf.messages();
+  for (std::size_t idx = 0; idx < msgs.size(); ++idx) {
+    net::Message& m = msgs[idx];
+    switch (m.kind) {
+      case net::MessageKind::kQuery: {
+        // Note: even when the requester has already been answered, in-flight
+        // query copies keep propagating — the carriers cannot know — and
+        // purge at the deadline. The collector ignores duplicate answers.
+        const bool answeredHere = answeredAt_.count(answeredKey(m.queryId, to)) > 0;
+        if (!answeredHere && canAnswer(to, m.item, t) && to != m.requester) {
+          if (!channel.transfer(net::Traffic::kQuery, m.wireBytes(), from)) break;
+          answeredAt_.insert(answeredKey(m.queryId, to));
+          makeReply(to, m, t);
+          toRemove.push_back(m.id);  // this copy's job is done
+          continue;
+        }
+        // Spray toward the item's caching set.
+        const double mine = utilityToCachingSet(from, m.item, t);
+        const double theirs = utilityToCachingSet(to, m.item, t);
+        const bool better = theirs > mine * config_.forwarding.improvementFactor && theirs > 0.0;
+        if (better && m.copiesLeft >= 1 && m.hopCount < config_.forwarding.maxHops &&
+            !buffers_[to].contains(m.id)) {
+          if (!channel.transfer(net::Traffic::kQuery, m.wireBytes(), from)) break;
+          const std::uint32_t share = net::sprayShare(m.copiesLeft);
+          net::Message copy = m;
+          copy.copiesLeft = share;
+          ++copy.hopCount;
+          buffers_[to].add(copy, t);
+          m.copiesLeft -= share;
+          if (m.copiesLeft == 0) toRemove.push_back(m.id);
+        }
+        break;
+      }
+      case net::MessageKind::kReply:
+      case net::MessageKind::kDataCopy: {
+        const net::Traffic cat =
+            m.kind == net::MessageKind::kReply ? net::Traffic::kReply : m.category;
+        if (to == m.dst) {
+          if (!channel.transfer(cat, m.wireBytes(), from)) break;
+          if (m.kind == net::MessageKind::kReply) {
+            deliverReply(m, t);
+          } else {
+            installCopy(m.dst, m.item, m.version, t);
+          }
+          toRemove.push_back(m.id);
+          continue;
+        }
+        if (net::betterCarrier(estimator_, from, to, m.dst, t,
+                               config_.forwarding.improvementFactor) &&
+            m.hopCount < config_.forwarding.maxHops && !buffers_[to].contains(m.id)) {
+          if (!channel.transfer(cat, m.wireBytes(), from)) break;
+          const std::uint32_t share = net::sprayShare(m.copiesLeft);
+          net::Message copy = m;
+          copy.copiesLeft = share;
+          ++copy.hopCount;
+          buffers_[to].add(copy, t);
+          m.copiesLeft -= share;
+          if (m.copiesLeft == 0) toRemove.push_back(m.id);
+        }
+        break;
+      }
+      case net::MessageKind::kPull: {
+        if (to == m.dst) {  // reached the source: answer with the live version
+          if (!channel.transfer(net::Traffic::kPull, m.wireBytes(), from)) break;
+          net::Message r;
+          r.id = nextMessageId();
+          r.kind = net::MessageKind::kDataCopy;
+          r.item = m.item;
+          r.version = catalog_.clock(m.item).currentVersion(t);
+          r.dst = m.origin;
+          r.origin = to;
+          r.createdAt = t;
+          r.deadline = m.deadline;
+          r.copiesLeft = config_.forwarding.initialCopies;
+          r.payloadBytes = catalog_.spec(m.item).sizeBytes;
+          r.category = net::Traffic::kRefresh;  // pull responses are refresh traffic
+          buffers_[to].add(r, t);
+          toRemove.push_back(m.id);
+          continue;
+        }
+        if (net::betterCarrier(estimator_, from, to, m.dst, t,
+                               config_.forwarding.improvementFactor) &&
+            m.hopCount < config_.forwarding.maxHops && !buffers_[to].contains(m.id)) {
+          if (!channel.transfer(net::Traffic::kPull, m.wireBytes(), from)) break;
+          const std::uint32_t share = net::sprayShare(m.copiesLeft);
+          net::Message copy = m;
+          copy.copiesLeft = share;
+          ++copy.hopCount;
+          buffers_[to].add(copy, t);
+          m.copiesLeft -= share;
+          if (m.copiesLeft == 0) toRemove.push_back(m.id);
+        }
+        break;
+      }
+    }
+  }
+
+  for (net::MessageId id : toRemove)
+    buf.removeIf([id](const net::Message& m) { return m.id == id; });
+}
+
+void CooperativeCache::emitPlacement(sim::SimTime t) {
+  for (data::ItemId item = 0; item < catalog_.size(); ++item) {
+    const NodeId source = sourceOf(item);
+    const data::Version v = catalog_.clock(item).currentVersion(t);
+    for (NodeId target : cachingNodes_[item]) {
+      net::Message m;
+      m.id = nextMessageId();
+      m.kind = net::MessageKind::kDataCopy;
+      m.item = item;
+      m.version = v;
+      m.dst = target;
+      m.origin = source;
+      m.createdAt = t;
+      m.copiesLeft = config_.forwarding.initialCopies;
+      m.payloadBytes = catalog_.spec(item).sizeBytes;
+      buffers_[source].add(m, t);
+    }
+  }
+}
+
+void CooperativeCache::scheduleSampling(sim::SimTime horizon) {
+  DTNCACHE_CHECK(config_.sampleInterval > 0.0);
+  const sim::SimTime start = simulator_.now();
+  for (sim::SimTime at = start; at <= horizon; at += config_.sampleInterval) {
+    simulator_.scheduleAt(at, [this](sim::SimTime t) {
+      collector_.samplePoint(t, validFraction(t));
+    });
+  }
+}
+
+}  // namespace dtncache::cache

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file coop_cache.hpp
+/// The cooperative-caching protocol stack (the INFOCOM'11 substrate).
+///
+/// Responsibilities:
+///   - choose the caching-node set of every item (NCL greedy-coverage
+///     ordering of the network, first R non-source nodes per item);
+///   - keep per-node CacheStores and per-node store-carry-forward buffers;
+///   - serve queries: local hit, or spray a query toward the item's caching
+///     set, generate a reply at the first valid holder, route it back;
+///   - account every transferred byte by traffic category;
+///   - report all copy/query events to the MetricsCollector;
+///   - delegate *freshness maintenance* to the plugged-in RefreshScheme via
+///     pushVersion(), the single API through which any scheme moves new
+///     versions between nodes.
+///
+/// One CooperativeCache instance = one simulation run.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/refresh_scheme.hpp"
+#include "data/item.hpp"
+#include "data/source.hpp"
+#include "data/workload.hpp"
+#include "metrics/collector.hpp"
+#include "net/buffer.hpp"
+#include "net/forwarding.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "trace/estimator.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::cache {
+
+struct CoopCacheConfig {
+  /// R: caching nodes per item (the refresh hierarchy's member count).
+  std::size_t cachingNodesPerItem = 8;
+  /// Per-item override of R (popularity-aware allocation, experiment F13);
+  /// empty = uniform. Size must equal the catalog size when set.
+  std::vector<std::size_t> cachingNodesPerItemOverride;
+  std::size_t cacheCapacityBytes = 64ull * 1024 * 1024;
+  std::size_t bufferCapacityBytes = 16ull * 1024 * 1024;
+  /// Pre-populate caches with the current version at start (the paper
+  /// studies freshness *maintenance*; initial dissemination is exercised
+  /// when this is false, via placement messages).
+  bool warmStart = true;
+  net::ForwardingConfig forwarding;
+  /// Window T of the contact-capability metric C_i(T).
+  sim::SimTime centralityWindow = sim::hours(24);
+  /// Metrics sampling period (valid-fraction scans, time series).
+  sim::SimTime sampleInterval = sim::hours(1);
+  /// Control-plane accounting: per-item version-vector entry exchanged in
+  /// each contact handshake.
+  std::uint32_t versionVectorBytesPerItem = 16;
+};
+
+class CooperativeCache {
+ public:
+  CooperativeCache(sim::Simulator& simulator, net::Network& network,
+                   const data::Catalog& catalog, trace::ContactRateEstimator& estimator,
+                   metrics::MetricsCollector& collector,
+                   const trace::RateMatrix& planningRates, CoopCacheConfig config);
+
+  /// Install the refresh scheme (not owned). Call before start().
+  void setScheme(RefreshScheme* scheme);
+
+  /// Wire everything to the simulator: contacts, version bumps, queries,
+  /// sampling. `workload` may be null (freshness-only runs). Call once.
+  void start(data::SourceProcess& sources, data::QueryWorkload* workload,
+             sim::SimTime horizon);
+
+  // ---- scheme-facing API --------------------------------------------------
+
+  const std::vector<NodeId>& cachingNodesOf(data::ItemId item) const;
+  bool isCachingNode(NodeId node, data::ItemId item) const;
+  NodeId sourceOf(data::ItemId item) const { return catalog_.spec(item).source; }
+
+  /// Version of `item` node `n` can currently provide: the live version for
+  /// the source, the cached version for a holder, nullopt otherwise.
+  std::optional<data::Version> heldVersion(NodeId n, data::ItemId item, sim::SimTime t) const;
+
+  /// Move the newest version `from` holds to `to` (a caching node of the
+  /// item), if it is newer than what `to` holds and the channel budget
+  /// allows. Returns true when a copy was transferred and installed.
+  /// `category` is kRefresh for maintenance pushes, kPlacement for initial
+  /// dissemination.
+  bool pushVersion(NodeId from, NodeId to, data::ItemId item, sim::SimTime t,
+                   net::ContactChannel& channel, net::Traffic category);
+
+  /// As pushVersion, but the pushed version is supplied by the caller
+  /// (for schemes whose carriers hold relay copies outside any cache).
+  bool pushSpecificVersion(NodeId from, NodeId to, data::ItemId item, data::Version version,
+                           sim::SimTime t, net::ContactChannel& channel,
+                           net::Traffic category);
+
+  /// Drop a store-carry-forward message into a node's buffer (pull
+  /// requests from the pull baseline, custom probes from examples).
+  void injectMessage(NodeId at, net::Message m, sim::SimTime now);
+
+  /// Issue a query right now (the workload listener routes through this;
+  /// examples and tests may issue queries directly). The query id must be
+  /// unique within the run. Queries from down nodes (per the up-predicate)
+  /// are silently dropped — a powered-off device makes no requests.
+  void issueQuery(const data::Query& q) {
+    if (upPredicate_ && !upPredicate_(q.requester)) return;
+    handleQuery(q);
+  }
+
+  /// Churn hook: nodes for which this returns false issue no queries.
+  void setUpPredicate(std::function<bool(NodeId)> pred) { upPredicate_ = std::move(pred); }
+
+  // ---- accessors ----------------------------------------------------------
+
+  sim::Simulator& simulator() { return simulator_; }
+  const data::Catalog& catalog() const { return catalog_; }
+  trace::ContactRateEstimator& estimator() { return estimator_; }
+  metrics::MetricsCollector& collector() { return collector_; }
+  const CoopCacheConfig& config() const { return config_; }
+  std::size_t nodeCount() const { return nodeCount_; }
+  CacheStore& storeOf(NodeId n);
+  const CacheStore& storeOf(NodeId n) const;
+  net::MessageBuffer& bufferOf(NodeId n);
+  /// Greedy-coverage central ordering of all nodes (NCL list).
+  const std::vector<NodeId>& centralOrder() const { return centralOrder_; }
+
+  /// Fraction of cached copies currently valid (unexpired); full scan.
+  double validFraction(sim::SimTime t) const;
+
+ private:
+  void handleContact(NodeId a, NodeId b, sim::SimTime t, sim::SimTime duration,
+                     net::ContactChannel& channel);
+  void handleQuery(const data::Query& q);
+  void handleNewVersion(data::ItemId item, data::Version v, sim::SimTime t);
+  /// Process `from`'s buffer against peer `to` (answer, deliver, spray).
+  void forwardBuffered(NodeId from, NodeId to, sim::SimTime t, net::ContactChannel& channel);
+  /// Can `node` answer a query for `item` right now with a valid copy?
+  bool canAnswer(NodeId node, data::ItemId item, sim::SimTime t) const;
+  void makeReply(NodeId answerer, const net::Message& query, sim::SimTime t);
+  void deliverReply(const net::Message& reply, sim::SimTime t);
+  /// Install a copy into a caching node's store, reporting to metrics.
+  void installCopy(NodeId at, data::ItemId item, data::Version v, sim::SimTime t);
+  double utilityToNode(NodeId from, NodeId dst, sim::SimTime t) const;
+  double utilityToCachingSet(NodeId from, data::ItemId item, sim::SimTime t) const;
+  void scheduleSampling(sim::SimTime horizon);
+  void emitPlacement(sim::SimTime t);
+  net::MessageId nextMessageId() { return nextMessageId_++; }
+  std::uint64_t answeredKey(data::QueryId q, NodeId n) const {
+    return q * static_cast<std::uint64_t>(nodeCount_) + n;
+  }
+
+  sim::Simulator& simulator_;
+  net::Network& network_;
+  const data::Catalog& catalog_;
+  trace::ContactRateEstimator& estimator_;
+  metrics::MetricsCollector& collector_;
+  CoopCacheConfig config_;
+  std::size_t nodeCount_;
+
+  RefreshScheme* scheme_ = nullptr;
+  std::vector<CacheStore> stores_;
+  std::vector<net::MessageBuffer> buffers_;
+  std::vector<NodeId> centralOrder_;
+  std::vector<std::vector<NodeId>> cachingNodes_;  ///< per item
+
+  std::unordered_set<std::uint64_t> answeredAt_;  ///< (query, node) reply-dedup
+  std::unordered_set<data::QueryId> satisfied_;   ///< delivered to requester
+  std::function<bool(NodeId)> upPredicate_;
+  net::MessageId nextMessageId_ = 1;
+  bool started_ = false;
+};
+
+}  // namespace dtncache::cache

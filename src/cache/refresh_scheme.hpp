@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file refresh_scheme.hpp
+/// Extension point for cache-freshness maintenance schemes.
+///
+/// The cooperative-caching substrate owns caches, queries, and forwarding;
+/// a RefreshScheme decides *which contacts carry which version pushes*.
+/// The paper's hierarchical scheme (core/), and every baseline (baselines/),
+/// implement this interface; a run wires exactly one scheme into the stack.
+
+#include <string>
+
+#include "data/item.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::cache {
+
+class CooperativeCache;
+
+class RefreshScheme {
+ public:
+  virtual ~RefreshScheme() = default;
+
+  /// Scheme name for reports ("Hierarchical", "Epidemic", ...).
+  virtual std::string name() const = 0;
+
+  /// Called once, after the substrate has computed caching-node sets and
+  /// (optionally) warm-started caches, before any contact is processed.
+  virtual void onStart(CooperativeCache& cache) { (void)cache; }
+
+  /// Source created a new version of `item` at time t.
+  virtual void onNewVersion(CooperativeCache& cache, data::ItemId item, data::Version v,
+                            sim::SimTime t) {
+    (void)cache;
+    (void)item;
+    (void)v;
+    (void)t;
+  }
+
+  /// Nodes a and b are in contact; push whatever the scheme's rules allow,
+  /// through `channel` (which enforces the contact's byte budget).
+  virtual void onContact(CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
+                         net::ContactChannel& channel) = 0;
+};
+
+}  // namespace dtncache::cache

@@ -1,0 +1,100 @@
+#include "core/freshness.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/assert.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+namespace {
+
+/// Nudge coinciding rates apart so the distinct-rate closed form applies.
+void separateRates(std::vector<double>& rates) {
+  std::sort(rates.begin(), rates.end());
+  constexpr double kRelGap = 1e-7;
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    const double minNext = rates[i - 1] * (1.0 + kRelGap);
+    if (rates[i] < minNext) rates[i] = minNext;
+  }
+}
+
+/// Coefficients w_i = Π_{j≠i} r_j / (r_j − r_i) of the hypoexponential
+/// survival function S(t) = Σ_i w_i e^{−r_i t}.
+std::vector<double> survivalWeights(const std::vector<double>& rates) {
+  std::vector<double> w(rates.size(), 1.0);
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    for (std::size_t j = 0; j < rates.size(); ++j) {
+      if (j == i) continue;
+      w[i] *= rates[j] / (rates[j] - rates[i]);
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+double hypoexponentialCdf(std::vector<double> rates, double t) {
+  DTNCACHE_CHECK(t >= 0.0);
+  if (rates.empty()) return 1.0;
+  for (double r : rates) {
+    DTNCACHE_CHECK(r >= 0.0);
+    if (r == 0.0) return 0.0;  // a dead link never delivers
+  }
+  if (rates.size() == 1) return 1.0 - std::exp(-rates[0] * t);
+
+  separateRates(rates);
+  const auto w = survivalWeights(rates);
+  double survival = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i) survival += w[i] * std::exp(-rates[i] * t);
+  return std::clamp(1.0 - survival, 0.0, 1.0);
+}
+
+double expectedDelayTruncated(std::vector<double> rates, double horizon) {
+  DTNCACHE_CHECK(horizon >= 0.0);
+  if (rates.empty()) return 0.0;
+  for (double r : rates) {
+    DTNCACHE_CHECK(r >= 0.0);
+    if (r == 0.0) return horizon;  // never arrives: full staleness
+  }
+  // E[min(D, H)] = ∫₀ᴴ S(t) dt with S(t) = Σ_i w_i e^{−r_i t}
+  //              = Σ_i (w_i / r_i)(1 − e^{−r_i H}).
+  if (rates.size() == 1) {
+    const double r = rates[0];
+    return (1.0 - std::exp(-r * horizon)) / r;
+  }
+  separateRates(rates);
+  const auto w = survivalWeights(rates);
+  double integral = 0.0;
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    integral += (w[i] / rates[i]) * (1.0 - std::exp(-rates[i] * horizon));
+  return std::clamp(integral, 0.0, horizon);
+}
+
+double expectedFreshFraction(const std::vector<double>& chainRates, sim::SimTime tau) {
+  DTNCACHE_CHECK(tau > 0.0);
+  const double meanStale = expectedDelayTruncated(chainRates, tau);
+  return (tau - meanStale) / tau;
+}
+
+double combinedRefreshProbability(double chainProbability,
+                                  const std::vector<double>& helperContributions) {
+  DTNCACHE_CHECK(chainProbability >= 0.0 && chainProbability <= 1.0);
+  double notRefreshed = 1.0 - chainProbability;
+  for (double h : helperContributions) {
+    DTNCACHE_CHECK(h >= 0.0 && h <= 1.0);
+    notRefreshed *= 1.0 - h;
+  }
+  return 1.0 - notRefreshed;
+}
+
+double helperContribution(const std::vector<double>& helperChainRates, double rateToTarget,
+                          sim::SimTime tau) {
+  DTNCACHE_CHECK(rateToTarget >= 0.0);
+  DTNCACHE_CHECK(tau > 0.0);
+  const double helperFreshInTime = hypoexponentialCdf(helperChainRates, tau / 2.0);
+  const double reachesTarget = trace::contactProbability(rateToTarget, tau / 2.0);
+  return helperFreshInTime * reachesTarget;
+}
+
+}  // namespace dtncache::core

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file freshness.hpp
+/// The analytical machinery behind the paper's freshness guarantees.
+///
+/// Under the pairwise-Poisson contact model, the delay for a new version to
+/// travel down a refresh chain root → n1 → ... → nk is a sum of independent
+/// exponentials — a hypoexponential random variable. Everything the scheme
+/// needs is a function of that distribution:
+///
+///   - chainRefreshProbability: P(chain delay ≤ τ) — the probability a node
+///     receives each version while it is still current. This is the
+///     quantity the freshness requirement θ constrains, and what
+///     probabilistic replication boosts.
+///   - expectedFreshFraction: long-run fraction of time the node's copy is
+///     fresh, (τ − E[min(D, τ)]) / τ for refresh delay D — the analytical
+///     curve plotted against simulation in experiment F5.
+///
+/// Numerics: the textbook hypoexponential CDF formula
+///     F(t) = 1 − Σ_i w_i e^{−r_i t},   w_i = Π_{j≠i} r_j / (r_j − r_i)
+/// blows up when rates coincide; rates closer than a relative epsilon are
+/// nudged apart, which changes results by O(epsilon) while keeping the
+/// closed form (tree depths are small, so cancellation stays benign).
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dtncache::core {
+
+/// P(Exp(r_1) + ... + Exp(r_k) ≤ t). Empty chain ⇒ delay 0 ⇒ returns 1.
+/// Any zero rate makes the sum infinite ⇒ returns 0.
+double hypoexponentialCdf(std::vector<double> rates, double t);
+
+/// E[min(D, horizon)] for D the hypoexponential sum — the mean staleness a
+/// periodic observer accumulates per period of length `horizon`.
+double expectedDelayTruncated(std::vector<double> rates, double horizon);
+
+/// P(a node at the end of `chainRates` gets each version within one period).
+inline double chainRefreshProbability(const std::vector<double>& chainRates,
+                                      sim::SimTime tau) {
+  return hypoexponentialCdf(chainRates, tau);
+}
+
+/// Long-run fraction of time the node's copy is the current version:
+/// (τ − E[min(D, τ)]) / τ.
+double expectedFreshFraction(const std::vector<double>& chainRates, sim::SimTime tau);
+
+/// Combined refresh probability of a node with a parent chain and a set of
+/// helper contributions h_k (each the probability that helper k alone
+/// delivers in time): 1 − (1 − p_chain)·Π_k (1 − h_k). Assumes independence
+/// across refreshers — the union-bound-flavored model replication planning
+/// uses (documented in DESIGN.md).
+double combinedRefreshProbability(double chainProbability,
+                                  const std::vector<double>& helperContributions);
+
+/// Contribution of one helper: it must itself be refreshed within the first
+/// half-period (its own chain, evaluated at τ/2), then meet the target in
+/// the second half: q_k(τ/2) · (1 − e^{−λ·τ/2}).
+double helperContribution(const std::vector<double>& helperChainRates, double rateToTarget,
+                          sim::SimTime tau);
+
+}  // namespace dtncache::core

@@ -1,0 +1,254 @@
+#include "core/hierarchical_scheme.hpp"
+
+#include <algorithm>
+
+#include "core/freshness.hpp"
+#include "sim/assert.hpp"
+
+namespace dtncache::core {
+
+HierarchicalRefreshScheme::HierarchicalRefreshScheme(HierarchicalConfig config,
+                                                     const trace::RateMatrix* oracleRates)
+    : config_(config), oracleRates_(oracleRates) {
+  DTNCACHE_CHECK_MSG(!config_.useOracleRates || oracleRates_ != nullptr,
+                     "useOracleRates requires an oracle rate matrix");
+}
+
+RateFn HierarchicalRefreshScheme::makeRateFn(cache::CooperativeCache& cache,
+                                             sim::SimTime t) const {
+  if (config_.useOracleRates) {
+    const trace::RateMatrix* m = oracleRates_;
+    return [m](NodeId i, NodeId j) { return m->rate(i, j); };
+  }
+  trace::ContactRateEstimator* est = &cache.estimator();
+  return [est, t](NodeId i, NodeId j) { return est->rate(i, j, t); };
+}
+
+void HierarchicalRefreshScheme::rebuildItem(cache::CooperativeCache& cache,
+                                            data::ItemId item, sim::SimTime t) {
+  const auto rate = makeRateFn(cache, t);
+  const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+  std::vector<NodeId> members;
+  for (NodeId n : cache.cachingNodesOf(item))
+    if (!live_ || live_(n)) members.push_back(n);
+  hierarchies_[item] =
+      RefreshHierarchy::build(cache.sourceOf(item), members, rate, tau, config_.hierarchy);
+  plans_[item] = planReplication(hierarchies_[item], rate, tau, config_.replication);
+}
+
+void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
+                                                data::ItemId item, sim::SimTime t) {
+  const auto rate = makeRateFn(cache, t);
+  const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+  RefreshHierarchy& h = hierarchies_[item];
+
+  // Each member independently evaluates its own parent edge — the only
+  // structural knowledge a node needs is the candidate parents' chains,
+  // which the metadata handshake carries in a deployment.
+  for (NodeId n : h.membersBelowRoot()) {
+    const double current = chainRefreshProbability(h.chainRates(n, rate), tau);
+    NodeId bestParent = kNoNode;
+    double bestScore = current;
+    auto considerParent = [&](NodeId p) {
+      if (p == n || p == h.parentOf(n)) return;
+      if (h.isAncestor(n, p)) return;  // would create a cycle
+      if (h.childrenOf(p).size() >= config_.hierarchy.fanoutBound) return;
+      auto chain = h.chainRates(p, rate);
+      chain.push_back(rate(p, n));
+      const double score = chainRefreshProbability(chain, tau);
+      if (score > bestScore) {
+        bestScore = score;
+        bestParent = p;
+      }
+    };
+    considerParent(h.root());
+    for (NodeId p : h.membersBelowRoot()) considerParent(p);
+
+    if (bestParent != kNoNode &&
+        bestScore >= current * (1.0 + config_.repairImprovement)) {
+      h.reparent(n, bestParent, config_.hierarchy.fanoutBound);
+      ++reparentCount_;
+    }
+  }
+  plans_[item] = planReplication(h, rate, tau, config_.replication);
+}
+
+void HierarchicalRefreshScheme::runMaintenance(cache::CooperativeCache& cache,
+                                               sim::SimTime t) {
+  ++maintenanceRuns_;
+  for (data::ItemId item = 0; item < cache.catalog().size(); ++item) {
+    switch (config_.maintenance) {
+      case MaintenanceMode::kRebuild:
+        rebuildItem(cache, item, t);
+        break;
+      case MaintenanceMode::kLocalRepair:
+        localRepairItem(cache, item, t);
+        break;
+      case MaintenanceMode::kStatic:
+        break;
+    }
+    hierarchies_[item].checkInvariants();
+  }
+}
+
+void HierarchicalRefreshScheme::onStart(cache::CooperativeCache& cache) {
+  const sim::SimTime now = cache.simulator().now();
+  hierarchies_.resize(cache.catalog().size());
+  plans_.resize(cache.catalog().size());
+  for (data::ItemId item = 0; item < cache.catalog().size(); ++item)
+    rebuildItem(cache, item, now);
+
+  if (config_.maintenance != MaintenanceMode::kStatic) {
+    cache.simulator().schedulePeriodic(
+        config_.maintenancePeriod,
+        [this, &cache](sim::SimTime t) { runMaintenance(cache, t); },
+        config_.maintenancePeriod);
+  }
+}
+
+bool HierarchicalRefreshScheme::responsible(data::ItemId item, NodeId refresher,
+                                            NodeId target) const {
+  const RefreshHierarchy& h = hierarchies_[item];
+  if (!h.isMember(refresher) || !h.isMember(target)) return false;
+  return h.isResponsible(refresher, target) || plans_[item].isHelper(refresher, target);
+}
+
+void HierarchicalRefreshScheme::onContact(cache::CooperativeCache& cache, NodeId a, NodeId b,
+                                          sim::SimTime t, net::ContactChannel& channel) {
+  const std::size_t items = cache.catalog().size();
+  for (data::ItemId item = 0; item < items; ++item) {
+    const auto va = cache.heldVersion(a, item, t);
+    const auto vb = cache.heldVersion(b, item, t);
+    if (va && (!vb || *va > *vb) && responsible(item, a, b))
+      cache.pushVersion(a, b, item, t, channel, net::Traffic::kRefresh);
+    else if (vb && (!va || *vb > *va) && responsible(item, b, a))
+      cache.pushVersion(b, a, item, t, channel, net::Traffic::kRefresh);
+  }
+  if (config_.relayAssisted) {
+    injectRelays(cache, a, b, t, channel);
+    injectRelays(cache, b, a, t, channel);
+  }
+}
+
+std::vector<NodeId> HierarchicalRefreshScheme::targetsOf(data::ItemId item,
+                                                         NodeId refresher) const {
+  std::vector<NodeId> out;
+  const RefreshHierarchy& h = hierarchies_[item];
+  if (!h.isMember(refresher)) return out;
+  out = h.childrenOf(refresher);
+  for (NodeId n : h.membersBelowRoot())
+    if (plans_[item].isHelper(refresher, n)) out.push_back(n);
+  return out;
+}
+
+void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, NodeId holder,
+                                             NodeId carrier, sim::SimTime t,
+                                             net::ContactChannel& channel) {
+  // Energy-aware: a nearly-drained carrier is not volunteered for relay
+  // duty (it would pay rx now and tx at delivery).
+  if (nodeWeight_ && nodeWeight_(carrier) < config_.minRelayCarrierBattery) return;
+  const auto& fwd = cache.config().forwarding;
+  const std::size_t items = cache.catalog().size();
+  for (data::ItemId item = 0; item < items; ++item) {
+    const auto held = cache.heldVersion(holder, item, t);
+    if (!held) continue;
+    const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+    for (NodeId target : targetsOf(item, holder)) {
+      if (target == carrier) continue;  // direct push already handled
+      const auto targetHeld = cache.heldVersion(target, item, t);
+      if (targetHeld && *targetHeld >= *held) continue;
+
+      // Strong direct edges need no relay help — save the bandwidth.
+      const double mine = cache.estimator().rate(holder, target, t);
+      if (trace::contactProbability(mine, tau) >= config_.relayWhenDirectBelow) continue;
+
+      // Only hand to a strictly better carrier toward the target.
+      const double theirs = cache.estimator().rate(carrier, target, t);
+      if (!(theirs > mine * fwd.improvementFactor && theirs > 0.0)) continue;
+
+      const std::uint64_t key = (static_cast<std::uint64_t>(item) << 44) ^
+                                (static_cast<std::uint64_t>(target) << 32) ^
+                                (*held & 0xffffffffull);
+      std::uint32_t& used = relayBudgetUsed_[key];
+      if (used >= config_.relayCopiesPerVersion) continue;
+
+      // Skip if the carrier already holds an equivalent copy in its buffer.
+      bool duplicate = false;
+      for (const net::Message& m : cache.bufferOf(carrier).messages()) {
+        if (m.kind == net::MessageKind::kDataCopy && m.item == item && m.dst == target &&
+            m.version >= *held) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+
+      net::Message m;
+      m.kind = net::MessageKind::kDataCopy;
+      m.item = item;
+      m.version = *held;
+      m.dst = target;
+      m.origin = holder;
+      m.createdAt = t;
+      m.deadline = t + config_.relayTtlFactor * tau;
+      m.copiesLeft = 1;  // the bounded-replication budget is `used`, not spray
+      m.payloadBytes = cache.catalog().spec(item).sizeBytes;
+      m.category = net::Traffic::kRefresh;
+      if (!channel.transfer(net::Traffic::kRefresh, m.wireBytes(), holder)) return;
+      cache.injectMessage(carrier, m, t);
+      ++used;
+      ++relayInjections_;
+    }
+  }
+}
+
+void HierarchicalRefreshScheme::onNodeStateChanged(cache::CooperativeCache& cache,
+                                                   NodeId node, bool up, sim::SimTime t) {
+  const auto rate = makeRateFn(cache, t);
+  for (data::ItemId item = 0; item < cache.catalog().size(); ++item) {
+    if (!cache.isCachingNode(node, item)) continue;
+    RefreshHierarchy& h = hierarchies_[item];
+    const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+
+    if (!up) {
+      if (!h.isMember(node)) continue;
+      h.removeMember(node);  // children adopted by the grandparent
+      ++churnRepairs_;
+    } else {
+      if (h.isMember(node)) continue;
+      // Re-attach under the live parent with a free slot that maximizes the
+      // end-to-end refresh probability. A tree always has a free slot.
+      NodeId bestParent = kNoNode;
+      double bestScore = -1.0;
+      auto consider = [&](NodeId p) {
+        if (h.childrenOf(p).size() >= config_.hierarchy.fanoutBound) return;
+        auto chain = h.chainRates(p, rate);
+        chain.push_back(rate(p, node));
+        const double score = chainRefreshProbability(chain, tau);
+        if (score > bestScore || (score == bestScore && p < bestParent)) {
+          bestScore = score;
+          bestParent = p;
+        }
+      };
+      consider(h.root());
+      for (NodeId p : h.membersBelowRoot()) consider(p);
+      DTNCACHE_CHECK_MSG(bestParent != kNoNode, "no free slot to re-attach node");
+      h.addMember(node, bestParent, config_.hierarchy.fanoutBound);
+      ++churnRepairs_;
+    }
+    plans_[item] = planReplication(h, rate, tau, config_.replication);
+    h.checkInvariants();
+  }
+}
+
+const RefreshHierarchy& HierarchicalRefreshScheme::hierarchyOf(data::ItemId item) const {
+  DTNCACHE_CHECK(item < hierarchies_.size());
+  return hierarchies_[item];
+}
+
+const ReplicationPlan& HierarchicalRefreshScheme::planOf(data::ItemId item) const {
+  DTNCACHE_CHECK(item < plans_.size());
+  return plans_[item];
+}
+
+}  // namespace dtncache::core

@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file hierarchical_scheme.hpp
+/// The paper's scheme: distributed hierarchical freshness maintenance with
+/// probabilistic replication.
+///
+/// Per item, the caching nodes are arranged in a RefreshHierarchy rooted at
+/// the source, plus the helper assignments of a ReplicationPlan. On every
+/// contact, a node pushes its version of an item to the peer iff
+///   (a) the peer is in its responsibility set (tree child or helper
+///       target), and
+///   (b) the metadata handshake showed the peer's version is older.
+/// Hierarchies are built from contact-rate knowledge — either the shared
+/// online estimator (default; imperfect, improves over time) or an oracle
+/// rate matrix (ablation F9) — and maintained periodically:
+///   - kRebuild: reconstruct tree + plan from current estimates (the
+///     centralized upper bound for maintenance quality);
+///   - kLocalRepair: every node re-evaluates only its own parent edge and
+///     re-parents when a better parent improves its end-to-end refresh
+///     probability materially — the distributed operation the paper's
+///     title refers to;
+///   - kStatic: never touched after construction (ablation).
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/coop_cache.hpp"
+#include "cache/refresh_scheme.hpp"
+#include "core/hierarchy.hpp"
+#include "core/replication.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+
+enum class MaintenanceMode { kRebuild, kLocalRepair, kStatic };
+
+struct HierarchicalConfig {
+  HierarchyConfig hierarchy;
+  ReplicationConfig replication;
+  MaintenanceMode maintenance = MaintenanceMode::kLocalRepair;
+  sim::SimTime maintenancePeriod = sim::hours(12);
+  /// Relative improvement in end-to-end refresh probability required before
+  /// a local repair re-parents (hysteresis against estimate noise).
+  double repairImprovement = 0.10;
+  /// Plan from the true rate matrix instead of the estimator (F9 oracle arm).
+  bool useOracleRates = false;
+
+  /// Relay-assisted delivery: a responsible node that meets a better
+  /// carrier toward its (absent) target hands it a bounded number of
+  /// refresh copies, which travel store-carry-forward like any DTN message.
+  /// This is the opportunistic multi-hop delivery the paper's substrate
+  /// assumes; turning it off makes every responsibility edge contact-direct
+  /// (ablation arm in F8).
+  bool relayAssisted = true;
+  /// Max relay copies injected per (item, target, version).
+  std::uint32_t relayCopiesPerVersion = 2;
+  /// Only spend relay bandwidth on weak edges: inject relays for a target
+  /// only when the direct responsible edge alone delivers within τ with
+  /// probability below this threshold (strong edges need no help).
+  double relayWhenDirectBelow = 0.9;
+  /// Relay-copy TTL as a multiple of the item's refresh period (after one
+  /// period a newer version exists, so stale relay copies self-purge).
+  double relayTtlFactor = 1.0;
+  /// With an energy weight installed, carriers below this remaining-battery
+  /// fraction are not handed relay copies.
+  double minRelayCarrierBattery = 0.15;
+};
+
+class HierarchicalRefreshScheme : public cache::RefreshScheme {
+ public:
+  /// `oracleRates` is required iff config.useOracleRates; not owned.
+  explicit HierarchicalRefreshScheme(HierarchicalConfig config,
+                                     const trace::RateMatrix* oracleRates = nullptr);
+
+  std::string name() const override { return "Hierarchical"; }
+  void onStart(cache::CooperativeCache& cache) override;
+  void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
+                 net::ContactChannel& channel) override;
+
+  /// Churn hook: a caching member left (its children are adopted locally)
+  /// or returned (it re-attaches under the best live parent with a free
+  /// slot). Replication plans for affected items are recomputed. Wire this
+  /// to ChurnProcess::addListener.
+  void onNodeStateChanged(cache::CooperativeCache& cache, NodeId node, bool up,
+                          sim::SimTime t);
+  std::size_t churnRepairs() const { return churnRepairs_; }
+
+  /// Under churn, periodic rebuilds must not re-admit down members; install
+  /// the liveness predicate (ChurnProcess::isUp) before onStart.
+  void setLivenessPredicate(std::function<bool(NodeId)> live) { live_ = std::move(live); }
+
+  /// Energy-aware planning: weight nodes by remaining battery fraction.
+  /// Helper selection ranks candidates by contribution × weight, and relay
+  /// copies are not handed to carriers below `minRelayCarrierBattery` —
+  /// the two places the scheme decides who spends energy for whom.
+  /// Install before onStart to cover the initial plan.
+  void setEnergyWeight(std::function<double(NodeId)> weight) {
+    nodeWeight_ = weight;
+    config_.replication.helperWeight = std::move(weight);
+  }
+
+  /// Planning-state inspection (tests, benches, examples).
+  const RefreshHierarchy& hierarchyOf(data::ItemId item) const;
+  const ReplicationPlan& planOf(data::ItemId item) const;
+  const HierarchicalConfig& config() const { return config_; }
+  std::size_t maintenanceRuns() const { return maintenanceRuns_; }
+  std::size_t reparentCount() const { return reparentCount_; }
+  std::size_t relayInjections() const { return relayInjections_; }
+
+ private:
+  RateFn makeRateFn(cache::CooperativeCache& cache, sim::SimTime t) const;
+  void rebuildItem(cache::CooperativeCache& cache, data::ItemId item, sim::SimTime t);
+  void localRepairItem(cache::CooperativeCache& cache, data::ItemId item, sim::SimTime t);
+  void runMaintenance(cache::CooperativeCache& cache, sim::SimTime t);
+  /// Is `refresher` responsible for pushing to `target` for this item?
+  bool responsible(data::ItemId item, NodeId refresher, NodeId target) const;
+  /// All targets `refresher` is responsible for (children + helper targets).
+  std::vector<NodeId> targetsOf(data::ItemId item, NodeId refresher) const;
+  /// Hand bounded refresh copies for absent targets to a better carrier.
+  void injectRelays(cache::CooperativeCache& cache, NodeId holder, NodeId carrier,
+                    sim::SimTime t, net::ContactChannel& channel);
+
+  HierarchicalConfig config_;
+  const trace::RateMatrix* oracleRates_;
+  std::vector<RefreshHierarchy> hierarchies_;  ///< per item
+  std::vector<ReplicationPlan> plans_;         ///< per item
+  std::size_t maintenanceRuns_ = 0;
+  std::size_t reparentCount_ = 0;
+  std::size_t relayInjections_ = 0;
+  std::size_t churnRepairs_ = 0;
+  std::function<bool(NodeId)> live_;
+  std::function<double(NodeId)> nodeWeight_;
+  /// (item, target, version) → relay copies already injected.
+  std::unordered_map<std::uint64_t, std::uint32_t> relayBudgetUsed_;
+};
+
+}  // namespace dtncache::core

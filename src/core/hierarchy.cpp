@@ -1,0 +1,216 @@
+#include "core/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "core/freshness.hpp"
+#include "sim/assert.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+
+RefreshHierarchy RefreshHierarchy::build(NodeId root, const std::vector<NodeId>& members,
+                                         const RateFn& rate, sim::SimTime tau,
+                                         const HierarchyConfig& config) {
+  DTNCACHE_CHECK(config.fanoutBound >= 1);
+  DTNCACHE_CHECK(tau > 0.0);
+
+  RefreshHierarchy h;
+  h.root_ = root;
+  h.nodes_[root] = NodeInfo{};
+
+  std::vector<NodeId> remaining = members;
+  for (NodeId m : remaining) {
+    DTNCACHE_CHECK_MSG(m != root, "root listed among members");
+    DTNCACHE_CHECK_MSG(h.nodes_.count(m) == 0, "duplicate member " << m);
+  }
+
+  // Track chain rates per tree node so candidate scores are O(depth).
+  std::unordered_map<NodeId, std::vector<double>> chains;
+  chains[root] = {};
+
+  while (!remaining.empty()) {
+    NodeId bestChild = kNoNode;
+    NodeId bestParent = kNoNode;
+    double bestScore = -1.0;
+    for (const auto& [p, infoP] : h.nodes_) {
+      if (infoP.children.size() >= config.fanoutBound) continue;
+      for (NodeId c : remaining) {
+        const double lambda = rate(p, c);
+        double score = 0.0;
+        if (config.depthAware) {
+          auto chain = chains[p];
+          chain.push_back(lambda);
+          score = chainRefreshProbability(chain, tau);
+        } else {
+          score = trace::contactProbability(lambda, tau);
+        }
+        // Deterministic tie-breaks: higher score, then shallower parent,
+        // then smaller ids.
+        const bool better =
+            score > bestScore ||
+            (score == bestScore &&
+             (bestParent == kNoNode || infoP.depth < h.info(bestParent).depth ||
+              (infoP.depth == h.info(bestParent).depth &&
+               (p < bestParent || (p == bestParent && c < bestChild)))));
+        if (better) {
+          bestScore = score;
+          bestChild = c;
+          bestParent = p;
+        }
+      }
+    }
+    DTNCACHE_CHECK_MSG(bestChild != kNoNode,
+                       "fanout capacity exhausted: bound " << config.fanoutBound
+                                                           << " cannot host all members");
+    NodeInfo child;
+    child.parent = bestParent;
+    child.depth = h.info(bestParent).depth + 1;
+    h.nodes_[bestChild] = child;
+    h.info(bestParent).children.push_back(bestChild);
+    auto chain = chains[bestParent];
+    chain.push_back(rate(bestParent, bestChild));
+    chains[bestChild] = std::move(chain);
+    remaining.erase(std::find(remaining.begin(), remaining.end(), bestChild));
+  }
+  return h;
+}
+
+RefreshHierarchy::NodeInfo& RefreshHierarchy::info(NodeId n) {
+  const auto it = nodes_.find(n);
+  DTNCACHE_CHECK_MSG(it != nodes_.end(), "node " << n << " not in hierarchy");
+  return it->second;
+}
+
+const RefreshHierarchy::NodeInfo& RefreshHierarchy::info(NodeId n) const {
+  const auto it = nodes_.find(n);
+  DTNCACHE_CHECK_MSG(it != nodes_.end(), "node " << n << " not in hierarchy");
+  return it->second;
+}
+
+NodeId RefreshHierarchy::parentOf(NodeId n) const {
+  const auto it = nodes_.find(n);
+  return it == nodes_.end() ? kNoNode : it->second.parent;
+}
+
+const std::vector<NodeId>& RefreshHierarchy::childrenOf(NodeId n) const {
+  return info(n).children;
+}
+
+std::size_t RefreshHierarchy::depthOf(NodeId n) const { return info(n).depth; }
+
+std::size_t RefreshHierarchy::maxDepth() const {
+  std::size_t d = 0;
+  for (const auto& [id, node] : nodes_) d = std::max(d, node.depth);
+  return d;
+}
+
+std::vector<double> RefreshHierarchy::chainRates(NodeId n, const RateFn& rate) const {
+  std::vector<double> rates;
+  NodeId cur = n;
+  while (cur != root_) {
+    const NodeId p = parentOf(cur);
+    DTNCACHE_CHECK(p != kNoNode);
+    rates.push_back(rate(p, cur));
+    cur = p;
+  }
+  std::reverse(rates.begin(), rates.end());
+  return rates;
+}
+
+std::vector<NodeId> RefreshHierarchy::membersBelowRoot() const {
+  std::vector<NodeId> out;
+  std::vector<NodeId> frontier{root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId n : frontier) {
+      auto children = info(n).children;
+      std::sort(children.begin(), children.end());
+      for (NodeId c : children) {
+        out.push_back(c);
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+bool RefreshHierarchy::isAncestor(NodeId ancestor, NodeId n) const {
+  NodeId cur = parentOf(n);
+  while (cur != kNoNode) {
+    if (cur == ancestor) return true;
+    cur = parentOf(cur);
+  }
+  return false;
+}
+
+void RefreshHierarchy::recomputeDepths(NodeId from) {
+  NodeInfo& f = info(from);
+  f.depth = from == root_ ? 0 : info(f.parent).depth + 1;
+  for (NodeId c : f.children) recomputeDepths(c);
+}
+
+void RefreshHierarchy::reparent(NodeId child, NodeId newParent, std::size_t fanoutBound) {
+  DTNCACHE_CHECK_MSG(child != root_, "cannot reparent the root");
+  DTNCACHE_CHECK_MSG(isMember(newParent), "new parent not in hierarchy");
+  DTNCACHE_CHECK_MSG(newParent != child && !isAncestor(child, newParent),
+                     "reparent would create a cycle");
+  NodeInfo& c = info(child);
+  if (c.parent == newParent) return;
+  DTNCACHE_CHECK_MSG(info(newParent).children.size() < fanoutBound,
+                     "new parent " << newParent << " is at fanout capacity");
+  auto& oldSiblings = info(c.parent).children;
+  oldSiblings.erase(std::find(oldSiblings.begin(), oldSiblings.end(), child));
+  c.parent = newParent;
+  info(newParent).children.push_back(child);
+  recomputeDepths(child);
+}
+
+void RefreshHierarchy::addMember(NodeId n, NodeId parent, std::size_t fanoutBound) {
+  DTNCACHE_CHECK_MSG(!isMember(n), "node " << n << " already a member");
+  DTNCACHE_CHECK_MSG(isMember(parent), "parent not in hierarchy");
+  DTNCACHE_CHECK_MSG(info(parent).children.size() < fanoutBound,
+                     "parent " << parent << " is at fanout capacity");
+  NodeInfo node;
+  node.parent = parent;
+  node.depth = info(parent).depth + 1;
+  nodes_[n] = node;
+  info(parent).children.push_back(n);
+}
+
+void RefreshHierarchy::removeMember(NodeId n) {
+  DTNCACHE_CHECK_MSG(n != root_, "cannot remove the root");
+  const NodeInfo node = info(n);
+  auto& siblings = info(node.parent).children;
+  siblings.erase(std::find(siblings.begin(), siblings.end(), n));
+  for (NodeId c : node.children) {
+    info(c).parent = node.parent;
+    siblings.push_back(c);
+  }
+  nodes_.erase(n);
+  for (NodeId c : node.children) recomputeDepths(c);
+}
+
+void RefreshHierarchy::checkInvariants() const {
+  DTNCACHE_CHECK(root_ != kNoNode);
+  DTNCACHE_CHECK(info(root_).parent == kNoNode);
+  DTNCACHE_CHECK(info(root_).depth == 0);
+  std::size_t reachable = 0;
+  std::vector<NodeId> stack{root_};
+  while (!stack.empty()) {
+    const NodeId n = stack.back();
+    stack.pop_back();
+    ++reachable;
+    DTNCACHE_CHECK_MSG(reachable <= nodes_.size(), "cycle detected in hierarchy");
+    const NodeInfo& in = info(n);
+    for (NodeId c : in.children) {
+      const NodeInfo& ci = info(c);
+      DTNCACHE_CHECK_MSG(ci.parent == n, "child " << c << " disowns parent " << n);
+      DTNCACHE_CHECK_MSG(ci.depth == in.depth + 1, "bad depth at node " << c);
+      stack.push_back(c);
+    }
+  }
+  DTNCACHE_CHECK_MSG(reachable == nodes_.size(), "hierarchy is disconnected");
+}
+
+}  // namespace dtncache::core

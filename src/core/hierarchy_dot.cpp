@@ -1,0 +1,47 @@
+#include "core/hierarchy_dot.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+
+std::string toDot(const RefreshHierarchy& hierarchy, const ReplicationPlan* plan,
+                  const RateFn& rate, sim::SimTime tau, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph " << options.graphName << " {\n"
+     << "  rankdir=TB;\n"
+     << "  node [shape=circle, fontsize=10];\n";
+  os << "  n" << hierarchy.root()
+     << " [shape=doublecircle, label=\"src\\n" << hierarchy.root() << "\"];\n";
+
+  for (NodeId n : hierarchy.membersBelowRoot()) {
+    os << "  n" << n << " [label=\"" << n << "\"];\n";
+  }
+  for (NodeId n : hierarchy.membersBelowRoot()) {
+    const NodeId p = hierarchy.parentOf(n);
+    os << "  n" << p << " -> n" << n;
+    if (options.edgeLabels) {
+      const double prob = trace::contactProbability(rate(p, n), tau);
+      os << " [label=\"" << std::fixed << std::setprecision(2) << prob << "\"]";
+    }
+    os << ";\n";
+  }
+  if (plan != nullptr) {
+    for (NodeId n : hierarchy.membersBelowRoot()) {
+      for (NodeId helper : plan->helpersOf(n)) {
+        os << "  n" << helper << " -> n" << n << " [style=dashed, color=gray";
+        if (options.edgeLabels) {
+          const double prob = trace::contactProbability(rate(helper, n), tau);
+          os << ", label=\"" << std::fixed << std::setprecision(2) << prob << "\"";
+        }
+        os << "];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace dtncache::core

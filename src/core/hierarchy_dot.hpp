@@ -1,0 +1,27 @@
+#pragma once
+
+/// \file hierarchy_dot.hpp
+/// Graphviz export of a refresh hierarchy (and its replication plan).
+///
+/// Tree edges are solid and labeled with the single-hop refresh probability
+/// 1 − e^{−λτ}; helper assignments are dashed. Render with
+/// `dot -Tpng hierarchy.dot -o hierarchy.png`.
+
+#include <string>
+
+#include "core/hierarchy.hpp"
+#include "core/replication.hpp"
+
+namespace dtncache::core {
+
+struct DotOptions {
+  /// Label edges with refresh probabilities (needs rate + tau).
+  bool edgeLabels = true;
+  std::string graphName = "refresh_hierarchy";
+};
+
+/// `plan` may be null (tree only). `rate` is used for edge labels.
+std::string toDot(const RefreshHierarchy& hierarchy, const ReplicationPlan* plan,
+                  const RateFn& rate, sim::SimTime tau, const DotOptions& options = {});
+
+}  // namespace dtncache::core

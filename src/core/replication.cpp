@@ -1,0 +1,97 @@
+#include "core/replication.hpp"
+
+#include <algorithm>
+
+#include "core/freshness.hpp"
+#include "sim/assert.hpp"
+
+namespace dtncache::core {
+
+const std::vector<NodeId> ReplicationPlan::kEmpty{};
+
+bool ReplicationPlan::isHelper(NodeId refresher, NodeId target) const {
+  const auto it = helpers_.find(target);
+  if (it == helpers_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), refresher) != it->second.end();
+}
+
+const std::vector<NodeId>& ReplicationPlan::helpersOf(NodeId target) const {
+  const auto it = helpers_.find(target);
+  return it == helpers_.end() ? kEmpty : it->second;
+}
+
+double ReplicationPlan::predictedProbability(NodeId target) const {
+  const auto it = predicted_.find(target);
+  DTNCACHE_CHECK_MSG(it != predicted_.end(), "no prediction for node " << target);
+  return it->second;
+}
+
+ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn& rate,
+                                sim::SimTime tau, const ReplicationConfig& config) {
+  DTNCACHE_CHECK(config.theta >= 0.0 && config.theta <= 1.0);
+  DTNCACHE_CHECK(tau > 0.0);
+
+  ReplicationPlan plan;
+  const auto members = hierarchy.membersBelowRoot();
+
+  for (NodeId target : members) {
+    const double chainP =
+        chainRefreshProbability(hierarchy.chainRates(target, rate), tau);
+    double combined = chainP;
+    std::vector<NodeId>& assigned = plan.helpers_[target];
+
+    if (config.enabled && chainP < config.theta) {
+      // Candidates: every member (root included) except the target, its
+      // parent (already the primary refresher), and the target's own
+      // descendants (they get fresh *through* the target — circular).
+      struct Candidate {
+        NodeId node;
+        double contribution;
+        double rateToTarget;
+      };
+      std::vector<Candidate> candidates;
+      auto consider = [&](NodeId k) {
+        if (k == target || k == hierarchy.parentOf(target)) return;
+        if (hierarchy.isAncestor(target, k)) return;
+        const double r = rate(k, target);
+        if (r <= 0.0) return;
+        const double h = helperContribution(hierarchy.chainRates(k, rate), r, tau);
+        if (h <= 0.0) return;
+        candidates.push_back({k, h, r});
+      };
+      consider(hierarchy.root());
+      for (NodeId k : members) consider(k);
+
+      auto rankingKey = [&config](const Candidate& c) {
+        double key = config.order == HelperOrder::kBestContribution ? c.contribution
+                                                                    : c.rateToTarget;
+        if (config.helperWeight) key *= config.helperWeight(c.node);
+        return key;
+      };
+      std::sort(candidates.begin(), candidates.end(),
+                [&rankingKey](const Candidate& a, const Candidate& b) {
+                  const double ka = rankingKey(a);
+                  const double kb = rankingKey(b);
+                  if (ka != kb) return ka > kb;
+                  return a.node < b.node;  // deterministic
+                });
+
+      std::vector<double> contributions;
+      for (const Candidate& c : candidates) {
+        if (assigned.size() >= config.maxHelpersPerNode) break;
+        if (combined >= config.theta) break;
+        assigned.push_back(c.node);
+        contributions.push_back(c.contribution);
+        combined = combinedRefreshProbability(chainP, contributions);
+      }
+      plan.totalAssignments_ += assigned.size();
+    }
+
+    plan.predicted_[target] = combined;
+    if (combined < config.theta) plan.unmet_.push_back(target);
+  }
+  std::sort(plan.unmet_.begin(), plan.unmet_.end());
+  return plan;
+}
+
+}  // namespace dtncache::core

@@ -1,0 +1,44 @@
+#include "data/item.hpp"
+
+namespace dtncache::data {
+
+Catalog::Catalog(std::vector<ItemSpec> specs) {
+  clocks_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    DTNCACHE_CHECK_MSG(specs[i].id == i, "catalog ids must be dense, 0..n-1");
+    clocks_.emplace_back(specs[i]);
+  }
+}
+
+std::vector<ItemId> Catalog::itemsOf(NodeId node) const {
+  std::vector<ItemId> out;
+  for (ItemId id = 0; id < clocks_.size(); ++id)
+    if (clocks_[id].spec().source == node) out.push_back(id);
+  return out;
+}
+
+Catalog makeUniformCatalog(const CatalogConfig& config) {
+  DTNCACHE_CHECK(config.nodeCount > 0);
+  std::vector<ItemSpec> specs;
+  specs.reserve(config.itemCount);
+  // Spread sources across the node space rather than clustering at low ids:
+  // node ids carry no meaning, but a deterministic stride keeps sources
+  // apart in community-structured traces (communities are id % k).
+  const std::size_t stride = std::max<std::size_t>(1, config.nodeCount / 7);
+  for (ItemId id = 0; id < config.itemCount; ++id) {
+    ItemSpec s;
+    s.id = id;
+    s.source = static_cast<NodeId>((1 + id * stride) % config.nodeCount);
+    s.sizeBytes = config.itemSizeBytes;
+    s.refreshPeriod = config.refreshPeriod;
+    s.lifetime = config.lifetimeFactor * config.refreshPeriod;
+    if (config.staggerBirths && config.itemCount > 0) {
+      s.birth = config.refreshPeriod * static_cast<double>(id) /
+                static_cast<double>(config.itemCount);
+    }
+    specs.push_back(s);
+  }
+  return Catalog(std::move(specs));
+}
+
+}  // namespace dtncache::data

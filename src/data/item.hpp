@@ -1,0 +1,119 @@
+#pragma once
+
+/// \file item.hpp
+/// Data items, versions, and the catalog.
+///
+/// A data item is produced by a single source node and refreshed
+/// periodically: the source creates version v at time t0 + v·τ. A copy of
+/// version v is
+///   - *fresh*  while v is still the version current at the source, and
+///   - *valid* (usable to answer queries) until it expires `lifetime`
+///     seconds after v was created (lifetime ≥ τ, default 2τ: a copy stays
+///     usable for one period past the next refresh, but is stale for it).
+/// This is the abstract's "data which may be refreshed periodically and is
+/// subject to expiration".
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::data {
+
+using ItemId = std::uint32_t;
+using Version = std::uint64_t;
+
+/// Static description of one data item.
+struct ItemSpec {
+  ItemId id = 0;
+  NodeId source = 0;
+  std::uint32_t sizeBytes = 10 * 1024;
+  sim::SimTime refreshPeriod = sim::hours(6);  ///< τ: time between versions
+  sim::SimTime lifetime = sim::hours(12);      ///< validity span of a version
+  sim::SimTime birth = 0.0;                    ///< creation time of version 0
+};
+
+/// Pure-function view of an item's version timeline. The source is strictly
+/// periodic, so freshness/expiry are closed-form — no per-version state.
+class VersionClock {
+ public:
+  explicit VersionClock(const ItemSpec& spec) : spec_(spec) {
+    DTNCACHE_CHECK(spec.refreshPeriod > 0.0);
+    DTNCACHE_CHECK_MSG(spec.lifetime >= spec.refreshPeriod,
+                       "a version must live at least one period, or no copy "
+                       "could ever be both cached and valid");
+  }
+
+  const ItemSpec& spec() const { return spec_; }
+
+  /// Version current at the source at time t (0 before any refresh).
+  Version currentVersion(sim::SimTime t) const {
+    if (t <= spec_.birth) return 0;
+    return static_cast<Version>((t - spec_.birth) / spec_.refreshPeriod);
+  }
+
+  /// Creation time of version v.
+  sim::SimTime creationTime(Version v) const {
+    return spec_.birth + static_cast<double>(v) * spec_.refreshPeriod;
+  }
+
+  /// Time of the next version bump strictly after t.
+  sim::SimTime nextRefreshAfter(sim::SimTime t) const {
+    return creationTime(currentVersion(t) + 1);
+  }
+
+  bool isFresh(Version v, sim::SimTime t) const { return v == currentVersion(t); }
+
+  /// Expired copies cannot answer queries.
+  bool isExpired(Version v, sim::SimTime t) const {
+    return t >= creationTime(v) + spec_.lifetime;
+  }
+
+  bool isValid(Version v, sim::SimTime t) const { return !isExpired(v, t); }
+
+ private:
+  ItemSpec spec_;
+};
+
+/// The set of items in a run.
+class Catalog {
+ public:
+  Catalog() = default;
+  explicit Catalog(std::vector<ItemSpec> specs);
+
+  std::size_t size() const { return clocks_.size(); }
+  bool empty() const { return clocks_.empty(); }
+
+  const ItemSpec& spec(ItemId id) const { return clock(id).spec(); }
+  const VersionClock& clock(ItemId id) const {
+    DTNCACHE_CHECK(id < clocks_.size());
+    return clocks_[id];
+  }
+
+  /// All item ids whose source is `node`.
+  std::vector<ItemId> itemsOf(NodeId node) const;
+
+ private:
+  std::vector<VersionClock> clocks_;
+};
+
+/// Config for the common catalog shape: `count` items assigned to distinct
+/// (round-robin) source nodes, identical τ/lifetime/size.
+struct CatalogConfig {
+  std::size_t itemCount = 10;
+  std::size_t nodeCount = 50;
+  std::uint32_t itemSizeBytes = 10 * 1024;
+  sim::SimTime refreshPeriod = sim::hours(6);
+  /// lifetime = lifetimeFactor * refreshPeriod.
+  double lifetimeFactor = 2.0;
+  /// Stagger item births across one period so refreshes do not all fire at
+  /// the same instant (synchronized staleness waves are a simulation
+  /// artifact, not a property of real feeds).
+  bool staggerBirths = true;
+};
+
+Catalog makeUniformCatalog(const CatalogConfig& config);
+
+}  // namespace dtncache::data

@@ -1,0 +1,23 @@
+#include "data/source.hpp"
+
+namespace dtncache::data {
+
+SourceProcess::SourceProcess(sim::Simulator& simulator, const Catalog& catalog,
+                             sim::SimTime horizon)
+    : simulator_(simulator), catalog_(catalog), horizon_(horizon) {
+  for (ItemId id = 0; id < catalog_.size(); ++id)
+    scheduleNext(id, simulator_.now());
+}
+
+void SourceProcess::scheduleNext(ItemId item, sim::SimTime after) {
+  const sim::SimTime at = catalog_.clock(item).nextRefreshAfter(after);
+  if (at > horizon_) return;
+  simulator_.scheduleAt(at, [this, item](sim::SimTime t) {
+    ++refreshCount_;
+    const Version v = catalog_.clock(item).currentVersion(t);
+    for (const auto& listener : listeners_) listener(item, v, t);
+    scheduleNext(item, t);
+  });
+}
+
+}  // namespace dtncache::data

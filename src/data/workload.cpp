@@ -1,0 +1,47 @@
+#include "data/workload.hpp"
+
+#include <algorithm>
+
+namespace dtncache::data {
+
+QueryWorkload::QueryWorkload(sim::Simulator& simulator, const Catalog& catalog,
+                             std::size_t nodeCount, const WorkloadConfig& config) {
+  DTNCACHE_CHECK(config.end > config.start);
+  DTNCACHE_CHECK(config.queriesPerNodePerDay >= 0.0);
+  DTNCACHE_CHECK(!catalog.empty());
+
+  sim::Rng root(config.seed);
+  sim::Rng arrivalRng = root.fork(1);
+  sim::Rng itemRng = root.fork(2);
+  const sim::ZipfSampler zipf(catalog.size(), config.zipfExponent);
+
+  // Superpose the per-node Poisson processes into one aggregate process of
+  // rate N·r and assign each arrival a uniform requester — statistically
+  // identical and a single stream of events.
+  const double aggregateRate =
+      config.queriesPerNodePerDay * static_cast<double>(nodeCount) / sim::days(1);
+  QueryId nextId = 1;
+  if (aggregateRate > 0.0) {
+    sim::SimTime t = config.start + arrivalRng.exponential(aggregateRate);
+    while (t < config.end) {
+      Query q;
+      q.id = nextId++;
+      q.requester = static_cast<NodeId>(
+          arrivalRng.uniformInt(0, static_cast<std::int64_t>(nodeCount) - 1));
+      q.item = static_cast<ItemId>(zipf.sample(itemRng));
+      q.issueTime = t;
+      q.deadline = t + config.queryDeadline;
+      planned_.push_back(q);
+      t += arrivalRng.exponential(aggregateRate);
+    }
+  }
+
+  for (const Query& q : planned_) {
+    simulator.scheduleAt(q.issueTime, [this, q](sim::SimTime) {
+      ++issued_;
+      for (const auto& listener : listeners_) listener(q);
+    });
+  }
+}
+
+}  // namespace dtncache::data

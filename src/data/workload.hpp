@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file workload.hpp
+/// Query workload: who asks for what, when.
+///
+/// Each node issues queries as a Poisson process; the queried item follows a
+/// Zipf popularity distribution (item 0 most popular), the standard model
+/// for content popularity in the cooperative-caching literature. A query is
+/// satisfied when any node returns a *valid* copy before the deadline; the
+/// copy's freshness at answer time is what the paper's "validity of data
+/// access" metric measures.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "data/item.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtncache::data {
+
+using QueryId = std::uint64_t;
+
+struct Query {
+  QueryId id = 0;
+  NodeId requester = 0;
+  ItemId item = 0;
+  sim::SimTime issueTime = 0.0;
+  sim::SimTime deadline = 0.0;  ///< absolute; unanswered past this = failed
+};
+
+struct WorkloadConfig {
+  /// Mean queries per node per day.
+  double queriesPerNodePerDay = 2.0;
+  /// Zipf exponent over the catalog (0 = uniform).
+  double zipfExponent = 0.8;
+  /// Relative deadline for each query.
+  sim::SimTime queryDeadline = sim::hours(12);
+  /// Workload is generated on [start, end).
+  sim::SimTime start = 0.0;
+  sim::SimTime end = 0.0;
+  std::uint64_t seed = 7;
+};
+
+/// Called when a node issues a query.
+using QueryListener = std::function<void(const Query&)>;
+
+class QueryWorkload {
+ public:
+  /// Pre-generates the full arrival sequence (deterministic in the seed)
+  /// and schedules it onto the simulator.
+  QueryWorkload(sim::Simulator& simulator, const Catalog& catalog, std::size_t nodeCount,
+                const WorkloadConfig& config);
+
+  void addListener(QueryListener listener) { listeners_.push_back(std::move(listener)); }
+
+  std::size_t issuedCount() const { return issued_; }
+  const std::vector<Query>& plannedQueries() const { return planned_; }
+
+ private:
+  std::vector<Query> planned_;
+  std::vector<QueryListener> listeners_;
+  std::size_t issued_ = 0;
+};
+
+}  // namespace dtncache::data

@@ -1,0 +1,115 @@
+#include "metrics/collector.hpp"
+
+#include "sim/assert.hpp"
+
+namespace dtncache::metrics {
+
+MetricsCollector::MetricsCollector(const data::Catalog& catalog, sim::SimTime start)
+    : catalog_(catalog), perItem_(catalog.size()), freshMean_(start) {}
+
+bool MetricsCollector::isFresh(data::ItemId item, data::Version v, sim::SimTime t) const {
+  return catalog_.clock(item).isFresh(v, t);
+}
+
+void MetricsCollector::freshnessChanged(sim::SimTime t) {
+  freshMean_.update(t, currentFreshFraction());
+}
+
+double MetricsCollector::currentFreshFraction() const {
+  if (totalCopies_ == 0) return 0.0;
+  return static_cast<double>(totalFresh_) / static_cast<double>(totalCopies_);
+}
+
+void MetricsCollector::copyInstalled(data::ItemId item, data::Version v, sim::SimTime t) {
+  auto& c = perItem_[item];
+  ++c.copies;
+  ++totalCopies_;
+  if (isFresh(item, v, t)) {
+    ++c.fresh;
+    ++totalFresh_;
+  }
+  freshnessChanged(t);
+}
+
+void MetricsCollector::copyUpgraded(data::ItemId item, data::Version oldV, data::Version newV,
+                                    sim::SimTime t) {
+  DTNCACHE_CHECK(newV > oldV);
+  auto& c = perItem_[item];
+  DTNCACHE_CHECK(c.copies > 0);
+  ++refreshPushes_;
+  const bool wasFresh = isFresh(item, oldV, t);
+  const bool nowFresh = isFresh(item, newV, t);
+  if (nowFresh) ++freshUpgrades_;
+  if (nowFresh && !wasFresh) {
+    ++c.fresh;
+    ++totalFresh_;
+    freshnessChanged(t);
+  }
+}
+
+void MetricsCollector::copyEvicted(data::ItemId item, data::Version v, sim::SimTime t) {
+  auto& c = perItem_[item];
+  DTNCACHE_CHECK(c.copies > 0);
+  --c.copies;
+  --totalCopies_;
+  if (isFresh(item, v, t)) {
+    DTNCACHE_CHECK(c.fresh > 0);
+    --c.fresh;
+    --totalFresh_;
+  }
+  freshnessChanged(t);
+}
+
+void MetricsCollector::versionBumped(data::ItemId item, sim::SimTime t) {
+  // No existing copy can hold the just-created version. Each live copy is
+  // one slot for the "refresh within the period" statistic.
+  auto& c = perItem_[item];
+  freshSlots_ += c.copies;
+  totalFresh_ -= c.fresh;
+  c.fresh = 0;
+  freshnessChanged(t);
+}
+
+void MetricsCollector::queryIssued(const data::Query& q) {
+  ++queries_.issued;
+  pending_[q.id] = PendingQuery{q.issueTime, q.deadline, false};
+}
+
+void MetricsCollector::queryAnswered(data::QueryId id, sim::SimTime answeredAt, bool fresh,
+                                     bool valid, bool localHit) {
+  auto it = pending_.find(id);
+  if (it == pending_.end() || it->second.answered) return;
+  if (answeredAt > it->second.deadline) return;  // too late: counts as unanswered
+  it->second.answered = true;
+  ++queries_.answered;
+  if (valid) ++queries_.answeredValid;
+  if (fresh) ++queries_.answeredFresh;
+  if (localHit) ++queries_.localHits;
+  queries_.delay.add(answeredAt - it->second.issueTime);
+}
+
+void MetricsCollector::samplePoint(sim::SimTime t, double validFraction) {
+  freshSeries_.record(t, currentFreshFraction());
+  validSeries_.record(t, validFraction);
+  validSamples_.add(validFraction);
+}
+
+RunResults MetricsCollector::finalize(sim::SimTime end, const net::TransferLog& transfers) {
+  RunResults r;
+  r.meanFreshFraction = freshMean_.mean(end);
+  r.finalFreshFraction = currentFreshFraction();
+  r.meanValidFraction = validSamples_.mean();
+  r.queries = queries_;
+  r.transfers = transfers;
+  r.copiesTracked = totalCopies_;
+  r.refreshPushes = refreshPushes_;
+  r.refreshWithinPeriodRatio =
+      freshSlots_ == 0 ? 0.0
+                       : static_cast<double>(freshUpgrades_) / static_cast<double>(freshSlots_);
+  r.freshOverTime = freshSeries_;
+  r.validOverTime = validSeries_;
+  r.simulatedTime = end;
+  return r;
+}
+
+}  // namespace dtncache::metrics

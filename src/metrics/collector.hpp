@@ -1,0 +1,120 @@
+#pragma once
+
+/// \file collector.hpp
+/// Run-wide metrics: cache freshness, query validity/delay, overhead.
+///
+/// Freshness bookkeeping is event-driven and exact: the cache layer reports
+/// every copy install/upgrade/evict and the source process reports every
+/// version bump; the collector maintains per-item fresh/total copy counts
+/// and integrates the aggregate fresh fraction over time (TimeWeightedMean).
+/// A periodic sampler additionally records the fresh and valid fractions as
+/// a time series for the freshness-vs-time plots (experiment F2).
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "data/item.hpp"
+#include "data/workload.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+#include "sim/stats.hpp"
+
+namespace dtncache::metrics {
+
+/// Final numbers of one simulation run.
+struct QueryStats {
+  std::size_t issued = 0;
+  std::size_t answered = 0;        ///< first reply arrived before deadline
+  std::size_t answeredValid = 0;   ///< the answering copy was unexpired on arrival
+  std::size_t answeredFresh = 0;   ///< the answering copy was the current version
+  std::size_t localHits = 0;
+  sim::Accumulator delay;          ///< seconds, answered queries only
+
+  double successRatio() const {
+    return issued == 0 ? 0.0 : static_cast<double>(answeredValid) / static_cast<double>(issued);
+  }
+  double answeredRatio() const {
+    return issued == 0 ? 0.0 : static_cast<double>(answered) / static_cast<double>(issued);
+  }
+  double freshAnswerRatio() const {
+    return answered == 0 ? 0.0 : static_cast<double>(answeredFresh) / static_cast<double>(answered);
+  }
+};
+
+struct RunResults {
+  double meanFreshFraction = 0.0;   ///< time-weighted, aggregate over items
+  double finalFreshFraction = 0.0;
+  double meanValidFraction = 0.0;   ///< from periodic samples
+  QueryStats queries;
+  net::TransferLog transfers;
+  std::size_t copiesTracked = 0;
+  std::size_t refreshPushes = 0;    ///< successful version upgrades delivered
+  /// Fraction of (version, copy) slots where the copy received the version
+  /// while it was still current — the empirical P(refresh within τ) that the
+  /// freshness requirement θ constrains (experiment F5).
+  double refreshWithinPeriodRatio = 0.0;
+  sim::TimeSeries freshOverTime;
+  sim::TimeSeries validOverTime;
+  sim::SimTime simulatedTime = 0.0;
+};
+
+class MetricsCollector {
+ public:
+  MetricsCollector(const data::Catalog& catalog, sim::SimTime start);
+
+  // -- copy lifecycle (reported by the cache layer) ------------------------
+  void copyInstalled(data::ItemId item, data::Version v, sim::SimTime t);
+  void copyUpgraded(data::ItemId item, data::Version oldV, data::Version newV, sim::SimTime t);
+  void copyEvicted(data::ItemId item, data::Version v, sim::SimTime t);
+  void versionBumped(data::ItemId item, sim::SimTime t);
+
+  // -- queries --------------------------------------------------------------
+  void queryIssued(const data::Query& q);
+  /// First answer wins; later answers for the same query are ignored.
+  void queryAnswered(data::QueryId id, sim::SimTime answeredAt, bool fresh, bool valid,
+                     bool localHit);
+
+  // -- periodic sampling -----------------------------------------------------
+  /// Record the current exact fresh fraction and the supplied valid fraction
+  /// (the cache layer computes validity by scanning its stores).
+  void samplePoint(sim::SimTime t, double validFraction);
+
+  /// Freeze and return the results. `transfers` is copied in from the
+  /// network at the end of the run.
+  RunResults finalize(sim::SimTime end, const net::TransferLog& transfers);
+
+  double currentFreshFraction() const;
+  std::size_t totalCopies() const { return totalCopies_; }
+
+ private:
+  struct ItemCounters {
+    std::size_t copies = 0;
+    std::size_t fresh = 0;
+  };
+
+  void freshnessChanged(sim::SimTime t);
+  bool isFresh(data::ItemId item, data::Version v, sim::SimTime t) const;
+
+  const data::Catalog& catalog_;
+  std::vector<ItemCounters> perItem_;
+  std::size_t totalCopies_ = 0;
+  std::size_t totalFresh_ = 0;
+  std::size_t refreshPushes_ = 0;
+  std::size_t freshSlots_ = 0;     ///< copies alive at each version bump
+  std::size_t freshUpgrades_ = 0;  ///< upgrades that landed while current
+  sim::TimeWeightedMean freshMean_;
+  sim::TimeSeries freshSeries_;
+  sim::TimeSeries validSeries_;
+  sim::Accumulator validSamples_;
+
+  struct PendingQuery {
+    sim::SimTime issueTime = 0.0;
+    sim::SimTime deadline = 0.0;
+    bool answered = false;
+  };
+  std::unordered_map<data::QueryId, PendingQuery> pending_;
+  QueryStats queries_;
+};
+
+}  // namespace dtncache::metrics

@@ -1,0 +1,42 @@
+#include "metrics/load.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dtncache::metrics {
+
+LoadStats loadStats(const std::vector<std::uint64_t>& perNodeBytes) {
+  LoadStats s;
+  if (perNodeBytes.empty()) return s;
+  const std::size_t n = perNodeBytes.size();
+
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += perNodeBytes[i];
+    if (perNodeBytes[i] > s.maxBytes) {
+      s.maxBytes = perNodeBytes[i];
+      s.busiestNode = static_cast<NodeId>(i);
+    }
+    if (perNodeBytes[i] > 0) ++s.activeNodes;
+  }
+  s.meanBytes = static_cast<double>(total) / static_cast<double>(n);
+  if (total == 0) return s;
+  s.peakToMean = static_cast<double>(s.maxBytes) / s.meanBytes;
+
+  // Gini via the sorted-rank formula: G = (2·Σ i·x_(i) / (n·Σx)) − (n+1)/n.
+  std::vector<std::uint64_t> sorted = perNodeBytes;
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    weighted += static_cast<double>(i + 1) * static_cast<double>(sorted[i]);
+  s.gini = 2.0 * weighted / (static_cast<double>(n) * static_cast<double>(total)) -
+           (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+
+  const std::size_t top = std::max<std::size_t>(1, n / 10);
+  std::uint64_t topSum = 0;
+  for (std::size_t i = n - top; i < n; ++i) topSum += sorted[i];
+  s.top10Share = static_cast<double>(topSum) / static_cast<double>(total);
+  return s;
+}
+
+}  // namespace dtncache::metrics

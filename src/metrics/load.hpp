@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file load.hpp
+/// Load-distribution statistics over per-node byte counters.
+///
+/// The hierarchical scheme's fanout bound exists precisely to bound each
+/// node's refresh duty; these statistics quantify that (experiment F10).
+/// Gini ∈ [0,1): 0 = perfectly even, →1 = one node does everything.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/contact.hpp"
+
+namespace dtncache::metrics {
+
+struct LoadStats {
+  double meanBytes = 0.0;
+  std::uint64_t maxBytes = 0;
+  NodeId busiestNode = kNoNode;
+  /// Max over mean: 1 = even, large = concentrated.
+  double peakToMean = 0.0;
+  /// Gini coefficient of the per-node byte distribution.
+  double gini = 0.0;
+  /// Fraction of all bytes sent by the busiest 10% of nodes.
+  double top10Share = 0.0;
+  std::size_t activeNodes = 0;  ///< nodes that sent anything
+};
+
+LoadStats loadStats(const std::vector<std::uint64_t>& perNodeBytes);
+
+}  // namespace dtncache::metrics

@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file buffer.hpp
+/// Per-node store-carry-forward message buffer.
+///
+/// Bounded in bytes; when full, the oldest message is dropped (drop-head —
+/// the standard DTN buffer policy: old messages have had their chance to
+/// spread). Expired messages (past their deadline) are purged lazily.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "net/message.hpp"
+#include "sim/assert.hpp"
+
+namespace dtncache::net {
+
+class MessageBuffer {
+ public:
+  explicit MessageBuffer(std::size_t capacityBytes = 5 * 1024 * 1024)
+      : capacityBytes_(capacityBytes) {}
+
+  /// Insert a message; drops oldest entries to make room. Returns false if
+  /// the message alone exceeds capacity (never inserted) or is a duplicate.
+  bool add(const Message& m, sim::SimTime now) {
+    purgeExpired(now);
+    if (m.wireBytes() > capacityBytes_) return false;
+    if (contains(m.id)) return false;
+    while (usedBytes_ + m.wireBytes() > capacityBytes_) dropOldest();
+    messages_.push_back(m);
+    usedBytes_ += m.wireBytes();
+    return true;
+  }
+
+  bool contains(MessageId id) const {
+    for (const auto& m : messages_)
+      if (m.id == id) return true;
+    return false;
+  }
+
+  /// Remove every message for which `pred` holds.
+  void removeIf(const std::function<bool(const Message&)>& pred) {
+    for (auto it = messages_.begin(); it != messages_.end();) {
+      if (pred(*it)) {
+        usedBytes_ -= it->wireBytes();
+        it = messages_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  /// Drop messages whose deadline has passed (deadline 0 = no deadline).
+  void purgeExpired(sim::SimTime now) {
+    removeIf([now](const Message& m) { return m.deadline > 0.0 && now > m.deadline; });
+  }
+
+  /// Mutable access for forwarding logic (copy-count updates in place).
+  std::deque<Message>& messages() { return messages_; }
+  const std::deque<Message>& messages() const { return messages_; }
+
+  std::size_t usedBytes() const { return usedBytes_; }
+  std::size_t capacityBytes() const { return capacityBytes_; }
+  std::size_t size() const { return messages_.size(); }
+  bool empty() const { return messages_.empty(); }
+
+ private:
+  void dropOldest() {
+    DTNCACHE_CHECK(!messages_.empty());
+    usedBytes_ -= messages_.front().wireBytes();
+    messages_.pop_front();
+  }
+
+  std::size_t capacityBytes_;
+  std::size_t usedBytes_ = 0;
+  std::deque<Message> messages_;
+};
+
+}  // namespace dtncache::net

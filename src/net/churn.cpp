@@ -1,0 +1,53 @@
+#include "net/churn.hpp"
+
+#include "sim/assert.hpp"
+
+namespace dtncache::net {
+
+ChurnProcess::ChurnProcess(sim::Simulator& simulator, std::size_t nodeCount,
+                           const ChurnConfig& config, sim::SimTime horizon,
+                           std::vector<NodeId> protectedNodes)
+    : up_(nodeCount, true), protected_(nodeCount, false) {
+  DTNCACHE_CHECK(config.meanUptime > 0.0);
+  DTNCACHE_CHECK(config.meanDowntime > 0.0);
+  for (NodeId n : protectedNodes) {
+    DTNCACHE_CHECK(n < nodeCount);
+    protected_[n] = true;
+  }
+
+  sim::Rng root(config.seed);
+  for (NodeId n = 0; n < nodeCount; ++n) {
+    if (protected_[n]) continue;
+    sim::Rng rng = root.fork(n);
+    // Pre-generate this node's alternating schedule for the whole run.
+    sim::SimTime t = simulator.now() + rng.exponential(1.0 / config.meanUptime);
+    bool nextStateUp = false;
+    while (t < horizon) {
+      const bool stateAfter = nextStateUp;
+      simulator.scheduleAt(t, [this, n](sim::SimTime when) { flip(n, when); });
+      t += rng.exponential(stateAfter ? 1.0 / config.meanUptime
+                                      : 1.0 / config.meanDowntime);
+      nextStateUp = !nextStateUp;
+    }
+  }
+}
+
+void ChurnProcess::flip(NodeId n, sim::SimTime t) {
+  up_[n] = !up_[n];
+  ++transitions_;
+  for (const auto& listener : listeners_) listener(n, up_[n], t);
+}
+
+bool ChurnProcess::isUp(NodeId n) const {
+  DTNCACHE_CHECK(n < up_.size());
+  return up_[n];
+}
+
+double ChurnProcess::upFraction() const {
+  std::size_t up = 0;
+  for (bool u : up_)
+    if (u) ++up;
+  return static_cast<double>(up) / static_cast<double>(up_.size());
+}
+
+}  // namespace dtncache::net

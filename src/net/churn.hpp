@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file churn.hpp
+/// Node churn: devices leave (powered off, out of area, battery-dead) and
+/// return. Opportunistic networks are defined by this; the paper's
+/// *distributed maintenance* claim is exactly that the refresh structure
+/// survives members coming and going, repaired locally.
+///
+/// Model: each node alternates exponentially-distributed up and down
+/// periods. While a node is down, its contacts do not happen (the Network
+/// suppresses them through the contact filter) and it issues no queries;
+/// its cache persists (flash storage survives a power cycle) and simply
+/// ages. Sources can be protected (a dead source would orphan its items —
+/// a different experiment than cache maintenance).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::net {
+
+struct ChurnConfig {
+  sim::SimTime meanUptime = sim::days(2);
+  sim::SimTime meanDowntime = sim::hours(12);
+  /// Nodes listed as protected (typically item sources) never go down.
+  std::uint64_t seed = 99;
+};
+
+/// Called on every state flip.
+using ChurnListener = std::function<void(NodeId node, bool up, sim::SimTime t)>;
+
+class ChurnProcess {
+ public:
+  /// Pre-schedules all flips on [now, horizon). All nodes start up.
+  ChurnProcess(sim::Simulator& simulator, std::size_t nodeCount, const ChurnConfig& config,
+               sim::SimTime horizon, std::vector<NodeId> protectedNodes = {});
+
+  bool isUp(NodeId n) const;
+  std::size_t transitions() const { return transitions_; }
+  std::size_t nodeCount() const { return up_.size(); }
+
+  /// Fraction of nodes currently up.
+  double upFraction() const;
+
+  void addListener(ChurnListener listener) { listeners_.push_back(std::move(listener)); }
+
+  /// Contact filter for Network::setContactFilter: both endpoints must be up.
+  bool contactAllowed(NodeId a, NodeId b) const { return isUp(a) && isUp(b); }
+
+ private:
+  void flip(NodeId n, sim::SimTime t);
+
+  std::vector<bool> up_;
+  std::vector<bool> protected_;
+  std::size_t transitions_ = 0;
+  std::vector<ChurnListener> listeners_;
+};
+
+}  // namespace dtncache::net

@@ -1,0 +1,78 @@
+#include "net/energy.hpp"
+
+#include <algorithm>
+
+namespace dtncache::net {
+
+EnergyModel::EnergyModel(std::size_t nodeCount, const EnergyConfig& config,
+                         sim::SimTime start)
+    : config_(config),
+      remaining_(nodeCount, config.batteryJoules),
+      lastIdleUpdate_(start),
+      now_(start) {
+  DTNCACHE_CHECK(config.batteryJoules > 0.0);
+  DTNCACHE_CHECK(config.txJoulesPerMB >= 0.0 && config.rxJoulesPerMB >= 0.0);
+  DTNCACHE_CHECK(config.scanJoulesPerContact >= 0.0 && config.idleJoulesPerHour >= 0.0);
+}
+
+void EnergyModel::drain(NodeId n, double joules) {
+  if (remaining_[n] <= 0.0) return;  // already dead; don't go further negative
+  remaining_[n] -= joules;
+  if (remaining_[n] <= 0.0) {
+    remaining_[n] = 0.0;
+    firstDepletion_ = std::min(firstDepletion_, now_);
+  }
+}
+
+void EnergyModel::advanceTo(sim::SimTime t) {
+  if (t <= lastIdleUpdate_) return;
+  now_ = std::max(now_, t);
+  const double hours = sim::toHours(t - lastIdleUpdate_);
+  const double idle = hours * config_.idleJoulesPerHour;
+  lastIdleUpdate_ = t;
+  if (idle <= 0.0) return;
+  for (NodeId n = 0; n < remaining_.size(); ++n) drain(n, idle);
+}
+
+void EnergyModel::onTransfer(NodeId sender, NodeId receiver, std::uint64_t bytes) {
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  if (sender != kNoNode && sender < remaining_.size())
+    drain(sender, mb * config_.txJoulesPerMB);
+  if (receiver != kNoNode && receiver < remaining_.size())
+    drain(receiver, mb * config_.rxJoulesPerMB);
+}
+
+void EnergyModel::onContact(NodeId a, NodeId b) {
+  drain(a, config_.scanJoulesPerContact);
+  drain(b, config_.scanJoulesPerContact);
+}
+
+double EnergyModel::remaining(NodeId n) const {
+  DTNCACHE_CHECK(n < remaining_.size());
+  return remaining_[n];
+}
+
+double EnergyModel::remainingFraction(NodeId n) const {
+  return remaining(n) / config_.batteryJoules;
+}
+
+std::size_t EnergyModel::depletedCount() const {
+  std::size_t dead = 0;
+  for (double r : remaining_)
+    if (r <= 0.0) ++dead;
+  return dead;
+}
+
+double EnergyModel::meanRemainingFraction() const {
+  double sum = 0.0;
+  for (double r : remaining_) sum += r;
+  return sum / (config_.batteryJoules * static_cast<double>(remaining_.size()));
+}
+
+double EnergyModel::minRemainingFraction() const {
+  double mn = config_.batteryJoules;
+  for (double r : remaining_) mn = std::min(mn, r);
+  return mn / config_.batteryJoules;
+}
+
+}  // namespace dtncache::net

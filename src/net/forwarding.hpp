@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file forwarding.hpp
+/// Utility-based multi-copy forwarding primitives (spray + compare-and-hand).
+///
+/// Queries, replies, and pull requests are routed store-carry-forward with
+/// the standard DTN recipe the paper's substrate assumes:
+///   - a message starts with a copy budget C (spray);
+///   - on contact, a carrier hands half its remaining copies (binary spray)
+///     to a peer whose estimated contact rate to the destination is higher
+///     than its own by `improvementFactor` (compare-and-forward / focus);
+///   - a single-copy message migrates instead of splitting.
+/// Meeting the destination always delivers.
+
+#include <cstdint>
+
+#include "net/message.hpp"
+#include "sim/time.hpp"
+#include "trace/estimator.hpp"
+
+namespace dtncache::net {
+
+struct ForwardingConfig {
+  /// Initial copy budget for sprayed messages.
+  std::uint32_t initialCopies = 4;
+  /// A relay must beat the carrier's utility by this factor to get a copy.
+  double improvementFactor = 1.2;
+  /// Hop cap as a safety valve against pathological ping-ponging.
+  std::uint32_t maxHops = 16;
+};
+
+/// Is `candidate` a strictly better carrier than `carrier` for reaching
+/// `dst`, under the shared rate estimate?
+inline bool betterCarrier(const trace::ContactRateEstimator& estimator, NodeId carrier,
+                          NodeId candidate, NodeId dst, sim::SimTime now,
+                          double improvementFactor) {
+  if (candidate == dst) return true;
+  if (carrier == dst) return false;
+  const double mine = estimator.rate(carrier, dst, now);
+  const double theirs = estimator.rate(candidate, dst, now);
+  return theirs > mine * improvementFactor && theirs > 0.0;
+}
+
+/// Copies handed to the relay under binary spray; the carrier keeps the
+/// rest. With 1 copy left the message migrates (carrier keeps 0).
+inline std::uint32_t sprayShare(std::uint32_t copiesLeft) {
+  if (copiesLeft <= 1) return copiesLeft;
+  return copiesLeft - copiesLeft / 2;  // ceil(copies/2) to the relay
+}
+
+}  // namespace dtncache::net

@@ -1,0 +1,67 @@
+#pragma once
+
+/// \file message.hpp
+/// Store-carry-forward messages.
+///
+/// One concrete Message type covers the four message kinds the protocols
+/// exchange; a simulator gains nothing from a class hierarchy here, and a
+/// flat struct keeps buffers copyable and inspectable in tests.
+
+#include <cstdint>
+
+#include "data/item.hpp"
+#include "data/workload.hpp"
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::net {
+
+using MessageId = std::uint64_t;
+
+enum class MessageKind : std::uint8_t {
+  kDataCopy,  ///< a (possibly new) version of an item being pushed/placed
+  kQuery,     ///< a data request being routed toward caching nodes
+  kReply,     ///< a data copy answering a query, routed back to the requester
+  kPull,      ///< a refresh request routed toward an item's source (pull baseline)
+};
+
+/// Wire-size model: every message carries a fixed header; data-bearing kinds
+/// add the item payload. Sizes only matter through bandwidth budgets and
+/// overhead accounting, so a simple additive model suffices.
+inline constexpr std::uint32_t kHeaderBytes = 64;
+
+struct Message {
+  MessageId id = 0;
+  MessageKind kind = MessageKind::kDataCopy;
+
+  data::ItemId item = 0;
+  data::Version version = 0;
+
+  /// Unicast destination (kNoNode for anycast kinds like kQuery).
+  NodeId dst = kNoNode;
+  NodeId origin = 0;
+  sim::SimTime createdAt = 0.0;
+
+  /// Query context (kQuery and kReply).
+  data::QueryId queryId = 0;
+  NodeId requester = kNoNode;
+  sim::SimTime deadline = 0.0;
+
+  /// Remaining copy budget for spray-style multi-copy forwarding. A carrier
+  /// may hand ⌈copies/2⌉ to a relay, keeping the rest (binary spray).
+  std::uint32_t copiesLeft = 1;
+  std::uint32_t hopCount = 0;
+
+  /// Payload size excluding the header (0 for queries/pulls).
+  std::uint32_t payloadBytes = 0;
+
+  /// Overhead-accounting category for data-bearing messages: kPlacement for
+  /// initial dissemination, kRefresh for relayed refresh copies and pull
+  /// responses. Queries/replies/pulls are categorized by kind instead.
+  Traffic category = Traffic::kPlacement;
+
+  std::uint32_t wireBytes() const { return kHeaderBytes + payloadBytes; }
+};
+
+}  // namespace dtncache::net

@@ -1,0 +1,61 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/energy.hpp"
+#include "sim/assert.hpp"
+
+namespace dtncache::net {
+
+bool ContactChannel::transfer(Traffic category, std::uint64_t bytes, NodeId sender) {
+  if (bytes > remaining_) return false;
+  remaining_ -= bytes;
+  log_.record(category, bytes, sender);
+  if (energy_ != nullptr && sender != kNoNode) {
+    const NodeId receiver = sender == a_ ? b_ : a_;
+    energy_->onTransfer(sender, receiver, bytes);
+  }
+  return true;
+}
+
+Network::Network(sim::Simulator& simulator, const trace::ContactTrace& trace,
+                 NetworkConfig config)
+    : simulator_(simulator),
+      trace_(trace),
+      config_(config),
+      log_(trace.nodeCount()),
+      lossRng_(config.lossSeed) {
+  DTNCACHE_CHECK(config_.bandwidthBytesPerSec > 0.0);
+  DTNCACHE_CHECK(config_.contactLossRate >= 0.0 && config_.contactLossRate <= 1.0);
+}
+
+void Network::start(ContactFn onContact) {
+  DTNCACHE_CHECK_MSG(!started_, "Network::start called twice");
+  started_ = true;
+  onContact_ = std::move(onContact);
+  for (const auto& c : trace_.contacts()) {
+    // Contacts already in the past (e.g. a truncated warm-up) are skipped.
+    if (c.start < simulator_.now()) continue;
+    simulator_.scheduleAt(c.start, [this, c](sim::SimTime t) {
+      if (energy_ != nullptr) energy_->advanceTo(t);
+      if (config_.contactLossRate > 0.0 && lossRng_.bernoulli(config_.contactLossRate)) {
+        ++contactsLost_;
+        return;
+      }
+      if (filter_ && !filter_(c.a, c.b, t)) {
+        ++contactsSuppressed_;
+        return;
+      }
+      ++contactsDelivered_;
+      if (energy_ != nullptr) energy_->onContact(c.a, c.b);
+      const auto budget = std::max<std::uint64_t>(
+          config_.minContactBudgetBytes,
+          static_cast<std::uint64_t>(std::llround(c.duration * config_.bandwidthBytesPerSec)));
+      ContactChannel channel(budget, log_, c.a, c.b, energy_);
+      onContact_(c.a, c.b, t, c.duration, channel);
+    });
+  }
+}
+
+}  // namespace dtncache::net

@@ -1,0 +1,185 @@
+#pragma once
+
+/// \file network.hpp
+/// The opportunistic network: replays a contact trace on the simulator and
+/// hands each contact to the protocol stack, with per-contact bandwidth
+/// budgets and global transfer accounting.
+///
+/// A contact of duration d gives the pair a byte budget bandwidth·d (plus a
+/// free allowance for the metadata handshake — version vectors are tiny and
+/// the paper's schemes all assume summary exchange fits in any contact).
+/// The protocol draws on that budget through the ContactChannel; transfers
+/// that exceed it fail, which is how short contacts truncate large pushes.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::net {
+
+/// Transfer categories for overhead accounting (experiment F6).
+enum class Traffic : std::uint8_t {
+  kControl = 0,   ///< metadata handshakes (version vectors, rate gossip)
+  kRefresh,       ///< refresh pushes of new versions to caching nodes
+  kPlacement,     ///< initial cache placement copies
+  kQuery,         ///< query forwarding
+  kReply,         ///< reply forwarding
+  kPull,          ///< pull-request forwarding
+  kCategoryCount,
+};
+
+constexpr const char* trafficName(Traffic t) {
+  switch (t) {
+    case Traffic::kControl: return "control";
+    case Traffic::kRefresh: return "refresh";
+    case Traffic::kPlacement: return "placement";
+    case Traffic::kQuery: return "query";
+    case Traffic::kReply: return "reply";
+    case Traffic::kPull: return "pull";
+    default: return "?";
+  }
+}
+
+struct TrafficCounters {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// Network-lifetime transfer totals, by category and by sending node.
+/// Per-node counters underpin the load-balance analysis (experiment F10):
+/// the hierarchical scheme's fanout bound caps each node's refresh duty,
+/// where epidemic/flooding concentrate work on the most mobile nodes.
+class TransferLog {
+ public:
+  TransferLog() = default;
+  explicit TransferLog(std::size_t nodeCount)
+      : perNodeBytes_(nodeCount, 0), perNodeRefreshBytes_(nodeCount, 0) {}
+
+  void record(Traffic category, std::uint64_t bytes, NodeId sender = kNoNode) {
+    auto& c = counters_[static_cast<std::size_t>(category)];
+    ++c.messages;
+    c.bytes += bytes;
+    if (sender != kNoNode && sender < perNodeBytes_.size()) {
+      perNodeBytes_[sender] += bytes;
+      if (category == Traffic::kRefresh) perNodeRefreshBytes_[sender] += bytes;
+    }
+  }
+
+  const TrafficCounters& of(Traffic category) const {
+    return counters_[static_cast<std::size_t>(category)];
+  }
+
+  TrafficCounters total() const {
+    TrafficCounters t;
+    for (const auto& c : counters_) {
+      t.messages += c.messages;
+      t.bytes += c.bytes;
+    }
+    return t;
+  }
+
+  /// Bytes sent per node (empty when per-node tracking was not enabled).
+  const std::vector<std::uint64_t>& perNodeBytes() const { return perNodeBytes_; }
+  const std::vector<std::uint64_t>& perNodeRefreshBytes() const {
+    return perNodeRefreshBytes_;
+  }
+
+ private:
+  std::array<TrafficCounters, static_cast<std::size_t>(Traffic::kCategoryCount)> counters_{};
+  std::vector<std::uint64_t> perNodeBytes_;
+  std::vector<std::uint64_t> perNodeRefreshBytes_;
+};
+
+class EnergyModel;
+
+/// Byte budget of one live contact. Handed to the protocol for the duration
+/// of the onContact callback only.
+class ContactChannel {
+ public:
+  ContactChannel(std::uint64_t budgetBytes, TransferLog& log, NodeId a = kNoNode,
+                 NodeId b = kNoNode, EnergyModel* energy = nullptr)
+      : remaining_(budgetBytes), log_(log), a_(a), b_(b), energy_(energy) {}
+
+  /// Attempt to transfer `bytes` in category `cat`; returns false (and
+  /// transfers nothing) if the contact's budget is exhausted. `sender`
+  /// attributes the bytes for per-node load accounting and energy charging
+  /// (the receiver is the other contact endpoint).
+  bool transfer(Traffic category, std::uint64_t bytes, NodeId sender = kNoNode);
+
+  std::uint64_t remainingBytes() const { return remaining_; }
+
+ private:
+  std::uint64_t remaining_;
+  TransferLog& log_;
+  NodeId a_;
+  NodeId b_;
+  EnergyModel* energy_;
+};
+
+/// Protocol-side view of a contact.
+using ContactFn =
+    std::function<void(NodeId a, NodeId b, sim::SimTime start, sim::SimTime duration,
+                       ContactChannel& channel)>;
+
+struct NetworkConfig {
+  /// Link bandwidth in bytes/second (Bluetooth 2.x EDR effective ≈ 200 KB/s).
+  double bandwidthBytesPerSec = 200.0 * 1024;
+  /// Budget floor so zero-duration trace artifacts still pass metadata.
+  std::uint64_t minContactBudgetBytes = 4 * 1024;
+  /// Probability an entire contact is unusable (interference, failed
+  /// pairing — the dominant Bluetooth failure mode loses the whole
+  /// encounter, not individual packets). A failed pairing is never even
+  /// observed, so lost contacts are dropped before the protocol layer —
+  /// they neither move data nor feed the rate estimator.
+  double contactLossRate = 0.0;
+  std::uint64_t lossSeed = 12345;
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& simulator, const trace::ContactTrace& trace,
+          NetworkConfig config = {});
+
+  /// Install the protocol callback, then schedule every trace contact.
+  /// Must be called exactly once, before the simulator runs.
+  void start(ContactFn onContact);
+
+  /// Gate contacts (churn: a powered-off endpoint suppresses the contact).
+  /// Evaluated at the contact's start time. May be set before or after
+  /// start().
+  using ContactFilter = std::function<bool(NodeId a, NodeId b, sim::SimTime t)>;
+  void setContactFilter(ContactFilter filter) { filter_ = std::move(filter); }
+
+  /// Attach an energy model (not owned): idle drain advances at each
+  /// contact, discovery is charged per delivered contact, and every
+  /// ContactChannel transfer charges tx/rx. Combine with a contact filter
+  /// on EnergyModel::depleted to make dead nodes disappear.
+  void setEnergyModel(EnergyModel* energy) { energy_ = energy; }
+
+  const TransferLog& transfers() const { return log_; }
+  std::size_t nodeCount() const { return trace_.nodeCount(); }
+  std::size_t contactsDelivered() const { return contactsDelivered_; }
+  std::size_t contactsSuppressed() const { return contactsSuppressed_; }
+  std::size_t contactsLost() const { return contactsLost_; }
+
+ private:
+  sim::Simulator& simulator_;
+  const trace::ContactTrace& trace_;
+  NetworkConfig config_;
+  ContactFn onContact_;
+  ContactFilter filter_;
+  EnergyModel* energy_ = nullptr;
+  TransferLog log_;
+  sim::Rng lossRng_;
+  std::size_t contactsDelivered_ = 0;
+  std::size_t contactsSuppressed_ = 0;
+  std::size_t contactsLost_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace dtncache::net

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file config_io.hpp
+/// Experiment configuration as JSON — the reproducibility interface.
+///
+/// `dumpConfig` writes every tunable of an ExperimentConfig as a flat JSON
+/// object with dotted keys ("trace.nodeCount": 97, "hierarchical.theta":
+/// 0.9); `loadConfig` parses the same format back, rejecting unknown keys
+/// (a typo silently running the defaults would fabricate results). The
+/// CLI exposes these as `--dump-config` / `--config=<file>`, so any run
+/// can be archived and replayed exactly.
+///
+/// The parser is a deliberately minimal flat-JSON reader (strings,
+/// numbers, booleans; no nesting or arrays) — the format is ours, and a
+/// third-party JSON dependency would be heavier than the feature.
+
+#include <string>
+
+#include "runner/experiment.hpp"
+
+namespace dtncache::runner {
+
+/// Serialize all tunable fields (pointer-valued fields like externalTrace
+/// are runtime-only and excluded).
+std::string dumpConfig(const ExperimentConfig& config);
+
+/// Parse a dumped config. Throws InvariantViolation on malformed JSON,
+/// unknown keys, or type mismatches. Keys may be omitted (defaults apply),
+/// so hand-written partial configs work.
+ExperimentConfig loadConfig(const std::string& json);
+
+ExperimentConfig loadConfigFile(const std::string& path);
+void saveConfigFile(const ExperimentConfig& config, const std::string& path);
+
+}  // namespace dtncache::runner

@@ -1,0 +1,238 @@
+#include "runner/experiment.hpp"
+
+#include <algorithm>
+
+#include "data/source.hpp"
+#include "net/network.hpp"
+#include "sim/assert.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtncache::runner {
+
+const char* schemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kHierarchical: return "Hierarchical";
+    case SchemeKind::kNoRefresh: return "NoRefresh";
+    case SchemeKind::kSourceDirect: return "SourceDirect";
+    case SchemeKind::kEpidemic: return "Epidemic";
+    case SchemeKind::kFlooding: return "Flooding";
+    case SchemeKind::kPull: return "Pull";
+    case SchemeKind::kInvalidation: return "Invalidation";
+  }
+  return "?";
+}
+
+std::vector<SchemeKind> allSchemes() {
+  return {SchemeKind::kHierarchical, SchemeKind::kNoRefresh,
+          SchemeKind::kSourceDirect, SchemeKind::kPull,
+          SchemeKind::kInvalidation, SchemeKind::kEpidemic,
+          SchemeKind::kFlooding};
+}
+
+ExperimentOutput runExperiment(const ExperimentConfig& config) {
+  // --- traces ---------------------------------------------------------------
+  trace::SyntheticTraceConfig traceCfg = config.trace;
+  traceCfg.seed = traceCfg.seed * 1000003 + config.seed;
+  trace::SyntheticTrace world;
+  sim::SimTime horizon = 0.0;
+  if (config.externalTrace != nullptr) {
+    world.trace = *config.externalTrace;
+    world.rates = trace::RateMatrix::fitFromTrace(world.trace);
+    horizon = world.trace.duration();
+  } else {
+    world = trace::generate(traceCfg);
+    horizon = traceCfg.duration;
+  }
+
+  // Estimator, pre-fed with a warm-up trace at negative times.
+  trace::ContactRateEstimator estimator(world.trace.nodeCount(), config.estimator,
+                                        -config.estimatorWarmup);
+  if (config.estimatorWarmup > 0.0) {
+    if (config.externalTrace != nullptr) {
+      for (const auto& c : world.trace.contacts()) {
+        if (c.start >= config.estimatorWarmup) break;
+        estimator.recordContact(c.a, c.b, c.start - config.estimatorWarmup);
+      }
+    } else {
+      trace::SyntheticTraceConfig warmCfg = traceCfg;
+      warmCfg.duration = config.estimatorWarmup;
+      warmCfg.seed = traceCfg.seed + 777;
+      const trace::SyntheticTrace warm = trace::generate(warmCfg);
+      for (const auto& c : warm.trace.contacts())
+        estimator.recordContact(c.a, c.b, c.start - config.estimatorWarmup);
+    }
+  }
+
+  // --- substrate --------------------------------------------------------------
+  data::CatalogConfig catalogCfg = config.catalog;
+  catalogCfg.nodeCount = world.trace.nodeCount();
+  const data::Catalog catalog = data::makeUniformCatalog(catalogCfg);
+
+  sim::Simulator simulator;
+  net::NetworkConfig netCfg = config.network;
+  netCfg.lossSeed = netCfg.lossSeed * 7919 + config.seed;
+  net::Network network(simulator, world.trace, netCfg);
+  metrics::MetricsCollector collector(catalog, 0.0);
+
+  cache::CoopCacheConfig cacheCfg = config.cache;
+  if (config.allocation != cache::AllocationPolicy::kUniform) {
+    const sim::ZipfSampler zipf(catalog.size(), config.workload.zipfExponent);
+    std::vector<double> popularity(catalog.size());
+    for (std::size_t i = 0; i < catalog.size(); ++i) popularity[i] = zipf.probability(i);
+    const std::size_t total = catalog.size() * cacheCfg.cachingNodesPerItem;
+    const std::size_t maxPerItem =
+        std::min<std::size_t>(world.trace.nodeCount() - 1, 3 * cacheCfg.cachingNodesPerItem);
+    cacheCfg.cachingNodesPerItemOverride =
+        cache::allocateCacheSlots(popularity, total, /*minPerItem=*/2, maxPerItem,
+                                  config.allocation);
+  }
+  cache::CooperativeCache coop(simulator, network, catalog, estimator, collector,
+                               world.rates, cacheCfg);
+
+  // --- scheme -----------------------------------------------------------------
+  std::unique_ptr<cache::RefreshScheme> scheme;
+  core::HierarchicalRefreshScheme* hierarchical = nullptr;
+  baselines::PullScheme* pullScheme = nullptr;
+  baselines::InvalidationScheme* invalidationScheme = nullptr;
+  switch (config.scheme) {
+    case SchemeKind::kHierarchical: {
+      auto s = std::make_unique<core::HierarchicalRefreshScheme>(config.hierarchical,
+                                                                 &world.rates);
+      hierarchical = s.get();
+      scheme = std::move(s);
+      break;
+    }
+    case SchemeKind::kNoRefresh:
+      scheme = std::make_unique<baselines::NoRefreshScheme>();
+      break;
+    case SchemeKind::kSourceDirect:
+      scheme = std::make_unique<baselines::SourceDirectScheme>();
+      break;
+    case SchemeKind::kEpidemic:
+      scheme = std::make_unique<baselines::EpidemicScheme>();
+      break;
+    case SchemeKind::kFlooding:
+      scheme = std::make_unique<baselines::FloodingScheme>();
+      break;
+    case SchemeKind::kPull: {
+      auto s = std::make_unique<baselines::PullScheme>(config.pull);
+      pullScheme = s.get();
+      scheme = std::move(s);
+      break;
+    }
+    case SchemeKind::kInvalidation: {
+      auto s = std::make_unique<baselines::InvalidationScheme>(config.invalidation);
+      invalidationScheme = s.get();
+      scheme = std::move(s);
+      break;
+    }
+  }
+  coop.setScheme(scheme.get());
+
+  // --- churn and energy ---------------------------------------------------------
+  std::unique_ptr<net::ChurnProcess> churn;
+  if (config.churnEnabled) {
+    std::vector<NodeId> protectedNodes;
+    for (data::ItemId item = 0; item < catalog.size(); ++item)
+      protectedNodes.push_back(catalog.spec(item).source);
+    churn = std::make_unique<net::ChurnProcess>(simulator, world.trace.nodeCount(),
+                                                config.churn, horizon, protectedNodes);
+    coop.setUpPredicate([c = churn.get()](NodeId n) { return c->isUp(n); });
+    if (hierarchical != nullptr && config.churnRepairEnabled) {
+      hierarchical->setLivenessPredicate([c = churn.get()](NodeId n) { return c->isUp(n); });
+      churn->addListener([hierarchical, &coop](NodeId n, bool up, sim::SimTime t) {
+        hierarchical->onNodeStateChanged(coop, n, up, t);
+      });
+    }
+  }
+  std::unique_ptr<net::EnergyModel> energy;
+  if (config.energyEnabled) {
+    energy = std::make_unique<net::EnergyModel>(world.trace.nodeCount(), config.energy);
+    network.setEnergyModel(energy.get());
+    if (hierarchical != nullptr && config.energyAwarePlanning) {
+      // Planning state lives inside the scheme's copied config; route the
+      // battery weight in through a fresh replication config.
+      hierarchical->setEnergyWeight(
+          [e = energy.get()](NodeId n) { return e->remainingFraction(n); });
+    }
+  }
+  if (churn != nullptr || energy != nullptr) {
+    network.setContactFilter(
+        [c = churn.get(), e = energy.get()](NodeId a, NodeId b, sim::SimTime) {
+          if (e != nullptr && (e->depleted(a) || e->depleted(b))) return false;
+          if (c != nullptr && !c->contactAllowed(a, b)) return false;
+          return true;
+        });
+  }
+
+  // --- drive ------------------------------------------------------------------
+  data::SourceProcess sources(simulator, catalog, horizon);
+
+  std::unique_ptr<data::QueryWorkload> workload;
+  if (config.workload.queriesPerNodePerDay > 0.0) {
+    data::WorkloadConfig w = config.workload;
+    w.start = 0.0;
+    w.end = horizon;
+    w.seed = w.seed * 131 + config.seed;
+    workload = std::make_unique<data::QueryWorkload>(simulator, catalog,
+                                                     world.trace.nodeCount(), w);
+  }
+
+  coop.start(sources, workload.get(), horizon);
+  simulator.runUntil(horizon);
+
+  // --- results ----------------------------------------------------------------
+  ExperimentOutput out;
+  out.scheme = scheme->name();
+  out.results = collector.finalize(horizon, network.transfers());
+  out.traceStats = world.trace.stats();
+
+  if (hierarchical != nullptr) {
+    double sumP = 0.0;
+    double minP = 1.0;
+    std::size_t nodes = 0;
+    for (data::ItemId item = 0; item < catalog.size(); ++item) {
+      const auto& plan = hierarchical->planOf(item);
+      out.replicationAssignments += plan.totalAssignments();
+      out.unmetNodes += plan.unmetNodes().size();
+      const auto& h = hierarchical->hierarchyOf(item);
+      out.maxHierarchyDepth = std::max(out.maxHierarchyDepth, h.maxDepth());
+      for (NodeId n : h.membersBelowRoot()) {
+        const double p = plan.predictedProbability(n);
+        sumP += p;
+        minP = std::min(minP, p);
+        ++nodes;
+      }
+    }
+    out.meanPredictedProbability = nodes == 0 ? 0.0 : sumP / static_cast<double>(nodes);
+    out.minPredictedProbability = nodes == 0 ? 0.0 : minP;
+    out.reparentCount = hierarchical->reparentCount();
+  }
+  if (pullScheme != nullptr) out.pullsIssued = pullScheme->pullsIssued();
+  if (invalidationScheme != nullptr) out.pullsIssued = invalidationScheme->pullsIssued();
+  if (hierarchical != nullptr) out.churnRepairs = hierarchical->churnRepairs();
+  if (churn != nullptr) out.churnTransitions = churn->transitions();
+  out.contactsSuppressed = network.contactsSuppressed();
+  if (energy != nullptr) {
+    energy->advanceTo(horizon);
+    out.depletedNodes = energy->depletedCount();
+    out.firstDepletionTime = energy->firstDepletionTime();
+    out.meanRemainingBattery = energy->meanRemainingFraction();
+    out.minRemainingBattery = energy->minRemainingFraction();
+  }
+  return out;
+}
+
+std::vector<ExperimentOutput> runSchemeComparison(ExperimentConfig config,
+                                                  std::vector<SchemeKind> schemes) {
+  if (schemes.empty()) schemes = allSchemes();
+  std::vector<ExperimentOutput> out;
+  out.reserve(schemes.size());
+  for (SchemeKind kind : schemes) {
+    config.scheme = kind;
+    out.push_back(runExperiment(config));
+  }
+  return out;
+}
+
+}  // namespace dtncache::runner

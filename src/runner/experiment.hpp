@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file experiment.hpp
+/// One-call experiment assembly: trace → substrate → scheme → results.
+///
+/// Every bench binary and example builds an ExperimentConfig, calls
+/// runExperiment(), and formats the returned numbers. Keeping assembly in
+/// one place guarantees all schemes are compared under identical traces,
+/// catalogs, workloads, and estimator state (paired comparison: same seeds
+/// everywhere except the scheme).
+///
+/// Estimator warm-up: nodes in the paper know their contact rates from
+/// history. We reproduce that by pre-feeding the estimator with a warm-up
+/// trace drawn from the *same* mobility model with a *different* seed
+/// (time-shifted to negative times), so planning knowledge is realistic
+/// without reusing the evaluation trace.
+
+#include <memory>
+#include <string>
+
+#include "baselines/baselines.hpp"
+#include "cache/allocation.hpp"
+#include "cache/coop_cache.hpp"
+#include "core/hierarchical_scheme.hpp"
+#include "net/churn.hpp"
+#include "net/energy.hpp"
+#include "data/item.hpp"
+#include "data/workload.hpp"
+#include "metrics/collector.hpp"
+#include "trace/estimator.hpp"
+#include "trace/generators.hpp"
+
+namespace dtncache::runner {
+
+enum class SchemeKind {
+  kHierarchical,
+  kNoRefresh,
+  kSourceDirect,
+  kEpidemic,
+  kFlooding,
+  kPull,
+  kInvalidation,
+};
+
+const char* schemeName(SchemeKind kind);
+
+/// All schemes, comparison order (ours first, ceiling last).
+std::vector<SchemeKind> allSchemes();
+
+struct ExperimentConfig {
+  trace::SyntheticTraceConfig trace = trace::realityLikeConfig();
+  /// When set, run on this (caller-owned) trace instead of generating one:
+  /// planning rates are fit from the whole trace, and the estimator is
+  /// pre-fed the first `estimatorWarmup` span (time-shifted; the same span
+  /// is still simulated — the warm-up only gives estimates a head start,
+  /// matching nodes that carry history into the measured window).
+  const trace::ContactTrace* externalTrace = nullptr;
+  data::CatalogConfig catalog;          ///< nodeCount is synced from trace
+  data::WorkloadConfig workload;        ///< end synced from trace; rate 0 = no queries
+  cache::CoopCacheConfig cache;
+  net::NetworkConfig network;  ///< bandwidth, contact-loss rate
+  trace::EstimatorConfig estimator;
+  sim::SimTime estimatorWarmup = sim::days(7);
+
+  /// Popularity-aware division of the cache-slot budget (total stays
+  /// itemCount × cache.cachingNodesPerItem): per-item counts follow the
+  /// workload's Zipf weights under the chosen policy (experiment F13).
+  cache::AllocationPolicy allocation = cache::AllocationPolicy::kUniform;
+
+  SchemeKind scheme = SchemeKind::kHierarchical;
+  core::HierarchicalConfig hierarchical;
+  baselines::PullConfig pull;
+  baselines::InvalidationConfig invalidation;
+
+  /// Node churn (failure injection). Sources are always protected; the
+  /// hierarchical scheme repairs membership on flips when
+  /// `churnRepairEnabled` (baselines never react — they have no structure
+  /// to repair).
+  bool churnEnabled = false;
+  bool churnRepairEnabled = true;
+  net::ChurnConfig churn;
+
+  /// Battery accounting; depleted nodes drop out of the network for good.
+  /// With `energyAwarePlanning`, the hierarchical scheme's helper selection
+  /// is weighted by remaining battery (extension experiment F12).
+  bool energyEnabled = false;
+  bool energyAwarePlanning = false;
+  net::EnergyConfig energy;
+
+  /// Master seed, mixed into the trace/workload seeds so that replications
+  /// (seed sweep) change every random process coherently.
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentOutput {
+  std::string scheme;
+  metrics::RunResults results;
+  trace::TraceStats traceStats;
+
+  // Hierarchical-scheme internals (zero for baselines).
+  std::size_t replicationAssignments = 0;
+  double meanPredictedProbability = 0.0;
+  double minPredictedProbability = 0.0;
+  std::size_t unmetNodes = 0;
+  std::size_t maxHierarchyDepth = 0;
+  std::size_t reparentCount = 0;
+  std::size_t pullsIssued = 0;       ///< Pull baseline only
+  std::size_t churnTransitions = 0;  ///< churn runs only
+  std::size_t churnRepairs = 0;      ///< hierarchical scheme under churn
+  std::size_t contactsSuppressed = 0;
+
+  // Energy runs only.
+  std::size_t depletedNodes = 0;
+  sim::SimTime firstDepletionTime = 0.0;  ///< +inf while everyone lives
+  double meanRemainingBattery = 0.0;
+  double minRemainingBattery = 0.0;
+};
+
+ExperimentOutput runExperiment(const ExperimentConfig& config);
+
+/// Convenience: same config, each scheme in `schemes` (default all).
+std::vector<ExperimentOutput> runSchemeComparison(ExperimentConfig config,
+                                                  std::vector<SchemeKind> schemes = {});
+
+}  // namespace dtncache::runner

@@ -1,0 +1,36 @@
+#include "runner/replicate.hpp"
+
+#include "metrics/report.hpp"
+#include "sim/assert.hpp"
+
+namespace dtncache::runner {
+
+ReplicatedResults runReplicated(ExperimentConfig config, std::size_t runs) {
+  DTNCACHE_CHECK(runs >= 1);
+  ReplicatedResults agg;
+  agg.runs = runs;
+  const std::uint64_t baseSeed = config.seed;
+  for (std::size_t i = 0; i < runs; ++i) {
+    config.seed = baseSeed + i;
+    auto out = runExperiment(config);
+    const auto& r = out.results;
+    agg.meanFresh.add(r.meanFreshFraction);
+    agg.meanValid.add(r.meanValidFraction);
+    agg.refreshWithinTau.add(r.refreshWithinPeriodRatio);
+    agg.validAnswerRatio.add(r.queries.successRatio());
+    agg.answeredRatio.add(r.queries.answeredRatio());
+    agg.meanDelaySeconds.add(r.queries.delay.mean());
+    agg.refreshMegabytes.add(
+        static_cast<double>(r.transfers.of(net::Traffic::kRefresh).bytes) / (1024.0 * 1024.0));
+    agg.predictedProbability.add(out.meanPredictedProbability);
+    agg.last = std::move(out);
+  }
+  return agg;
+}
+
+std::string formatMeanSd(const sim::Accumulator& a, int precision) {
+  if (a.count() <= 1) return metrics::fmt(a.mean(), precision);
+  return metrics::fmt(a.mean(), precision) + "±" + metrics::fmt(a.stddev(), precision);
+}
+
+}  // namespace dtncache::runner

@@ -1,0 +1,40 @@
+#pragma once
+
+/// \file replicate.hpp
+/// Multi-seed replication of experiments: run the same configuration under
+/// several master seeds (every random process — trace, workload, churn —
+/// re-drawn coherently) and aggregate the headline metrics with mean and
+/// sample standard deviation. Benches use this where a single-trace number
+/// would be noise-dominated.
+
+#include <cstdint>
+#include <vector>
+
+#include "runner/experiment.hpp"
+#include "sim/stats.hpp"
+
+namespace dtncache::runner {
+
+/// Mean ± stddev summaries of the metrics benches report.
+struct ReplicatedResults {
+  std::size_t runs = 0;
+  sim::Accumulator meanFresh;
+  sim::Accumulator meanValid;
+  sim::Accumulator refreshWithinTau;
+  sim::Accumulator validAnswerRatio;
+  sim::Accumulator answeredRatio;
+  sim::Accumulator meanDelaySeconds;
+  sim::Accumulator refreshMegabytes;
+  sim::Accumulator predictedProbability;
+
+  /// The last run's full output (for fields that do not aggregate).
+  ExperimentOutput last;
+};
+
+/// Run `config` under seeds config.seed, config.seed+1, ... (count = runs).
+ReplicatedResults runReplicated(ExperimentConfig config, std::size_t runs);
+
+/// "mean±sd" with the given precision — compact table cell.
+std::string formatMeanSd(const sim::Accumulator& a, int precision = 3);
+
+}  // namespace dtncache::runner

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file assert.hpp
+/// Invariant checking that stays on in release builds.
+///
+/// Simulation correctness bugs (a cycle in a refresh hierarchy, an event
+/// scheduled in the past) silently corrupt results rather than crashing, so
+/// the cost of always-on checks is well worth it: all checks are O(1) or
+/// amortized into code paths that are far from the hot loop.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dtncache {
+
+/// Thrown when a DTNCACHE_CHECK fails; carries the failing expression text.
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace dtncache
+
+/// Always-on invariant check. Throws InvariantViolation on failure.
+#define DTNCACHE_CHECK(expr)                                                \
+  do {                                                                      \
+    if (!(expr)) ::dtncache::detail::checkFailed(#expr, __FILE__, __LINE__, \
+                                                 std::string{});            \
+  } while (0)
+
+/// Always-on invariant check with a context message (streamed expression).
+#define DTNCACHE_CHECK_MSG(expr, msg)                              \
+  do {                                                             \
+    if (!(expr)) {                                                 \
+      std::ostringstream os_;                                      \
+      os_ << msg; /* NOLINT */                                     \
+      ::dtncache::detail::checkFailed(#expr, __FILE__, __LINE__,   \
+                                      os_.str());                  \
+    }                                                              \
+  } while (0)

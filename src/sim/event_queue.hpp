@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file event_queue.hpp
+/// Pending-event set for the discrete-event engine.
+///
+/// A binary heap keyed on (time, sequence). The sequence number makes
+/// ordering of simultaneous events deterministic (FIFO in scheduling order),
+/// which in turn makes whole simulation runs reproducible bit-for-bit for a
+/// given seed. Cancellation is lazy: a cancelled event stays in the heap but
+/// is skipped on pop, which keeps both schedule and cancel O(log n) without
+/// the bookkeeping of an indexed heap.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace dtncache::sim {
+
+/// Identifies a scheduled event so it can be cancelled.
+using EventId = std::uint64_t;
+
+/// Callback invoked when an event fires. Receives the firing time.
+using EventFn = std::function<void(SimTime)>;
+
+class EventQueue {
+ public:
+  /// Insert an event at absolute time `at`. Returns an id usable with
+  /// cancel(). `at` may equal the time of the most recently popped event
+  /// (zero-delay follow-ups) but must never be earlier.
+  EventId schedule(SimTime at, EventFn fn) {
+    DTNCACHE_CHECK_MSG(at >= lastPopped_, "event scheduled in the past: at="
+                                              << at << " now=" << lastPopped_);
+    const EventId id = nextId_++;
+    heap_.push(Entry{at, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+  }
+
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// id is a harmless no-op (the id space is never reused, so this is safe).
+  void cancel(EventId id) {
+    if (pending_.erase(id) > 0) cancelled_.insert(id);
+  }
+
+  bool empty() const { return pending_.empty(); }
+
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; kNever when empty.
+  SimTime peekTime() {
+    skipCancelled();
+    return heap_.empty() ? kNever : heap_.top().time;
+  }
+
+  /// Pop and run the earliest live event. Precondition: !empty().
+  /// Returns the time the event fired at.
+  SimTime runNext() {
+    skipCancelled();
+    DTNCACHE_CHECK(!heap_.empty());
+    Entry e = heap_.top();
+    heap_.pop();
+    pending_.erase(e.id);
+    lastPopped_ = e.time;
+    e.fn(e.time);
+    return e.time;
+  }
+
+  /// Remove every pending event.
+  void clear() {
+    heap_ = {};
+    cancelled_.clear();
+    pending_.clear();
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // FIFO among simultaneous events
+    }
+  };
+
+  void skipCancelled() {
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
+      cancelled_.erase(heap_.top().id);
+      heap_.pop();
+    }
+  }
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> cancelled_;  ///< lazily skipped heap entries
+  std::unordered_set<EventId> pending_;    ///< scheduled, not yet fired/cancelled
+  EventId nextId_ = 1;
+  SimTime lastPopped_ = 0.0;
+};
+
+}  // namespace dtncache::sim

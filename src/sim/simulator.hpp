@@ -1,0 +1,128 @@
+#pragma once
+
+/// \file simulator.hpp
+/// The discrete-event simulation kernel.
+///
+/// Owns the clock and the pending-event set. Protocol code schedules
+/// callbacks at absolute times or relative delays; run()/runUntil() drive
+/// the event loop. Periodic activities (source refresh, maintenance timers,
+/// metric sampling) are expressed with schedulePeriodic(), which re-arms
+/// itself until cancelled.
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace dtncache::sim {
+
+class Simulator {
+ public:
+  /// Current simulation time. Starts at 0.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `at` (>= now()).
+  EventId scheduleAt(SimTime at, EventFn fn) {
+    DTNCACHE_CHECK_MSG(at >= now_, "scheduleAt in the past: " << at << " < " << now_);
+    return queue_.schedule(at, std::move(fn));
+  }
+
+  /// Schedule `fn` after a non-negative delay from now().
+  EventId scheduleAfter(SimTime delay, EventFn fn) {
+    DTNCACHE_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedule `fn` to fire every `period` seconds. The first firing is at
+  /// now()+phase, or now()+period when phase is kDefaultPhase. The callback
+  /// keeps firing until the returned id is cancelled; the re-arm happens
+  /// before the callback runs, so a callback may cancel its own series via
+  /// the handle it captured.
+  static constexpr SimTime kDefaultPhase = -1.0;
+  EventId schedulePeriodic(SimTime period, EventFn fn, SimTime phase = kDefaultPhase) {
+    DTNCACHE_CHECK(period > 0.0);
+    if (phase == kDefaultPhase) phase = period;
+    DTNCACHE_CHECK(phase >= 0.0);
+    auto series = std::make_shared<PeriodicSeries>();
+    series->fn = std::move(fn);
+    const EventId id = nextSeriesId_++;
+    armPeriodic(series, id, now_ + phase, period);
+    return id;
+  }
+
+  /// Cancel a pending (or periodic) event; no-op for fired/unknown ids.
+  void cancel(EventId id) {
+    if (auto it = periodicArm_.find(id); it != periodicArm_.end()) {
+      queue_.cancel(it->second);
+      periodicArm_.erase(it);
+    } else {
+      queue_.cancel(id);
+    }
+  }
+
+  /// Run until the event set is exhausted.
+  void run() {
+    while (!queue_.empty() && !stopped_) {
+      // Advance the clock before firing, so now() is correct inside the
+      // callback (scheduleAfter from a handler must measure from the
+      // handler's own firing time).
+      now_ = queue_.peekTime();
+      queue_.runNext();
+    }
+  }
+
+  /// Run events with time <= `until`, then advance the clock to `until`.
+  void runUntil(SimTime until) {
+    DTNCACHE_CHECK(until >= now_);
+    while (!stopped_) {
+      const SimTime t = queue_.peekTime();
+      if (t == kNever || t > until) break;
+      now_ = t;
+      queue_.runNext();
+    }
+    if (!stopped_) now_ = until;
+  }
+
+  /// Request the current run()/runUntil() to return after the active event.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  std::size_t pendingEvents() const { return queue_.size(); }
+
+  /// Drop all pending events and reset the stop flag; the clock is kept
+  /// (a simulator's clock never moves backwards).
+  void clearPending() {
+    queue_.clear();
+    periodicArm_.clear();
+    stopped_ = false;
+  }
+
+ private:
+  struct PeriodicSeries {
+    EventFn fn;
+  };
+
+  void armPeriodic(std::shared_ptr<PeriodicSeries> series, EventId seriesId,
+                   SimTime at, SimTime period) {
+    const EventId armed =
+        queue_.schedule(at, [this, series, seriesId, period](SimTime t) {
+          // Re-arm first so the callback can cancel the series.
+          armPeriodic(series, seriesId, t + period, period);
+          series->fn(t);
+        });
+    periodicArm_[seriesId] = armed;
+  }
+
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  bool stopped_ = false;
+  // Periodic series ids live in a separate (odd, high-bit) space so they never
+  // collide with EventQueue ids handed to users.
+  EventId nextSeriesId_ = (EventId{1} << 62) + 1;
+  std::unordered_map<EventId, EventId> periodicArm_;
+};
+
+}  // namespace dtncache::sim

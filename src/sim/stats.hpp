@@ -1,0 +1,129 @@
+#pragma once
+
+/// \file stats.hpp
+/// Statistics accumulators used throughout metrics collection and benches.
+///
+/// - Accumulator: streaming count/mean/variance/min/max (Welford).
+/// - TimeWeightedMean: average of a piecewise-constant signal over sim time
+///   (the right notion for "fraction of fresh copies").
+/// - Histogram: fixed-bin counts with percentile queries.
+/// - TimeSeries: (t, value) samples for time plots.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace dtncache::sim {
+
+/// Streaming moments over a sequence of samples.
+class Accumulator {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::size_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  double variance() const { return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1); }
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+
+  void reset() { *this = Accumulator{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Time-weighted mean of a piecewise-constant signal. Call update(t, v)
+/// whenever the signal changes; the value v holds from t until the next
+/// update. mean(tEnd) integrates up to tEnd.
+class TimeWeightedMean {
+ public:
+  explicit TimeWeightedMean(SimTime start = 0.0)
+      : startTime_(start), lastTime_(start) {}
+
+  void update(SimTime t, double value) {
+    DTNCACHE_CHECK_MSG(t >= lastTime_, "time went backwards: " << t << " < " << lastTime_);
+    integral_ += current_ * (t - lastTime_);
+    lastTime_ = t;
+    current_ = value;
+  }
+
+  double currentValue() const { return current_; }
+
+  /// Mean over [start, tEnd]. tEnd must be >= the last update time.
+  double mean(SimTime tEnd) const {
+    DTNCACHE_CHECK(tEnd >= lastTime_);
+    const double span = tEnd - start();
+    if (span <= 0.0) return current_;
+    return (integral_ + current_ * (tEnd - lastTime_)) / span;
+  }
+
+ private:
+  double start() const { return startTime_; }
+
+  SimTime startTime_;
+  SimTime lastTime_;
+  double current_ = 0.0;
+  double integral_ = 0.0;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range samples clamp to
+/// the edge bins so percentiles remain meaningful.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t count() const { return total_; }
+
+  /// Value below which fraction q of samples fall (bin-midpoint estimate).
+  double percentile(double q) const;
+
+  double binLow(std::size_t i) const { return lo_ + width_ * static_cast<double>(i); }
+  std::size_t binCount(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Sequence of (time, value) samples for plotting a signal over time.
+class TimeSeries {
+ public:
+  void record(SimTime t, double v) { points_.push_back({t, v}); }
+
+  struct Point {
+    SimTime time;
+    double value;
+  };
+  const std::vector<Point>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  /// Downsample to at most `n` evenly spaced points (for compact printing).
+  std::vector<Point> resampled(std::size_t n) const;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace dtncache::sim

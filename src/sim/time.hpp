@@ -1,0 +1,28 @@
+#pragma once
+
+/// \file time.hpp
+/// Simulation time representation and human-friendly duration helpers.
+///
+/// Simulation time is a double counting seconds since the start of the run.
+/// Contact traces in this domain span hours to months, and the granularity
+/// of interest (contact durations, refresh periods) is seconds, so a double
+/// gives more than enough precision while keeping arithmetic trivial.
+
+namespace dtncache::sim {
+
+/// Seconds since the beginning of the simulation.
+using SimTime = double;
+
+/// Sentinel meaning "never" / "not scheduled".
+inline constexpr SimTime kNever = -1.0;
+
+inline constexpr SimTime seconds(double s) { return s; }
+inline constexpr SimTime minutes(double m) { return m * 60.0; }
+inline constexpr SimTime hours(double h) { return h * 3600.0; }
+inline constexpr SimTime days(double d) { return d * 86400.0; }
+
+/// Convert a SimTime to fractional hours/days for reporting.
+inline constexpr double toHours(SimTime t) { return t / 3600.0; }
+inline constexpr double toDays(SimTime t) { return t / 86400.0; }
+
+}  // namespace dtncache::sim

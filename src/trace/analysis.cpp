@@ -1,0 +1,103 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::trace {
+
+std::vector<double> interContactTimes(const ContactTrace& trace, NodeId i, NodeId j) {
+  if (i > j) std::swap(i, j);
+  std::vector<double> gaps;
+  double last = -1.0;
+  for (const auto& c : trace.contacts()) {
+    if (c.a != i || c.b != j) continue;
+    if (last >= 0.0) gaps.push_back(c.start - last);
+    last = c.start;
+  }
+  return gaps;
+}
+
+std::vector<double> allInterContactTimes(const ContactTrace& trace,
+                                         std::size_t minContactsPerPair) {
+  // One pass: per-pair last-start map.
+  std::map<std::pair<NodeId, NodeId>, std::vector<double>> perPairStarts;
+  for (const auto& c : trace.contacts()) perPairStarts[{c.a, c.b}].push_back(c.start);
+  std::vector<double> gaps;
+  for (auto& [pair, starts] : perPairStarts) {
+    if (starts.size() < minContactsPerPair) continue;
+    for (std::size_t k = 1; k < starts.size(); ++k) gaps.push_back(starts[k] - starts[k - 1]);
+  }
+  return gaps;
+}
+
+ExponentialFit fitExponential(std::vector<double> samples) {
+  ExponentialFit fit;
+  fit.samples = samples.size();
+  if (samples.size() < 2) return fit;
+  double sum = 0.0;
+  for (double s : samples) {
+    DTNCACHE_CHECK_MSG(s > 0.0, "non-positive inter-contact sample");
+    sum += s;
+  }
+  fit.meanGap = sum / static_cast<double>(samples.size());
+  fit.rate = 1.0 / fit.meanGap;
+
+  double var = 0.0;
+  for (double s : samples) var += (s - fit.meanGap) * (s - fit.meanGap);
+  var /= static_cast<double>(samples.size());
+  fit.cv = std::sqrt(var) / fit.meanGap;
+
+  // KS distance against the fitted exponential, evaluated at the sorted
+  // samples (the supremum of the difference occurs at jump points).
+  std::sort(samples.begin(), samples.end());
+  double ks = 0.0;
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    const double model = 1.0 - std::exp(-fit.rate * samples[k]);
+    const double empiricalHi = static_cast<double>(k + 1) / n;
+    const double empiricalLo = static_cast<double>(k) / n;
+    ks = std::max({ks, std::abs(empiricalHi - model), std::abs(model - empiricalLo)});
+  }
+  fit.ksDistance = ks;
+  return fit;
+}
+
+std::vector<NodeActivity> nodeActivity(const ContactTrace& trace) {
+  std::vector<NodeActivity> out(trace.nodeCount());
+  std::vector<std::map<NodeId, bool>> peers(trace.nodeCount());
+  for (NodeId n = 0; n < trace.nodeCount(); ++n) out[n].node = n;
+  for (const auto& c : trace.contacts()) {
+    ++out[c.a].contacts;
+    ++out[c.b].contacts;
+    peers[c.a][c.b] = true;
+    peers[c.b][c.a] = true;
+  }
+  const double days = sim::toDays(trace.duration());
+  for (NodeId n = 0; n < trace.nodeCount(); ++n) {
+    out[n].distinctPeers = peers[n].size();
+    if (days > 0.0)
+      out[n].contactsPerDay = static_cast<double>(out[n].contacts) / days;
+  }
+  std::stable_sort(out.begin(), out.end(), [](const NodeActivity& a, const NodeActivity& b) {
+    return a.contacts > b.contacts;
+  });
+  return out;
+}
+
+std::vector<std::pair<double, double>> ccdf(std::vector<double> samples, std::size_t points) {
+  std::vector<std::pair<double, double>> out;
+  if (samples.empty() || points == 0) return out;
+  std::sort(samples.begin(), samples.end());
+  const auto n = static_cast<double>(samples.size());
+  for (std::size_t p = 0; p < points; ++p) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(static_cast<double>(p) * (n - 1) / std::max<double>(1, points - 1)));
+    out.push_back({samples[idx], 1.0 - static_cast<double>(idx) / n});
+  }
+  return out;
+}
+
+}  // namespace dtncache::trace

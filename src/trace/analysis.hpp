@@ -1,0 +1,54 @@
+#pragma once
+
+/// \file analysis.hpp
+/// Statistical analysis of contact traces.
+///
+/// The scheme's analytics rest on the exponential pairwise inter-contact
+/// model; this module quantifies how well a trace (synthetic or imported)
+/// fits it — MLE rate, coefficient of variation (1 for exponential), and
+/// the Kolmogorov–Smirnov distance to the fitted exponential — plus the
+/// per-node activity profile (degree skew) that motivates NCL caching.
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "trace/contact.hpp"
+
+namespace dtncache::trace {
+
+/// Gaps between consecutive contact starts of one pair (time-ordered).
+std::vector<double> interContactTimes(const ContactTrace& trace, NodeId i, NodeId j);
+
+/// Pooled gaps over every pair with at least `minContactsPerPair` contacts.
+std::vector<double> allInterContactTimes(const ContactTrace& trace,
+                                         std::size_t minContactsPerPair = 2);
+
+struct ExponentialFit {
+  double rate = 0.0;         ///< MLE: 1 / mean gap
+  double meanGap = 0.0;
+  double cv = 0.0;           ///< stddev / mean; 1.0 for a true exponential
+  double ksDistance = 1.0;   ///< sup_t |F_emp(t) − (1 − e^{−rate·t})|
+  std::size_t samples = 0;
+};
+
+/// Fit an exponential to the samples (all must be positive). Returns a
+/// default (rate 0, KS 1) fit when fewer than 2 samples exist.
+ExponentialFit fitExponential(std::vector<double> samples);
+
+struct NodeActivity {
+  NodeId node = 0;
+  std::size_t contacts = 0;
+  std::size_t distinctPeers = 0;
+  double contactsPerDay = 0.0;
+};
+
+/// Per-node contact activity, sorted by contact count descending.
+std::vector<NodeActivity> nodeActivity(const ContactTrace& trace);
+
+/// (value, P(X > value)) points of the empirical CCDF, at `points` evenly
+/// spaced quantiles — compact plotting data for heavy-tail inspection.
+std::vector<std::pair<double, double>> ccdf(std::vector<double> samples,
+                                            std::size_t points = 20);
+
+}  // namespace dtncache::trace

@@ -1,0 +1,104 @@
+#include "trace/estimator.hpp"
+
+#include <algorithm>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::trace {
+
+ContactRateEstimator::ContactRateEstimator(std::size_t nodeCount, EstimatorConfig config,
+                                           sim::SimTime startTime)
+    : nodeCount_(nodeCount), config_(config), startTime_(startTime) {
+  DTNCACHE_CHECK(nodeCount >= 2);
+  DTNCACHE_CHECK(config.window > 0.0);
+  DTNCACHE_CHECK(config.ewmaAlpha > 0.0 && config.ewmaAlpha <= 1.0);
+  DTNCACHE_CHECK(config.priorRate >= 0.0);
+}
+
+std::uint64_t ContactRateEstimator::key(NodeId i, NodeId j) const {
+  DTNCACHE_CHECK(i != j && i < nodeCount_ && j < nodeCount_);
+  if (i > j) std::swap(i, j);
+  return (static_cast<std::uint64_t>(i) << 32) | j;
+}
+
+const ContactRateEstimator::PairState* ContactRateEstimator::find(NodeId i, NodeId j) const {
+  const auto it = pairs_.find(key(i, j));
+  return it == pairs_.end() ? nullptr : &it->second;
+}
+
+void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
+  PairState& s = pairs_[key(a, b)];
+  ++s.totalCount;
+  if (s.lastContact != sim::kNever) {
+    const double interval = t - s.lastContact;
+    if (interval > 0.0) {
+      s.ewmaInterval = s.ewmaInterval == 0.0
+                           ? interval
+                           : config_.ewmaAlpha * interval +
+                                 (1.0 - config_.ewmaAlpha) * s.ewmaInterval;
+    }
+  }
+  s.lastContact = t;
+  if (config_.mode == EstimatorMode::kSlidingWindow) {
+    s.recent.push_back(t);
+    while (!s.recent.empty() && s.recent.front() < t - config_.window) s.recent.pop_front();
+  }
+}
+
+double ContactRateEstimator::rate(NodeId i, NodeId j, sim::SimTime now) const {
+  if (i == j) return 0.0;
+  const PairState* s = find(i, j);
+  if (s == nullptr || s->totalCount == 0) return config_.priorRate;
+
+  switch (config_.mode) {
+    case EstimatorMode::kCumulative: {
+      const double elapsed = now - startTime_;
+      if (elapsed <= 0.0) return config_.priorRate;
+      return static_cast<double>(s->totalCount) / elapsed;
+    }
+    case EstimatorMode::kSlidingWindow: {
+      // Count contacts inside the window ending at `now`; the deque is
+      // pruned relative to the *recording* times, so prune again here.
+      std::size_t inWindow = 0;
+      for (auto it = s->recent.rbegin(); it != s->recent.rend(); ++it) {
+        if (*it < now - config_.window) break;
+        if (*it <= now) ++inWindow;
+      }
+      const double span = std::min(config_.window, now - startTime_);
+      if (span <= 0.0) return config_.priorRate;
+      if (inWindow == 0) return config_.priorRate;
+      return static_cast<double>(inWindow) / span;
+    }
+    case EstimatorMode::kEwma: {
+      if (s->ewmaInterval <= 0.0) {
+        // Only one contact so far: fall back to the cumulative estimate.
+        const double elapsed = now - startTime_;
+        return elapsed > 0.0 ? static_cast<double>(s->totalCount) / elapsed
+                             : config_.priorRate;
+      }
+      return 1.0 / s->ewmaInterval;
+    }
+  }
+  return config_.priorRate;
+}
+
+double ContactRateEstimator::meetingProbability(NodeId i, NodeId j, sim::SimTime window,
+                                                sim::SimTime now) const {
+  return contactProbability(rate(i, j, now), window);
+}
+
+double ContactRateEstimator::nodeRateSum(NodeId i, sim::SimTime now) const {
+  double sum = 0.0;
+  for (NodeId j = 0; j < nodeCount_; ++j)
+    if (j != i) sum += rate(i, j, now);
+  return sum;
+}
+
+RateMatrix ContactRateEstimator::snapshot(sim::SimTime now) const {
+  RateMatrix m(nodeCount_);
+  for (NodeId i = 0; i < nodeCount_; ++i)
+    for (NodeId j = i + 1; j < nodeCount_; ++j) m.setRate(i, j, rate(i, j, now));
+  return m;
+}
+
+}  // namespace dtncache::trace

@@ -1,0 +1,16 @@
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::trace {
+
+RateMatrix RateMatrix::fitFromTrace(const ContactTrace& trace) {
+  RateMatrix m(trace.nodeCount());
+  const sim::SimTime d = trace.duration();
+  if (d <= 0.0) return m;
+  // Accumulate counts in one pass, then normalize.
+  for (const auto& c : trace.contacts())
+    m.rates_[m.index(c.a, c.b)] += 1.0;
+  for (auto& r : m.rates_) r /= d;
+  return m;
+}
+
+}  // namespace dtncache::trace

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file rate_matrix.hpp
+/// Symmetric matrix of pairwise contact rates λ_ij.
+///
+/// The exponential pairwise inter-contact model — contacts of pair (i,j)
+/// arriving as a Poisson process with rate λ_ij — is the analytical backbone
+/// of the paper: every refresh-probability and replication decision reduces
+/// to functions of λ_ij. A RateMatrix is either ground truth (driving a
+/// synthetic generator, or fit from a whole trace) or a node's local
+/// estimate (trace/estimator.hpp).
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "sim/assert.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::trace {
+
+/// P(at least one contact of a Poisson(rate) process within window t).
+inline double contactProbability(double rate, sim::SimTime window) {
+  DTNCACHE_CHECK(rate >= 0.0 && window >= 0.0);
+  return 1.0 - std::exp(-rate * window);
+}
+
+/// Expected delay until the next contact of a Poisson(rate) process;
+/// infinity when rate == 0.
+inline double expectedContactDelay(double rate) {
+  return rate > 0.0 ? 1.0 / rate : std::numeric_limits<double>::infinity();
+}
+
+class RateMatrix {
+ public:
+  RateMatrix() = default;
+  explicit RateMatrix(std::size_t n) : n_(n), rates_(n * (n - 1) / 2, 0.0) {
+    DTNCACHE_CHECK(n >= 1);
+  }
+
+  std::size_t nodeCount() const { return n_; }
+
+  double rate(NodeId i, NodeId j) const {
+    if (i == j) return 0.0;
+    return rates_[index(i, j)];
+  }
+
+  void setRate(NodeId i, NodeId j, double lambda) {
+    DTNCACHE_CHECK(i != j);
+    DTNCACHE_CHECK(lambda >= 0.0);
+    rates_[index(i, j)] = lambda;
+  }
+
+  /// P(i meets j at least once within `window`).
+  double meetingProbability(NodeId i, NodeId j, sim::SimTime window) const {
+    return contactProbability(rate(i, j), window);
+  }
+
+  /// Sum of rates from node i to all others (its total contact activity).
+  double nodeRateSum(NodeId i) const {
+    double s = 0.0;
+    for (NodeId j = 0; j < n_; ++j)
+      if (j != i) s += rate(i, j);
+    return s;
+  }
+
+  /// Fit the maximum-likelihood rate matrix from a trace:
+  /// λ_ij = (#contacts of pair) / (trace duration).
+  static RateMatrix fitFromTrace(const ContactTrace& trace);
+
+ private:
+  std::size_t index(NodeId i, NodeId j) const {
+    DTNCACHE_CHECK(i < n_ && j < n_);
+    if (i > j) std::swap(i, j);
+    // Row-major upper triangle, row i holds (n-1-i) entries.
+    const std::size_t row = i;
+    const std::size_t offset = row * (2 * n_ - row - 1) / 2;
+    return offset + (j - i - 1);
+  }
+
+  std::size_t n_ = 0;
+  std::vector<double> rates_;
+};
+
+}  // namespace dtncache::trace

@@ -1,0 +1,121 @@
+#include "cache/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/assert.hpp"
+#include "sim/rng.hpp"
+
+namespace dtncache::cache {
+namespace {
+
+std::vector<double> zipfWeights(std::size_t n, double s) {
+  sim::ZipfSampler z(n, s);
+  std::vector<double> w(n);
+  for (std::size_t i = 0; i < n; ++i) w[i] = z.probability(i);
+  return w;
+}
+
+TEST(Allocation, UniformSplitsEvenly) {
+  const auto out = allocateCacheSlots(zipfWeights(5, 1.0), 25, 1, 20,
+                                      AllocationPolicy::kUniform);
+  for (std::size_t r : out) EXPECT_EQ(r, 5u);
+}
+
+TEST(Allocation, SumAlwaysExact) {
+  for (const auto policy : {AllocationPolicy::kUniform, AllocationPolicy::kProportional,
+                            AllocationPolicy::kSqrt}) {
+    const auto out = allocateCacheSlots(zipfWeights(7, 0.9), 53, 1, 30, policy);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}), 53u)
+        << allocationName(policy);
+  }
+}
+
+TEST(Allocation, ProportionalFavorsHotItems) {
+  const auto out = allocateCacheSlots(zipfWeights(6, 1.2), 60, 1, 60,
+                                      AllocationPolicy::kProportional);
+  for (std::size_t i = 1; i < out.size(); ++i) EXPECT_GE(out[i - 1], out[i]);
+  EXPECT_GT(out.front(), out.back() * 2);
+}
+
+TEST(Allocation, SqrtIsBetweenUniformAndProportional) {
+  const auto w = zipfWeights(6, 1.4);
+  const auto uni = allocateCacheSlots(w, 60, 1, 60, AllocationPolicy::kUniform);
+  const auto sq = allocateCacheSlots(w, 60, 1, 60, AllocationPolicy::kSqrt);
+  const auto prop = allocateCacheSlots(w, 60, 1, 60, AllocationPolicy::kProportional);
+  // The hottest item: uniform ≤ sqrt ≤ proportional.
+  EXPECT_LE(uni[0], sq[0]);
+  EXPECT_LE(sq[0], prop[0]);
+  // The coldest item: the reverse.
+  EXPECT_GE(uni[5], sq[5]);
+  EXPECT_GE(sq[5], prop[5]);
+}
+
+TEST(Allocation, MinAndMaxBoundsRespected) {
+  const auto out = allocateCacheSlots(zipfWeights(8, 2.0), 40, 2, 10,
+                                      AllocationPolicy::kProportional);
+  for (std::size_t r : out) {
+    EXPECT_GE(r, 2u);
+    EXPECT_LE(r, 10u);
+  }
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}), 40u);
+}
+
+TEST(Allocation, ExtremeSkewClampsAtMaxAndRedistributes) {
+  std::vector<double> w{1000.0, 1.0, 1.0, 1.0};
+  const auto out = allocateCacheSlots(w, 20, 1, 8, AllocationPolicy::kProportional);
+  EXPECT_EQ(out[0], 8u);  // clamped
+  EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}), 20u);
+  for (std::size_t i = 1; i < 4; ++i) EXPECT_GE(out[i], 1u);
+}
+
+TEST(Allocation, InfeasibleBudgetThrows) {
+  const auto w = zipfWeights(4, 1.0);
+  EXPECT_THROW(allocateCacheSlots(w, 3, 1, 10, AllocationPolicy::kUniform),
+               InvariantViolation);
+  EXPECT_THROW(allocateCacheSlots(w, 100, 1, 10, AllocationPolicy::kUniform),
+               InvariantViolation);
+}
+
+TEST(Allocation, NonPositiveWeightThrows) {
+  EXPECT_THROW(
+      allocateCacheSlots({0.5, 0.0}, 4, 1, 4, AllocationPolicy::kProportional),
+      InvariantViolation);
+}
+
+TEST(Allocation, Deterministic) {
+  const auto w = zipfWeights(9, 0.8);
+  const auto a = allocateCacheSlots(w, 71, 2, 20, AllocationPolicy::kSqrt);
+  const auto b = allocateCacheSlots(w, 71, 2, 20, AllocationPolicy::kSqrt);
+  EXPECT_EQ(a, b);
+}
+
+/// Property sweep over random weight vectors and budgets.
+class AllocationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllocationProperty, ExactFeasibleMonotone) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 11);
+  const std::size_t n = 2 + GetParam() % 12;
+  std::vector<double> w(n);
+  for (auto& x : w) x = rng.uniform(0.01, 10.0);
+  const std::size_t minPer = 1 + GetParam() % 3;
+  const std::size_t maxPer = minPer + 1 + GetParam() % 10;
+  const std::size_t total = static_cast<std::size_t>(
+      rng.uniformInt(static_cast<std::int64_t>(n * minPer),
+                     static_cast<std::int64_t>(n * maxPer)));
+  for (const auto policy : {AllocationPolicy::kUniform, AllocationPolicy::kProportional,
+                            AllocationPolicy::kSqrt}) {
+    const auto out = allocateCacheSlots(w, total, minPer, maxPer, policy);
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), std::size_t{0}), total);
+    for (std::size_t r : out) {
+      EXPECT_GE(r, minPer);
+      EXPECT_LE(r, maxPer);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBudgets, AllocationProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dtncache::cache

@@ -1,0 +1,107 @@
+#include "cache/cache_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::cache {
+namespace {
+
+TEST(CacheStore, InsertAndFind) {
+  CacheStore s(1024);
+  const auto r = s.insert(/*item=*/1, /*version=*/0, /*size=*/100, /*now=*/0.0);
+  EXPECT_EQ(r.kind, InsertResult::Kind::kInserted);
+  const CacheEntry* e = s.find(1);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->version, 0u);
+  EXPECT_EQ(s.usedBytes(), 100u);
+}
+
+TEST(CacheStore, UpgradeReplacesVersionInPlace) {
+  CacheStore s(1024);
+  s.insert(1, 0, 100, 0.0);
+  const auto r = s.insert(1, 3, 100, 5.0);
+  EXPECT_EQ(r.kind, InsertResult::Kind::kUpgraded);
+  EXPECT_EQ(r.previousVersion, 0u);
+  EXPECT_EQ(s.find(1)->version, 3u);
+  EXPECT_DOUBLE_EQ(s.find(1)->receivedAt, 5.0);
+  EXPECT_EQ(s.usedBytes(), 100u);
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CacheStore, SameOrOlderVersionIsNoop) {
+  CacheStore s(1024);
+  s.insert(1, 5, 100, 0.0);
+  EXPECT_EQ(s.insert(1, 5, 100, 1.0).kind, InsertResult::Kind::kAlreadyCurrent);
+  EXPECT_EQ(s.insert(1, 2, 100, 1.0).kind, InsertResult::Kind::kAlreadyCurrent);
+  EXPECT_EQ(s.find(1)->version, 5u);
+}
+
+TEST(CacheStore, RejectsLargerThanCapacity) {
+  CacheStore s(100);
+  EXPECT_EQ(s.insert(1, 0, 200, 0.0).kind, InsertResult::Kind::kRejected);
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(CacheStore, LruEvictionOnOverflow) {
+  CacheStore s(250);
+  s.insert(1, 0, 100, 1.0);
+  s.insert(2, 0, 100, 2.0);
+  s.recordAccess(1, 3.0);  // item 2 is now least recently used
+  const auto r = s.insert(3, 0, 100, 4.0);
+  EXPECT_EQ(r.kind, InsertResult::Kind::kInserted);
+  ASSERT_EQ(r.evicted.size(), 1u);
+  EXPECT_EQ(r.evicted[0].item, 2u);
+  EXPECT_EQ(s.find(2), nullptr);
+  EXPECT_NE(s.find(1), nullptr);
+}
+
+TEST(CacheStore, EvictionMayRemoveSeveral) {
+  CacheStore s(300);
+  s.insert(1, 0, 100, 1.0);
+  s.insert(2, 0, 100, 2.0);
+  s.insert(3, 0, 100, 3.0);
+  const auto r = s.insert(4, 0, 250, 4.0);
+  EXPECT_EQ(r.kind, InsertResult::Kind::kInserted);
+  // 250 + any 100-byte survivor exceeds 300, so all three must go.
+  EXPECT_EQ(r.evicted.size(), 3u);
+  EXPECT_EQ(s.usedBytes(), 250u);
+}
+
+TEST(CacheStore, RemoveReturnsEntry) {
+  CacheStore s(1024);
+  s.insert(7, 2, 100, 0.0);
+  const auto e = s.remove(7);
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->version, 2u);
+  EXPECT_EQ(s.usedBytes(), 0u);
+  EXPECT_FALSE(s.remove(7).has_value());
+}
+
+TEST(CacheStore, AccessBumpsCountAndRecency) {
+  CacheStore s(1024);
+  s.insert(1, 0, 10, 0.0);
+  s.recordAccess(1, 5.0);
+  s.recordAccess(1, 6.0);
+  EXPECT_EQ(s.find(1)->accessCount, 2u);
+  EXPECT_DOUBLE_EQ(s.find(1)->lastAccess, 6.0);
+}
+
+TEST(CacheStore, AccessOnMissingItemIsNoop) {
+  CacheStore s(1024);
+  s.recordAccess(99, 1.0);  // must not crash
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(CacheStore, EntriesSortedByItem) {
+  CacheStore s(1024);
+  s.insert(5, 0, 10, 0.0);
+  s.insert(1, 0, 10, 0.0);
+  s.insert(3, 0, 10, 0.0);
+  const auto es = s.entries();
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0]->item, 1u);
+  EXPECT_EQ(es[1]->item, 3u);
+  EXPECT_EQ(es[2]->item, 5u);
+}
+
+}  // namespace
+}  // namespace dtncache::cache

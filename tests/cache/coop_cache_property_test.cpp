@@ -1,0 +1,107 @@
+/// Cross-module conservation properties of the full cooperative-caching
+/// stack, checked over randomized small networks and all schemes.
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace dtncache::cache {
+namespace {
+
+struct Arm {
+  runner::SchemeKind scheme;
+  std::uint64_t seed;
+};
+
+class CoopCacheProperty : public ::testing::TestWithParam<int> {
+ protected:
+  static runner::ExperimentConfig makeConfig(int param) {
+    const auto schemes = runner::allSchemes();
+    runner::ExperimentConfig c;
+    c.trace = trace::homogeneousConfig(
+        10 + param % 8, 2.0 + (param % 5), sim::days(4 + param % 6),
+        static_cast<std::uint64_t>(param) + 1);
+    c.catalog.itemCount = 2 + param % 4;
+    c.catalog.refreshPeriod = sim::hours(6 + 3 * (param % 4));
+    c.workload.queriesPerNodePerDay = static_cast<double>(param % 3);
+    c.workload.queryDeadline = sim::hours(6);
+    c.cache.cachingNodesPerItem = 3 + param % 3;
+    c.scheme = schemes[static_cast<std::size_t>(param) % schemes.size()];
+    c.seed = static_cast<std::uint64_t>(param) * 17 + 3;
+    return c;
+  }
+};
+
+TEST_P(CoopCacheProperty, MetricsObeyConservationLaws) {
+  const auto cfg = makeConfig(GetParam());
+  const auto out = runner::runExperiment(cfg);
+  const auto& r = out.results;
+  const auto& q = r.queries;
+
+  // Fractions live in [0, 1].
+  for (double f : {r.meanFreshFraction, r.finalFreshFraction, r.meanValidFraction,
+                   r.refreshWithinPeriodRatio}) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0 + 1e-12);
+  }
+
+  // Query accounting: answered ⊇ valid ⊇ ∅, answered ⊇ fresh, ≤ issued.
+  EXPECT_LE(q.answered, q.issued);
+  EXPECT_LE(q.answeredValid, q.answered);
+  EXPECT_LE(q.answeredFresh, q.answered);
+  EXPECT_LE(q.localHits, q.answered);
+  EXPECT_EQ(q.delay.count(), q.answered);
+  if (q.answered > 0) {
+    EXPECT_GE(q.delay.min(), 0.0);
+  }
+
+  // Copy census: warm start creates exactly the caching sets; copies are
+  // never created or destroyed afterwards (ample capacity, no eviction).
+  std::size_t expectedCopies = 0;
+  for (data::ItemId item = 0; item < cfg.catalog.itemCount; ++item)
+    expectedCopies += cfg.cache.cachingNodesPerItem;
+  EXPECT_EQ(r.copiesTracked, expectedCopies);
+
+  // Byte accounting: per-category sums equal the total; per-node refresh
+  // bytes sum to the refresh category.
+  std::uint64_t catBytes = 0;
+  std::uint64_t catMsgs = 0;
+  for (const auto cat : {net::Traffic::kControl, net::Traffic::kRefresh,
+                         net::Traffic::kPlacement, net::Traffic::kQuery,
+                         net::Traffic::kReply, net::Traffic::kPull}) {
+    catBytes += r.transfers.of(cat).bytes;
+    catMsgs += r.transfers.of(cat).messages;
+  }
+  EXPECT_EQ(catBytes, r.transfers.total().bytes);
+  EXPECT_EQ(catMsgs, r.transfers.total().messages);
+  std::uint64_t perNodeRefresh = 0;
+  for (std::uint64_t b : r.transfers.perNodeRefreshBytes()) perNodeRefresh += b;
+  EXPECT_EQ(perNodeRefresh, r.transfers.of(net::Traffic::kRefresh).bytes);
+
+  // Every refresh push the collector saw corresponds to at least one
+  // refresh-category or placement-category message (pull responses and
+  // reply-installs are refresh/reply traffic).
+  if (r.refreshPushes > 0) {
+    EXPECT_GT(r.transfers.total().messages, 0u);
+  }
+
+  // Freshness time series values are fractions too.
+  for (const auto& p : r.freshOverTime.points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(CoopCacheProperty, NoRefreshIsALowerBoundOnFreshness) {
+  auto cfg = makeConfig(GetParam());
+  const auto out = runner::runExperiment(cfg);
+  cfg.scheme = runner::SchemeKind::kNoRefresh;
+  const auto none = runner::runExperiment(cfg);
+  EXPECT_GE(out.results.meanFreshFraction, none.results.meanFreshFraction - 0.02)
+      << out.scheme;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStacks, CoopCacheProperty, ::testing::Range(0, 21));
+
+}  // namespace
+}  // namespace dtncache::cache

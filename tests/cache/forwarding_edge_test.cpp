@@ -1,0 +1,181 @@
+/// Edge cases of the store-carry-forward engine inside CooperativeCache:
+/// hop caps, deadline purging mid-route, copy-budget exhaustion, and
+/// buffer pressure. These paths only trigger under adversarial message
+/// states, so they get dedicated scenarios rather than relying on the
+/// randomized property suite to stumble into them.
+
+#include <gtest/gtest.h>
+
+#include "baselines/baselines.hpp"
+#include "cache/coop_cache.hpp"
+#include "data/source.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace dtncache::cache {
+namespace {
+
+/// 5-node rig with a configurable contact schedule. Node 0 is the source
+/// of one item; nodes 1 and 2 cache it (their planning rates dominate).
+struct Rig {
+  explicit Rig(std::vector<trace::Contact> contacts, CoopCacheConfig cacheCfg = makeCache())
+      : trace(5, std::move(contacts)),
+        catalog(makeCatalog()),
+        estimator(5, makeEstimator(), 0.0),
+        network(simulator, trace, makeNetwork()),
+        collector(catalog, 0.0),
+        coop(simulator, network, catalog, estimator, collector, planningRates(), cacheCfg) {
+    sources = std::make_unique<data::SourceProcess>(simulator, catalog, 1e6);
+    coop.setScheme(&scheme);
+    coop.start(*sources, nullptr, 1e6);
+  }
+
+  static data::Catalog makeCatalog() {
+    data::ItemSpec s;
+    s.id = 0;
+    s.source = 0;
+    s.sizeBytes = 1000;
+    s.refreshPeriod = 1e5;
+    s.lifetime = 2e5;
+    return data::Catalog({s});
+  }
+  static trace::EstimatorConfig makeEstimator() {
+    trace::EstimatorConfig e;
+    e.priorRate = 1e-6;  // strangers are still (barely) routable
+    return e;
+  }
+  static net::NetworkConfig makeNetwork() {
+    net::NetworkConfig n;
+    n.minContactBudgetBytes = 1 << 20;
+    return n;
+  }
+  static CoopCacheConfig makeCache() {
+    CoopCacheConfig c;
+    c.cachingNodesPerItem = 2;
+    return c;
+  }
+  static trace::RateMatrix planningRates() {
+    trace::RateMatrix m(5);
+    m.setRate(1, 0, 0.10);
+    m.setRate(1, 2, 0.10);
+    m.setRate(2, 3, 0.05);
+    return m;
+  }
+
+  sim::Simulator simulator;
+  trace::ContactTrace trace;
+  data::Catalog catalog;
+  trace::ContactRateEstimator estimator;
+  net::Network network;
+  metrics::MetricsCollector collector;
+  CooperativeCache coop;
+  baselines::NoRefreshScheme scheme;
+  std::unique_ptr<data::SourceProcess> sources;
+};
+
+net::Message makeReply(NodeId dst, std::uint32_t copies, sim::SimTime deadline,
+                       std::uint32_t hops = 0) {
+  net::Message m;
+  m.kind = net::MessageKind::kReply;
+  m.item = 0;
+  m.version = 0;
+  m.dst = dst;
+  m.requester = dst;
+  m.queryId = 42;
+  m.deadline = deadline;
+  m.copiesLeft = copies;
+  m.hopCount = hops;
+  m.payloadBytes = 1000;
+  return m;
+}
+
+TEST(ForwardingEdge, HopCapStopsRelaying) {
+  // Node 3 carries a reply for node 4 already at the hop cap; meeting a
+  // better carrier (2, who knows 4 via... nobody knows 4; use 4 directly
+  // to prove delivery still works at the cap, then a relay that must not).
+  Rig rig({{10.0, 5.0, 2, 3}, {20.0, 5.0, 3, 4}});
+  data::Query q;  // register the query so the answer is countable
+  q.id = 42;
+  q.requester = 4;
+  q.item = 0;
+  q.issueTime = 1.0;
+  q.deadline = 1e5;
+  rig.simulator.scheduleAt(1.0, [&](sim::SimTime) {
+    rig.collector.queryIssued(q);
+    auto m = makeReply(4, 4, 1e5, rig.coop.config().forwarding.maxHops);
+    rig.coop.injectMessage(3, m, 1.0);
+    // Give node 2 a high estimated rate to 4 so it would qualify as relay.
+    for (int i = 0; i < 20; ++i) rig.estimator.recordContact(2, 4, 1.0);
+  });
+  rig.simulator.runUntil(30.0);
+  // At t=10 node 3 met node 2 (a "better carrier") but the hop cap blocked
+  // the handoff; at t=20 node 3 met the destination: delivery ignores hops.
+  EXPECT_FALSE(rig.coop.bufferOf(2).contains(1));
+  const auto r = rig.collector.finalize(30.0, rig.network.transfers());
+  EXPECT_EQ(r.queries.answered, 1u);
+}
+
+TEST(ForwardingEdge, ExpiredMessagesPurgeInsteadOfForwarding) {
+  Rig rig({{10.0, 5.0, 3, 4}});
+  rig.simulator.scheduleAt(1.0, [&](sim::SimTime) {
+    rig.coop.injectMessage(3, makeReply(4, 2, /*deadline=*/5.0), 1.0);
+  });
+  rig.simulator.runUntil(30.0);
+  EXPECT_TRUE(rig.coop.bufferOf(3).empty());
+  EXPECT_TRUE(rig.coop.bufferOf(4).empty());
+  EXPECT_EQ(rig.network.transfers().of(net::Traffic::kReply).messages, 0u);
+}
+
+TEST(ForwardingEdge, SingleCopyMigratesInsteadOfDuplicating) {
+  // Node 3 (poor utility) meets node 2 (better utility toward dst 0 — by
+  // planning... use estimator contacts). The single copy must move, not split.
+  Rig rig({{50.0, 5.0, 2, 3}});
+  rig.simulator.scheduleAt(1.0, [&](sim::SimTime) {
+    for (int i = 0; i < 10; ++i) rig.estimator.recordContact(2, 0, 1.0 + i * 0.1);
+    rig.coop.injectMessage(3, makeReply(/*dst=*/0, /*copies=*/1, 1e5), 1.0);
+  });
+  rig.simulator.runUntil(60.0);
+  EXPECT_TRUE(rig.coop.bufferOf(3).empty());   // migrated away
+  EXPECT_EQ(rig.coop.bufferOf(2).size(), 1u);  // exactly one copy lives on
+}
+
+TEST(ForwardingEdge, CopyBudgetSplitsAcrossRelays) {
+  // Carrier 3 with 4 copies meets two successively better carriers; each
+  // handoff halves the remaining budget.
+  Rig rig({{50.0, 5.0, 2, 3}, {60.0, 5.0, 1, 3}});
+  rig.simulator.scheduleAt(1.0, [&](sim::SimTime) {
+    for (int i = 0; i < 10; ++i) rig.estimator.recordContact(2, 0, 1.0 + i * 0.1);
+    for (int i = 0; i < 30; ++i) rig.estimator.recordContact(1, 0, 1.0 + i * 0.1);
+    rig.coop.injectMessage(3, makeReply(0, 4, 1e5), 1.0);
+  });
+  rig.simulator.runUntil(100.0);
+  // t=50: hand ceil(4/2)=2 to node 2 (keep 2). t=60: node 1 is even better
+  // than node 3; hand ceil(2/2)=1 (keep 1).
+  ASSERT_EQ(rig.coop.bufferOf(2).size(), 1u);
+  EXPECT_EQ(rig.coop.bufferOf(2).messages().front().copiesLeft, 2u);
+  ASSERT_EQ(rig.coop.bufferOf(1).size(), 1u);
+  EXPECT_EQ(rig.coop.bufferOf(1).messages().front().copiesLeft, 1u);
+  ASSERT_EQ(rig.coop.bufferOf(3).size(), 1u);
+  EXPECT_EQ(rig.coop.bufferOf(3).messages().front().copiesLeft, 1u);
+}
+
+TEST(ForwardingEdge, DuplicateCopyNotReacquired) {
+  // Once a node holds message id X, a later contact with another carrier
+  // of X must not create a second buffered copy.
+  Rig rig({{50.0, 5.0, 2, 3}, {60.0, 5.0, 2, 4}, {70.0, 5.0, 2, 3}});
+  rig.simulator.scheduleAt(1.0, [&](sim::SimTime) {
+    for (int i = 0; i < 10; ++i) rig.estimator.recordContact(2, 0, 1.0 + i * 0.1);
+    auto m = makeReply(0, 8, 1e5);
+    m.id = 777;
+    rig.coop.injectMessage(3, m, 1.0);
+  });
+  rig.simulator.runUntil(100.0);
+  std::size_t copies = 0;
+  for (NodeId n = 0; n < 5; ++n)
+    for (const auto& m : rig.coop.bufferOf(n).messages())
+      if (m.id == 777) ++copies;
+  EXPECT_LE(copies, 2u);  // carrier + the single relay, never re-handed
+}
+
+}  // namespace
+}  // namespace dtncache::cache

@@ -1,0 +1,188 @@
+#include "core/freshness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+namespace {
+
+TEST(HypoexpCdf, EmptyChainIsInstant) {
+  EXPECT_DOUBLE_EQ(hypoexponentialCdf({}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(hypoexponentialCdf({}, 100.0), 1.0);
+}
+
+TEST(HypoexpCdf, ZeroRateNeverDelivers) {
+  EXPECT_DOUBLE_EQ(hypoexponentialCdf({0.0}, 1e9), 0.0);
+  EXPECT_DOUBLE_EQ(hypoexponentialCdf({1.0, 0.0, 2.0}, 1e9), 0.0);
+}
+
+TEST(HypoexpCdf, SingleStageIsExponential) {
+  for (double t : {0.0, 0.5, 1.0, 5.0})
+    EXPECT_NEAR(hypoexponentialCdf({2.0}, t), 1.0 - std::exp(-2.0 * t), 1e-12);
+}
+
+TEST(HypoexpCdf, TwoDistinctStagesClosedForm) {
+  // P(Exp(a)+Exp(b) <= t) = 1 - (b e^{-at} - a e^{-bt})/(b-a)
+  const double a = 1.0, b = 3.0, t = 0.7;
+  const double expected = 1.0 - (b * std::exp(-a * t) - a * std::exp(-b * t)) / (b - a);
+  EXPECT_NEAR(hypoexponentialCdf({a, b}, t), expected, 1e-10);
+}
+
+TEST(HypoexpCdf, EqualRatesIsErlang) {
+  // Erlang(2, r): F(t) = 1 - e^{-rt}(1 + rt). The implementation nudges
+  // equal rates apart; the answer must still match to ~1e-6.
+  const double r = 2.0, t = 1.3;
+  const double expected = 1.0 - std::exp(-r * t) * (1.0 + r * t);
+  EXPECT_NEAR(hypoexponentialCdf({r, r}, t), expected, 1e-5);
+}
+
+TEST(HypoexpCdf, MonotoneInTime) {
+  const std::vector<double> rates{0.5, 1.5, 0.9};
+  double prev = -1.0;
+  for (double t = 0.0; t <= 20.0; t += 0.25) {
+    const double p = hypoexponentialCdf(rates, t);
+    EXPECT_GE(p, prev - 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(HypoexpCdf, LongerChainIsSlower) {
+  EXPECT_GT(hypoexponentialCdf({1.0}, 2.0), hypoexponentialCdf({1.0, 1.0}, 2.0));
+  EXPECT_GT(hypoexponentialCdf({1.0, 1.0}, 2.0), hypoexponentialCdf({1.0, 1.0, 1.0}, 2.0));
+}
+
+TEST(HypoexpCdf, MatchesMonteCarlo) {
+  const std::vector<double> rates{0.8, 2.5, 1.2, 4.0};
+  sim::Rng rng(7);
+  const int n = 200000;
+  const double t = 2.0;
+  int hits = 0;
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (double r : rates) sum += rng.exponential(r);
+    if (sum <= t) ++hits;
+  }
+  EXPECT_NEAR(hypoexponentialCdf(rates, t), static_cast<double>(hits) / n, 0.005);
+}
+
+TEST(ExpectedDelayTruncated, SingleStage) {
+  // E[min(Exp(r), H)] = (1 - e^{-rH})/r.
+  const double r = 0.5, h = 3.0;
+  EXPECT_NEAR(expectedDelayTruncated({r}, h), (1.0 - std::exp(-r * h)) / r, 1e-12);
+}
+
+TEST(ExpectedDelayTruncated, DeadChainSaturates) {
+  EXPECT_DOUBLE_EQ(expectedDelayTruncated({0.0}, 7.0), 7.0);
+}
+
+TEST(ExpectedDelayTruncated, EmptyChainIsZero) {
+  EXPECT_DOUBLE_EQ(expectedDelayTruncated({}, 7.0), 0.0);
+}
+
+TEST(ExpectedDelayTruncated, BoundedByHorizon) {
+  EXPECT_LE(expectedDelayTruncated({0.001, 0.002}, 10.0), 10.0);
+}
+
+TEST(ExpectedDelayTruncated, MatchesMonteCarlo) {
+  const std::vector<double> rates{1.0, 0.4};
+  sim::Rng rng(13);
+  const int n = 200000;
+  const double h = 3.0;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double d = rng.exponential(rates[0]) + rng.exponential(rates[1]);
+    sum += std::min(d, h);
+  }
+  EXPECT_NEAR(expectedDelayTruncated(rates, h), sum / n, 0.01);
+}
+
+TEST(ExpectedFreshFraction, FastChainIsNearlyAlwaysFresh) {
+  EXPECT_GT(expectedFreshFraction({100.0}, 1.0), 0.98);
+}
+
+TEST(ExpectedFreshFraction, DeadChainIsNeverFresh) {
+  EXPECT_DOUBLE_EQ(expectedFreshFraction({0.0}, 1.0), 0.0);
+}
+
+TEST(ExpectedFreshFraction, SingleHopClosedForm) {
+  // (τ - (1-e^{-rτ})/r) / τ
+  const double r = 2.0, tau = 1.0;
+  const double expected = (tau - (1.0 - std::exp(-r * tau)) / r) / tau;
+  EXPECT_NEAR(expectedFreshFraction({r}, tau), expected, 1e-12);
+}
+
+TEST(CombinedRefreshProbability, NoHelpersIsChain) {
+  EXPECT_DOUBLE_EQ(combinedRefreshProbability(0.4, {}), 0.4);
+}
+
+TEST(CombinedRefreshProbability, IndependentUnion) {
+  EXPECT_NEAR(combinedRefreshProbability(0.5, {0.5}), 0.75, 1e-12);
+  EXPECT_NEAR(combinedRefreshProbability(0.5, {0.5, 0.5}), 0.875, 1e-12);
+}
+
+TEST(CombinedRefreshProbability, HelpersNeverHurt) {
+  sim::Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const double base = rng.uniform();
+    std::vector<double> helpers;
+    double p = base;
+    for (int k = 0; k < 4; ++k) {
+      helpers.push_back(rng.uniform());
+      const double next = combinedRefreshProbability(base, helpers);
+      EXPECT_GE(next, p - 1e-12);
+      EXPECT_LE(next, 1.0);
+      p = next;
+    }
+  }
+}
+
+TEST(HelperContribution, ZeroRateContributesNothing) {
+  EXPECT_DOUBLE_EQ(helperContribution({1.0}, 0.0, 10.0), 0.0);
+}
+
+TEST(HelperContribution, StaleHelperContributesLess) {
+  // Same reach to the target, but one helper sits at the end of a slow
+  // chain — its contribution must be smaller.
+  const double freshHelper = helperContribution({100.0}, 1.0, 10.0);
+  const double staleHelper = helperContribution({0.01}, 1.0, 10.0);
+  EXPECT_GT(freshHelper, staleHelper);
+}
+
+TEST(HelperContribution, BoundedByReachProbability) {
+  const double h = helperContribution({5.0}, 0.3, 10.0);
+  EXPECT_LE(h, trace::contactProbability(0.3, 5.0));
+  EXPECT_GE(h, 0.0);
+}
+
+/// Property sweep: CDF stays within [0,1] and monotone for random chains.
+class HypoexpProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HypoexpProperty, ValidDistributionFunction) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const int stages = 1 + GetParam() % 6;
+  std::vector<double> rates;
+  for (int i = 0; i < stages; ++i) rates.push_back(rng.uniform(0.01, 5.0));
+  double prev = 0.0;
+  for (double t = 0.0; t < 30.0; t += 0.5) {
+    const double p = hypoexponentialCdf(rates, t);
+    EXPECT_GE(p, prev - 1e-9) << "non-monotone at t=" << t;
+    EXPECT_GE(p, -1e-12);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    prev = p;
+  }
+  // Far beyond the mean the CDF must approach 1.
+  double mean = 0.0;
+  for (double r : rates) mean += 1.0 / r;
+  EXPECT_GT(hypoexponentialCdf(rates, 50.0 * mean), 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomChains, HypoexpProperty, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace dtncache::core

@@ -1,0 +1,78 @@
+#include "core/hierarchy_dot.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+namespace {
+
+RateFn fromMatrix(const trace::RateMatrix& m) {
+  return [&m](NodeId i, NodeId j) { return m.rate(i, j); };
+}
+
+struct DotFixture {
+  DotFixture() : m(4) {
+    m.setRate(0, 1, 1.0);
+    m.setRate(0, 2, 1.0);
+    m.setRate(0, 3, 0.01);
+    m.setRate(1, 3, 2.0);
+    HierarchyConfig cfg;
+    cfg.fanoutBound = 3;
+    h = RefreshHierarchy::build(0, {}, fromMatrix(m), 1.0, cfg);
+    h.addMember(1, 0, 3);
+    h.addMember(2, 0, 3);
+    h.addMember(3, 0, 3);
+    ReplicationConfig rc;
+    rc.theta = 0.9;
+    plan = planReplication(h, fromMatrix(m), 1.0, rc);
+  }
+  trace::RateMatrix m;
+  RefreshHierarchy h;
+  ReplicationPlan plan;
+};
+
+TEST(HierarchyDot, ContainsAllNodesAndTreeEdges) {
+  DotFixture f;
+  const std::string dot = toDot(f.h, nullptr, fromMatrix(f.m), 1.0);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("doublecircle"), std::string::npos);  // the source
+  for (const char* edge : {"n0 -> n1", "n0 -> n2", "n0 -> n3"})
+    EXPECT_NE(dot.find(edge), std::string::npos) << edge;
+}
+
+TEST(HierarchyDot, HelperEdgesAreDashed) {
+  DotFixture f;
+  ASSERT_TRUE(f.plan.isHelper(1, 3));  // weak node 3 helped by node 1
+  const std::string dot = toDot(f.h, &f.plan, fromMatrix(f.m), 1.0);
+  const auto pos = dot.find("n1 -> n3");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_NE(dot.find("style=dashed", pos), std::string::npos);
+}
+
+TEST(HierarchyDot, EdgeLabelsCanBeDisabled) {
+  DotFixture f;
+  DotOptions opt;
+  opt.edgeLabels = false;
+  const std::string dot = toDot(f.h, nullptr, fromMatrix(f.m), 1.0, opt);
+  EXPECT_EQ(dot.find("label=\"0."), std::string::npos);
+}
+
+TEST(HierarchyDot, CustomGraphName) {
+  DotFixture f;
+  DotOptions opt;
+  opt.graphName = "my_graph";
+  const std::string dot = toDot(f.h, nullptr, fromMatrix(f.m), 1.0, opt);
+  EXPECT_NE(dot.find("digraph my_graph"), std::string::npos);
+}
+
+TEST(HierarchyDot, WellFormedBraces) {
+  DotFixture f;
+  const std::string dot = toDot(f.h, &f.plan, fromMatrix(f.m), 1.0);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '{'), 1);
+  EXPECT_EQ(std::count(dot.begin(), dot.end(), '}'), 1);
+  EXPECT_EQ(dot.back(), '\n');
+}
+
+}  // namespace
+}  // namespace dtncache::core

@@ -1,0 +1,278 @@
+#include "core/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/rng.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+namespace {
+
+RateFn uniformRate(double r) {
+  return [r](NodeId, NodeId) { return r; };
+}
+
+RateFn fromMatrix(const trace::RateMatrix& m) {
+  return [&m](NodeId i, NodeId j) { return m.rate(i, j); };
+}
+
+TEST(Hierarchy, BuildTrivialSingleMember) {
+  const auto h = RefreshHierarchy::build(0, {1}, uniformRate(1.0), 10.0, {});
+  EXPECT_EQ(h.root(), 0u);
+  EXPECT_EQ(h.memberCount(), 2u);
+  EXPECT_EQ(h.parentOf(1), 0u);
+  EXPECT_EQ(h.parentOf(0), kNoNode);
+  EXPECT_EQ(h.depthOf(1), 1u);
+  h.checkInvariants();
+}
+
+TEST(Hierarchy, FanoutBoundForcesDepth) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 2;
+  const auto h = RefreshHierarchy::build(0, {1, 2, 3, 4, 5, 6}, uniformRate(1.0), 10.0, cfg);
+  h.checkInvariants();
+  for (NodeId n : {0u, 1u, 2u, 3u, 4u, 5u, 6u})
+    EXPECT_LE(h.childrenOf(n).size(), 2u);
+  EXPECT_GE(h.maxDepth(), 2u);  // 6 members cannot fit in one level of 2
+}
+
+TEST(Hierarchy, FanoutCapacityExhaustionThrows) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 1;  // a chain: root->a->b is fine, but...
+  // fanout 1 builds a chain, which can host any count; use fanout that
+  // cannot: impossible only if fanoutBound==0, which the config rejects.
+  cfg.fanoutBound = 0;
+  EXPECT_THROW(RefreshHierarchy::build(0, {1}, uniformRate(1.0), 10.0, cfg),
+               InvariantViolation);
+}
+
+TEST(Hierarchy, PrefersHighRateParents) {
+  // Node 1 has a fast link to the root; node 2's only good link is to 1.
+  trace::RateMatrix m(3);
+  m.setRate(0, 1, 1.0);
+  m.setRate(0, 2, 0.001);
+  m.setRate(1, 2, 0.8);
+  const auto h = RefreshHierarchy::build(0, {1, 2}, fromMatrix(m), 10.0, {});
+  EXPECT_EQ(h.parentOf(1), 0u);
+  EXPECT_EQ(h.parentOf(2), 1u);
+}
+
+TEST(Hierarchy, DepthAwareAvoidsDeepChains) {
+  // Node 2 attaches to the root first (0.5 beats 0.3). For node 1, a naive
+  // single-hop builder prefers the fast 2→1 link (0.8) and builds a chain;
+  // the depth-aware builder sees the chain 0→2→1 delivers within τ with
+  // probability 0.13 < 0.26 for the slow-but-direct root link, and keeps
+  // node 1 at depth 1.
+  trace::RateMatrix m(3);
+  const double tau = 1.0;
+  m.setRate(0, 1, 0.3);
+  m.setRate(1, 2, 0.8);
+  m.setRate(0, 2, 0.5);
+  HierarchyConfig aware;
+  aware.depthAware = true;
+  const auto h = RefreshHierarchy::build(0, {1, 2}, fromMatrix(m), tau, aware);
+  EXPECT_EQ(h.parentOf(1), 0u);
+  EXPECT_EQ(h.maxDepth(), 1u);
+
+  HierarchyConfig naive;
+  naive.depthAware = false;
+  const auto g = RefreshHierarchy::build(0, {1, 2}, fromMatrix(m), tau, naive);
+  EXPECT_EQ(g.parentOf(1), 2u);  // the naive builder falls for the fast hop
+  EXPECT_EQ(g.maxDepth(), 2u);
+}
+
+TEST(Hierarchy, MembersBelowRootIsLevelOrdered) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 2;
+  const auto h = RefreshHierarchy::build(0, {1, 2, 3, 4, 5}, uniformRate(1.0), 10.0, cfg);
+  const auto order = h.membersBelowRoot();
+  ASSERT_EQ(order.size(), 5u);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_LE(h.depthOf(order[i - 1]), h.depthOf(order[i]));
+}
+
+TEST(Hierarchy, ChainRatesFollowPath) {
+  trace::RateMatrix m(4);
+  m.setRate(0, 1, 1.0);
+  m.setRate(1, 2, 0.5);
+  m.setRate(2, 3, 0.25);
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 1;
+  const auto h = RefreshHierarchy::build(0, {1, 2, 3}, fromMatrix(m), 100.0, cfg);
+  const auto rates = h.chainRates(3, fromMatrix(m));
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.5);
+  EXPECT_DOUBLE_EQ(rates[2], 0.25);
+}
+
+TEST(Hierarchy, IsAncestorWalksUp) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 1;
+  const auto h = RefreshHierarchy::build(0, {1, 2, 3}, uniformRate(1.0), 10.0, cfg);
+  // Chain 0->1->2->3 (uniform rates, fanout 1).
+  EXPECT_TRUE(h.isAncestor(0, 3));
+  EXPECT_TRUE(h.isAncestor(1, 3));
+  EXPECT_FALSE(h.isAncestor(3, 1));
+  EXPECT_FALSE(h.isAncestor(3, 3));
+}
+
+TEST(Hierarchy, ReparentMovesSubtree) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 3;
+  auto h = RefreshHierarchy::build(0, {1, 2, 3, 4}, uniformRate(1.0), 10.0, cfg);
+  // Find a grandchild (depth 2) or force one.
+  NodeId child = kNoNode;
+  for (NodeId n : h.membersBelowRoot())
+    if (h.depthOf(n) == 1 && n != 1) child = n;
+  if (child == kNoNode) GTEST_SKIP() << "tree shape has no movable node";
+  h.reparent(child, 1, cfg.fanoutBound);
+  EXPECT_EQ(h.parentOf(child), 1u);
+  EXPECT_EQ(h.depthOf(child), h.depthOf(1) + 1);
+  h.checkInvariants();
+}
+
+TEST(Hierarchy, ReparentRejectsCycle) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 1;
+  auto h = RefreshHierarchy::build(0, {1, 2}, uniformRate(1.0), 10.0, cfg);
+  // Chain 0->1->2; moving 1 under 2 would create a cycle.
+  EXPECT_THROW(h.reparent(1, 2, cfg.fanoutBound), InvariantViolation);
+}
+
+TEST(Hierarchy, ReparentRejectsFullParent) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 2;
+  auto h = RefreshHierarchy::build(0, {1, 2, 3, 4, 5, 6}, uniformRate(1.0), 10.0, cfg);
+  // Root has 2 children (full). Find a depth-2 node and try to move it up.
+  for (NodeId n : h.membersBelowRoot()) {
+    if (h.depthOf(n) == 2) {
+      EXPECT_THROW(h.reparent(n, 0, cfg.fanoutBound), InvariantViolation);
+      return;
+    }
+  }
+  FAIL() << "expected a depth-2 node";
+}
+
+TEST(Hierarchy, ReparentRootRejected) {
+  auto h = RefreshHierarchy::build(0, {1}, uniformRate(1.0), 10.0, {});
+  EXPECT_THROW(h.reparent(0, 1, 3), InvariantViolation);
+}
+
+TEST(Hierarchy, AddMemberAttaches) {
+  auto h = RefreshHierarchy::build(0, {1}, uniformRate(1.0), 10.0, {});
+  h.addMember(5, 1, 3);
+  EXPECT_TRUE(h.isMember(5));
+  EXPECT_EQ(h.parentOf(5), 1u);
+  EXPECT_EQ(h.depthOf(5), 2u);
+  h.checkInvariants();
+}
+
+TEST(Hierarchy, AddDuplicateRejected) {
+  auto h = RefreshHierarchy::build(0, {1}, uniformRate(1.0), 10.0, {});
+  EXPECT_THROW(h.addMember(1, 0, 3), InvariantViolation);
+}
+
+TEST(Hierarchy, RemoveMemberAdoptsOrphans) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = 1;
+  auto h = RefreshHierarchy::build(0, {1, 2, 3}, uniformRate(1.0), 10.0, cfg);
+  // Chain 0->1->2->3; removing 1 hands 2 to the root.
+  h.removeMember(1);
+  EXPECT_FALSE(h.isMember(1));
+  EXPECT_EQ(h.parentOf(2), 0u);
+  EXPECT_EQ(h.depthOf(2), 1u);
+  EXPECT_EQ(h.depthOf(3), 2u);
+  h.checkInvariants();
+}
+
+TEST(Hierarchy, RemoveRootRejected) {
+  auto h = RefreshHierarchy::build(0, {1}, uniformRate(1.0), 10.0, {});
+  EXPECT_THROW(h.removeMember(0), InvariantViolation);
+}
+
+TEST(Hierarchy, DeterministicForEqualRates) {
+  const auto a = RefreshHierarchy::build(0, {1, 2, 3, 4}, uniformRate(1.0), 10.0, {});
+  const auto b = RefreshHierarchy::build(0, {1, 2, 3, 4}, uniformRate(1.0), 10.0, {});
+  for (NodeId n : {1u, 2u, 3u, 4u}) EXPECT_EQ(a.parentOf(n), b.parentOf(n));
+}
+
+/// Property suite: random rate matrices, every built tree obeys all
+/// structural invariants, hosts every member, and respects the fanout.
+class HierarchyProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyProperty, StructurallySound) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 79 + 5);
+  const std::size_t members = 2 + GetParam() % 14;
+  const std::size_t fanout = 1 + GetParam() % 4;
+  trace::RateMatrix m(members + 1);
+  for (NodeId i = 0; i <= members; ++i)
+    for (NodeId j = i + 1; j <= members; ++j)
+      if (rng.bernoulli(0.8)) m.setRate(i, j, rng.uniform(0.001, 2.0));
+  std::vector<NodeId> ms;
+  for (NodeId n = 1; n <= members; ++n) ms.push_back(n);
+
+  HierarchyConfig cfg;
+  cfg.fanoutBound = fanout;
+  cfg.depthAware = GetParam() % 2 == 0;
+  const auto h = RefreshHierarchy::build(0, ms, fromMatrix(m), 5.0, cfg);
+
+  h.checkInvariants();
+  EXPECT_EQ(h.memberCount(), members + 1);
+  for (NodeId n : ms) {
+    EXPECT_TRUE(h.isMember(n));
+    EXPECT_NE(h.parentOf(n), kNoNode);
+    EXPECT_LE(h.childrenOf(n).size(), fanout);
+    EXPECT_TRUE(h.isAncestor(0, n));
+  }
+  EXPECT_LE(h.childrenOf(0).size(), fanout);
+  EXPECT_EQ(h.membersBelowRoot().size(), members);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, HierarchyProperty, ::testing::Range(0, 30));
+
+/// Mutation property: arbitrary valid reparent/remove/add sequences keep
+/// the structure sound.
+class HierarchyMutationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(HierarchyMutationProperty, RepairsPreserveInvariants) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const std::size_t members = 8;
+  const std::size_t fanout = 3;
+  std::vector<NodeId> ms;
+  for (NodeId n = 1; n <= members; ++n) ms.push_back(n);
+  HierarchyConfig cfg;
+  cfg.fanoutBound = fanout;
+  auto h = RefreshHierarchy::build(0, ms, uniformRate(0.5), 5.0, cfg);
+
+  for (int step = 0; step < 50; ++step) {
+    const auto below = h.membersBelowRoot();
+    if (below.empty()) break;
+    const NodeId n = below[static_cast<std::size_t>(
+        rng.uniformInt(0, static_cast<std::int64_t>(below.size()) - 1))];
+    const int op = static_cast<int>(rng.uniformInt(0, 2));
+    if (op == 0) {
+      // Try a random legal reparent.
+      const NodeId p = below[static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(below.size()) - 1))];
+      if (p != n && !h.isAncestor(n, p) && h.parentOf(n) != p &&
+          h.childrenOf(p).size() < fanout) {
+        h.reparent(n, p, fanout);
+      }
+    } else if (op == 1 && h.memberCount() > 2) {
+      h.removeMember(n);
+    } else {
+      const NodeId fresh = static_cast<NodeId>(100 + step);
+      if (!h.isMember(fresh) && h.childrenOf(h.root()).size() < fanout)
+        h.addMember(fresh, h.root(), fanout);
+    }
+    h.checkInvariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMutations, HierarchyMutationProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dtncache::core

@@ -1,0 +1,223 @@
+#include "core/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/freshness.hpp"
+#include "sim/rng.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+namespace {
+
+RateFn fromMatrix(const trace::RateMatrix& m) {
+  return [&m](NodeId i, NodeId j) { return m.rate(i, j); };
+}
+
+/// Star tree: root 0 with members 1..n attached directly. Built explicitly
+/// (not greedily) so each test fully controls the topology it analyzes.
+RefreshHierarchy star(const trace::RateMatrix& m, std::size_t n, double tau) {
+  HierarchyConfig cfg;
+  cfg.fanoutBound = n;
+  auto h = RefreshHierarchy::build(0, {}, fromMatrix(m), tau, cfg);
+  for (NodeId i = 1; i <= n; ++i) h.addMember(i, 0, n);
+  h.checkInvariants();
+  return h;
+}
+
+TEST(Replication, StrongChainNeedsNoHelpers) {
+  trace::RateMatrix m(3);
+  m.setRate(0, 1, 10.0);
+  m.setRate(0, 2, 10.0);
+  const auto h = star(m, 2, 1.0);
+  ReplicationConfig cfg;
+  cfg.theta = 0.9;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  EXPECT_EQ(plan.totalAssignments(), 0u);
+  EXPECT_TRUE(plan.unmetNodes().empty());
+  EXPECT_GE(plan.predictedProbability(1), 0.9);
+}
+
+TEST(Replication, WeakNodeGetsHelpers) {
+  trace::RateMatrix m(4);
+  m.setRate(0, 1, 10.0);   // node 1: strong
+  m.setRate(0, 2, 10.0);   // node 2: strong
+  m.setRate(0, 3, 0.1);    // node 3: weak direct link...
+  m.setRate(1, 3, 5.0);    // ...but node 1 meets it often
+  const auto h = star(m, 3, 1.0);
+  ReplicationConfig cfg;
+  cfg.theta = 0.9;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  EXPECT_TRUE(plan.isHelper(1, 3));
+  EXPECT_GE(plan.predictedProbability(3), 0.9);
+  EXPECT_TRUE(plan.unmetNodes().empty());
+  // Strong nodes got nothing.
+  EXPECT_TRUE(plan.helpersOf(1).empty());
+  EXPECT_TRUE(plan.helpersOf(2).empty());
+}
+
+TEST(Replication, DisabledPlansNothing) {
+  trace::RateMatrix m(4);
+  m.setRate(0, 1, 10.0);
+  m.setRate(0, 2, 10.0);
+  m.setRate(0, 3, 0.1);
+  m.setRate(1, 3, 5.0);
+  const auto h = star(m, 3, 1.0);
+  ReplicationConfig cfg;
+  cfg.theta = 0.9;
+  cfg.enabled = false;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  EXPECT_EQ(plan.totalAssignments(), 0u);
+  EXPECT_FALSE(plan.unmetNodes().empty());  // requirement honestly unmet
+  EXPECT_LT(plan.predictedProbability(3), 0.9);
+}
+
+TEST(Replication, ImpossibleRequirementReportedUnmet) {
+  trace::RateMatrix m(3);
+  m.setRate(0, 1, 0.01);
+  m.setRate(0, 2, 0.01);
+  m.setRate(1, 2, 0.01);
+  const auto h = star(m, 2, 1.0);
+  ReplicationConfig cfg;
+  cfg.theta = 0.999;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  EXPECT_EQ(plan.unmetNodes().size(), 2u);
+}
+
+TEST(Replication, HelperCapRespected) {
+  const std::size_t n = 8;
+  trace::RateMatrix m(n + 1);
+  for (NodeId i = 1; i <= n; ++i) m.setRate(0, i, 0.2);
+  for (NodeId i = 1; i <= n; ++i)
+    for (NodeId j = i + 1; j <= n; ++j) m.setRate(i, j, 0.2);
+  const auto h = star(m, n, 1.0);
+  ReplicationConfig cfg;
+  cfg.theta = 0.9999;  // unreachable: forces exhaustion
+  cfg.maxHelpersPerNode = 3;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  for (NodeId i = 1; i <= n; ++i) EXPECT_LE(plan.helpersOf(i).size(), 3u);
+}
+
+TEST(Replication, ParentNeverAssignedAsHelper) {
+  trace::RateMatrix m(3);
+  m.setRate(0, 1, 0.3);
+  m.setRate(0, 2, 0.3);
+  m.setRate(1, 2, 5.0);
+  const auto h = star(m, 2, 1.0);
+  ReplicationConfig cfg;
+  cfg.theta = 0.99;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  EXPECT_FALSE(plan.isHelper(0, 1));  // 0 is already 1's parent
+  EXPECT_FALSE(plan.isHelper(0, 2));
+}
+
+TEST(Replication, DescendantsExcludedAsHelpers) {
+  // Chain 0 -> 1 -> 2 with a strong upward 2→1 rate: 2 must not be chosen
+  // to help 1 — it receives versions *through* 1.
+  trace::RateMatrix m(3);
+  m.setRate(0, 1, 0.2);
+  m.setRate(1, 2, 5.0);
+  HierarchyConfig hcfg;
+  hcfg.fanoutBound = 1;
+  const auto h = RefreshHierarchy::build(0, {1, 2}, fromMatrix(m), 1.0, hcfg);
+  ASSERT_EQ(h.parentOf(2), 1u);
+  ReplicationConfig cfg;
+  cfg.theta = 0.99;
+  const auto plan = planReplication(h, fromMatrix(m), 1.0, cfg);
+  EXPECT_FALSE(plan.isHelper(2, 1));
+}
+
+TEST(Replication, PredictionMatchesCombinedFormula) {
+  trace::RateMatrix m(4);
+  m.setRate(0, 1, 10.0);
+  m.setRate(0, 2, 10.0);
+  m.setRate(0, 3, 0.1);
+  m.setRate(1, 3, 1.0);
+  m.setRate(2, 3, 0.8);
+  const double tau = 1.0;
+  const auto h = star(m, 3, tau);
+  ReplicationConfig cfg;
+  cfg.theta = 0.95;
+  cfg.maxHelpersPerNode = 2;
+  const auto plan = planReplication(h, fromMatrix(m), tau, cfg);
+  const double chain = chainRefreshProbability({0.1}, tau);
+  std::vector<double> hs;
+  for (NodeId k : plan.helpersOf(3))
+    hs.push_back(helperContribution(h.chainRates(k, fromMatrix(m)), m.rate(k, 3), tau));
+  EXPECT_NEAR(plan.predictedProbability(3), combinedRefreshProbability(chain, hs), 1e-12);
+}
+
+TEST(Replication, HighestRateOrderCanDifferFromContribution) {
+  // Helper A: high rate to target but itself starved (slow chain).
+  // Helper B: moderate rate, always fresh. Contribution order picks B
+  // first; raw-rate order picks A first.
+  trace::RateMatrix m(4);
+  m.setRate(0, 1, 0.05);   // target's weak parent link (target = 1)
+  m.setRate(0, 2, 0.01);   // helper A's slow chain
+  m.setRate(2, 1, 8.0);    // helper A: great reach
+  m.setRate(0, 3, 10.0);   // helper B: always fresh
+  m.setRate(3, 1, 1.0);    // helper B: moderate reach
+  const auto h = star(m, 3, 1.0);
+  ReplicationConfig byContribution;
+  byContribution.theta = 0.9;
+  byContribution.maxHelpersPerNode = 1;
+  byContribution.order = HelperOrder::kBestContribution;
+  const auto p1 = planReplication(h, fromMatrix(m), 1.0, byContribution);
+  ASSERT_EQ(p1.helpersOf(1).size(), 1u);
+  EXPECT_EQ(p1.helpersOf(1)[0], 3u);
+
+  ReplicationConfig byRate = byContribution;
+  byRate.order = HelperOrder::kHighestRate;
+  const auto p2 = planReplication(h, fromMatrix(m), 1.0, byRate);
+  ASSERT_EQ(p2.helpersOf(1).size(), 1u);
+  EXPECT_EQ(p2.helpersOf(1)[0], 2u);
+  EXPECT_GT(p1.predictedProbability(1), p2.predictedProbability(1));
+}
+
+/// Property suite: on random topologies, the plan must (a) never assign a
+/// helper to a node that already meets θ through its chain, (b) predict at
+/// least the chain probability for everyone, and (c) meet θ whenever it
+/// claims to (no unmet node has predicted ≥ θ, no met node < θ).
+class ReplicationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ReplicationProperty, PlanIsSoundOnRandomTopologies) {
+  sim::Rng rng(static_cast<std::uint64_t>(GetParam()) * 913 + 3);
+  const std::size_t members = 3 + GetParam() % 10;
+  trace::RateMatrix m(members + 1);
+  for (NodeId i = 0; i <= members; ++i)
+    for (NodeId j = i + 1; j <= members; ++j)
+      if (rng.bernoulli(0.7)) m.setRate(i, j, rng.uniform(0.01, 3.0));
+  std::vector<NodeId> ms;
+  for (NodeId n = 1; n <= members; ++n) ms.push_back(n);
+  HierarchyConfig hcfg;
+  hcfg.fanoutBound = 3;
+  const double tau = 1.0;
+  const auto h = RefreshHierarchy::build(0, ms, fromMatrix(m), tau, hcfg);
+
+  ReplicationConfig cfg;
+  cfg.theta = 0.5 + 0.4 * rng.uniform();
+  const auto plan = planReplication(h, fromMatrix(m), tau, cfg);
+
+  for (NodeId n : ms) {
+    const double chain = chainRefreshProbability(h.chainRates(n, fromMatrix(m)), tau);
+    const double predicted = plan.predictedProbability(n);
+    EXPECT_GE(predicted, chain - 1e-12);
+    if (chain >= cfg.theta) {
+      EXPECT_TRUE(plan.helpersOf(n).empty());
+    }
+    const bool unmet = std::find(plan.unmetNodes().begin(), plan.unmetNodes().end(), n) !=
+                       plan.unmetNodes().end();
+    EXPECT_EQ(unmet, predicted < cfg.theta);
+    for (NodeId k : plan.helpersOf(n)) {
+      EXPECT_NE(k, n);
+      EXPECT_NE(k, h.parentOf(n));
+      EXPECT_FALSE(h.isAncestor(n, k));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTopologies, ReplicationProperty, ::testing::Range(0, 30));
+
+}  // namespace
+}  // namespace dtncache::core

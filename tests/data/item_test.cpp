@@ -1,0 +1,124 @@
+#include "data/item.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::data {
+namespace {
+
+ItemSpec spec(sim::SimTime tau = 100.0, sim::SimTime lifetime = 200.0,
+              sim::SimTime birth = 0.0) {
+  ItemSpec s;
+  s.id = 0;
+  s.source = 3;
+  s.refreshPeriod = tau;
+  s.lifetime = lifetime;
+  s.birth = birth;
+  return s;
+}
+
+TEST(VersionClock, CurrentVersionAdvancesPeriodically) {
+  VersionClock c(spec());
+  EXPECT_EQ(c.currentVersion(0.0), 0u);
+  EXPECT_EQ(c.currentVersion(99.9), 0u);
+  EXPECT_EQ(c.currentVersion(100.0), 1u);
+  EXPECT_EQ(c.currentVersion(250.0), 2u);
+  EXPECT_EQ(c.currentVersion(1000.0), 10u);
+}
+
+TEST(VersionClock, BirthOffset) {
+  VersionClock c(spec(100.0, 200.0, 50.0));
+  EXPECT_EQ(c.currentVersion(0.0), 0u);
+  EXPECT_EQ(c.currentVersion(149.0), 0u);
+  EXPECT_EQ(c.currentVersion(150.0), 1u);
+  EXPECT_DOUBLE_EQ(c.creationTime(1), 150.0);
+}
+
+TEST(VersionClock, CreationTimeInvertsCurrentVersion) {
+  VersionClock c(spec());
+  for (Version v = 0; v < 20; ++v) {
+    EXPECT_EQ(c.currentVersion(c.creationTime(v)), v);
+    EXPECT_EQ(c.currentVersion(c.creationTime(v) + 99.0), v);
+  }
+}
+
+TEST(VersionClock, NextRefreshAfter) {
+  VersionClock c(spec());
+  EXPECT_DOUBLE_EQ(c.nextRefreshAfter(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(c.nextRefreshAfter(100.0), 200.0);
+  EXPECT_DOUBLE_EQ(c.nextRefreshAfter(150.0), 200.0);
+}
+
+TEST(VersionClock, FreshnessTracksCurrentVersion) {
+  VersionClock c(spec());
+  EXPECT_TRUE(c.isFresh(0, 50.0));
+  EXPECT_FALSE(c.isFresh(0, 150.0));
+  EXPECT_TRUE(c.isFresh(1, 150.0));
+  EXPECT_FALSE(c.isFresh(2, 150.0));  // future versions are not "fresh now"
+}
+
+TEST(VersionClock, ExpiryAtLifetime) {
+  VersionClock c(spec(100.0, 150.0));
+  EXPECT_TRUE(c.isValid(0, 149.0));
+  EXPECT_FALSE(c.isValid(0, 150.0));
+  // Version 1 created at 100, expires at 250.
+  EXPECT_TRUE(c.isValid(1, 249.0));
+  EXPECT_TRUE(c.isExpired(1, 250.0));
+}
+
+TEST(VersionClock, StaleButValidWindow) {
+  // lifetime = 2τ: a copy is stale for its second period but still valid.
+  VersionClock c(spec(100.0, 200.0));
+  EXPECT_FALSE(c.isFresh(0, 150.0));
+  EXPECT_TRUE(c.isValid(0, 150.0));
+  EXPECT_FALSE(c.isValid(0, 200.0));
+}
+
+TEST(VersionClock, LifetimeShorterThanPeriodRejected) {
+  EXPECT_THROW(VersionClock(spec(100.0, 50.0)), InvariantViolation);
+}
+
+TEST(Catalog, DenseIdsEnforced) {
+  ItemSpec a = spec();
+  a.id = 1;  // should have been 0
+  EXPECT_THROW(Catalog({a}), InvariantViolation);
+}
+
+TEST(Catalog, ItemsOfFindsSources) {
+  CatalogConfig cfg;
+  cfg.itemCount = 6;
+  cfg.nodeCount = 3;
+  const Catalog c = makeUniformCatalog(cfg);
+  std::size_t total = 0;
+  for (NodeId n = 0; n < 3; ++n) total += c.itemsOf(n).size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(Catalog, UniformCatalogShape) {
+  CatalogConfig cfg;
+  cfg.itemCount = 10;
+  cfg.nodeCount = 50;
+  cfg.refreshPeriod = sim::hours(4);
+  cfg.lifetimeFactor = 3.0;
+  const Catalog c = makeUniformCatalog(cfg);
+  ASSERT_EQ(c.size(), 10u);
+  for (ItemId id = 0; id < 10; ++id) {
+    EXPECT_EQ(c.spec(id).id, id);
+    EXPECT_LT(c.spec(id).source, 50u);
+    EXPECT_DOUBLE_EQ(c.spec(id).refreshPeriod, sim::hours(4));
+    EXPECT_DOUBLE_EQ(c.spec(id).lifetime, sim::hours(12));
+  }
+}
+
+TEST(Catalog, SourcesAreSpreadAcrossNodes) {
+  CatalogConfig cfg;
+  cfg.itemCount = 5;
+  cfg.nodeCount = 97;
+  const Catalog c = makeUniformCatalog(cfg);
+  // No two of the first handful of items should share a source.
+  for (ItemId i = 0; i < 5; ++i)
+    for (ItemId j = i + 1; j < 5; ++j)
+      EXPECT_NE(c.spec(i).source, c.spec(j).source);
+}
+
+}  // namespace
+}  // namespace dtncache::data

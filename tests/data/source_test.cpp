@@ -1,0 +1,89 @@
+#include "data/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dtncache::data {
+namespace {
+
+Catalog twoItems() {
+  ItemSpec a;
+  a.id = 0;
+  a.source = 0;
+  a.refreshPeriod = 100.0;
+  a.lifetime = 200.0;
+  ItemSpec b;
+  b.id = 1;
+  b.source = 1;
+  b.refreshPeriod = 150.0;
+  b.lifetime = 300.0;
+  return Catalog({a, b});
+}
+
+TEST(SourceProcess, FiresEveryPeriodUntilHorizon) {
+  sim::Simulator s;
+  const Catalog c = twoItems();
+  SourceProcess src(s, c, /*horizon=*/500.0);
+  std::vector<std::pair<ItemId, Version>> bumps;
+  src.addListener([&](ItemId item, Version v, sim::SimTime) { bumps.push_back({item, v}); });
+  s.run();
+  // Item 0: versions 1..5 at t=100..500; item 1: versions 1..3 at 150,300,450.
+  std::size_t item0 = 0;
+  std::size_t item1 = 0;
+  for (const auto& [item, v] : bumps) (item == 0 ? item0 : item1)++;
+  EXPECT_EQ(item0, 5u);
+  EXPECT_EQ(item1, 3u);
+  EXPECT_EQ(src.refreshCount(), 8u);
+}
+
+TEST(SourceProcess, VersionsMatchClockAtBumpTime) {
+  sim::Simulator s;
+  const Catalog c = twoItems();
+  SourceProcess src(s, c, 500.0);
+  src.addListener([&](ItemId item, Version v, sim::SimTime t) {
+    EXPECT_EQ(v, c.clock(item).currentVersion(t));
+    EXPECT_DOUBLE_EQ(c.clock(item).creationTime(v), t);
+  });
+  s.run();
+}
+
+TEST(SourceProcess, VersionsAreSequential) {
+  sim::Simulator s;
+  const Catalog c = twoItems();
+  SourceProcess src(s, c, 1000.0);
+  Version last0 = 0;
+  src.addListener([&](ItemId item, Version v, sim::SimTime) {
+    if (item == 0) {
+      EXPECT_EQ(v, last0 + 1);
+      last0 = v;
+    }
+  });
+  s.run();
+  EXPECT_EQ(last0, 10u);
+}
+
+TEST(SourceProcess, MultipleListenersAllNotified) {
+  sim::Simulator s;
+  const Catalog c = twoItems();
+  SourceProcess src(s, c, 100.0);
+  int first = 0;
+  int second = 0;
+  src.addListener([&](ItemId, Version, sim::SimTime) { ++first; });
+  src.addListener([&](ItemId, Version, sim::SimTime) { ++second; });
+  s.run();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 1);
+}
+
+TEST(SourceProcess, NoEventsPastHorizon) {
+  sim::Simulator s;
+  const Catalog c = twoItems();
+  SourceProcess src(s, c, 99.0);  // before the first bump
+  s.run();
+  EXPECT_EQ(src.refreshCount(), 0u);
+  EXPECT_EQ(s.pendingEvents(), 0u);
+}
+
+}  // namespace
+}  // namespace dtncache::data

@@ -1,0 +1,110 @@
+#include "data/workload.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dtncache::data {
+namespace {
+
+Catalog smallCatalog(std::size_t items = 5) {
+  CatalogConfig cfg;
+  cfg.itemCount = items;
+  cfg.nodeCount = 20;
+  return makeUniformCatalog(cfg);
+}
+
+WorkloadConfig baseConfig() {
+  WorkloadConfig w;
+  w.queriesPerNodePerDay = 4.0;
+  w.zipfExponent = 1.0;
+  w.queryDeadline = sim::hours(6);
+  w.start = 0.0;
+  w.end = sim::days(10);
+  w.seed = 3;
+  return w;
+}
+
+TEST(QueryWorkload, VolumeMatchesRate) {
+  sim::Simulator s;
+  const Catalog c = smallCatalog();
+  QueryWorkload w(s, c, 20, baseConfig());
+  // E[#queries] = 4 * 20 nodes * 10 days = 800.
+  const auto n = static_cast<double>(w.plannedQueries().size());
+  EXPECT_NEAR(n, 800.0, 90.0);
+}
+
+TEST(QueryWorkload, ListenersFireForEveryPlannedQuery) {
+  sim::Simulator s;
+  const Catalog c = smallCatalog();
+  QueryWorkload w(s, c, 20, baseConfig());
+  std::size_t fired = 0;
+  w.addListener([&](const Query&) { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, w.plannedQueries().size());
+  EXPECT_EQ(w.issuedCount(), w.plannedQueries().size());
+}
+
+TEST(QueryWorkload, QueriesAreTimeOrderedWithinWindow) {
+  sim::Simulator s;
+  const Catalog c = smallCatalog();
+  const auto cfg = baseConfig();
+  QueryWorkload w(s, c, 20, cfg);
+  sim::SimTime last = 0.0;
+  for (const Query& q : w.plannedQueries()) {
+    EXPECT_GE(q.issueTime, last);
+    EXPECT_LT(q.issueTime, cfg.end);
+    EXPECT_DOUBLE_EQ(q.deadline, q.issueTime + cfg.queryDeadline);
+    last = q.issueTime;
+  }
+}
+
+TEST(QueryWorkload, RequestersInRangeAndIdsUnique) {
+  sim::Simulator s;
+  const Catalog c = smallCatalog();
+  QueryWorkload w(s, c, 20, baseConfig());
+  std::vector<bool> seen(1 + w.plannedQueries().size(), false);
+  for (const Query& q : w.plannedQueries()) {
+    EXPECT_LT(q.requester, 20u);
+    ASSERT_LT(q.id, seen.size());
+    EXPECT_FALSE(seen[q.id]);
+    seen[q.id] = true;
+  }
+}
+
+TEST(QueryWorkload, ZipfSkewsItemPopularity) {
+  sim::Simulator s;
+  const Catalog c = smallCatalog(10);
+  auto cfg = baseConfig();
+  cfg.zipfExponent = 1.2;
+  cfg.end = sim::days(50);
+  QueryWorkload w(s, c, 20, cfg);
+  std::vector<std::size_t> counts(10, 0);
+  for (const Query& q : w.plannedQueries()) ++counts[q.item];
+  EXPECT_GT(counts[0], counts[9] * 3);
+}
+
+TEST(QueryWorkload, DeterministicInSeed) {
+  sim::Simulator s1, s2;
+  const Catalog c = smallCatalog();
+  QueryWorkload w1(s1, c, 20, baseConfig());
+  QueryWorkload w2(s2, c, 20, baseConfig());
+  ASSERT_EQ(w1.plannedQueries().size(), w2.plannedQueries().size());
+  for (std::size_t i = 0; i < w1.plannedQueries().size(); ++i) {
+    EXPECT_DOUBLE_EQ(w1.plannedQueries()[i].issueTime, w2.plannedQueries()[i].issueTime);
+    EXPECT_EQ(w1.plannedQueries()[i].item, w2.plannedQueries()[i].item);
+    EXPECT_EQ(w1.plannedQueries()[i].requester, w2.plannedQueries()[i].requester);
+  }
+}
+
+TEST(QueryWorkload, ZeroRateMeansNoQueries) {
+  sim::Simulator s;
+  const Catalog c = smallCatalog();
+  auto cfg = baseConfig();
+  cfg.queriesPerNodePerDay = 0.0;
+  QueryWorkload w(s, c, 20, cfg);
+  EXPECT_TRUE(w.plannedQueries().empty());
+}
+
+}  // namespace
+}  // namespace dtncache::data

@@ -1,0 +1,84 @@
+/// Full-stack churn runs: contacts suppressed, queries gated, hierarchy
+/// repaired, metrics sane.
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace dtncache::runner {
+namespace {
+
+ExperimentConfig churnConfig(bool repair) {
+  ExperimentConfig c;
+  c.trace = trace::homogeneousConfig(20, 4.0, sim::days(10), 3);
+  c.catalog.itemCount = 4;
+  c.catalog.refreshPeriod = sim::hours(12);
+  c.workload.queriesPerNodePerDay = 2.0;
+  c.cache.cachingNodesPerItem = 8;
+  c.hierarchical.useOracleRates = true;
+  c.churnEnabled = true;
+  c.churnRepairEnabled = repair;
+  c.churn.meanUptime = sim::days(1);
+  c.churn.meanDowntime = sim::hours(12);
+  return c;
+}
+
+TEST(Churn, SuppressesContactsAndStillRuns) {
+  const auto out = runExperiment(churnConfig(true));
+  EXPECT_GT(out.churnTransitions, 10u);
+  EXPECT_GT(out.contactsSuppressed, 100u);
+  EXPECT_GT(out.results.meanFreshFraction, 0.0);
+  EXPECT_LE(out.results.meanFreshFraction, 1.0);
+}
+
+TEST(Churn, RepairsFireOnMembershipFlips) {
+  const auto out = runExperiment(churnConfig(true));
+  EXPECT_GT(out.churnRepairs, 0u);
+}
+
+TEST(Churn, NoRepairArmNeverRepairs) {
+  const auto out = runExperiment(churnConfig(false));
+  EXPECT_EQ(out.churnRepairs, 0u);
+  EXPECT_GT(out.contactsSuppressed, 0u);
+}
+
+TEST(Churn, ReducesFreshnessVersusNoChurn) {
+  auto cfg = churnConfig(true);
+  const double withChurn = runExperiment(cfg).results.meanFreshFraction;
+  cfg.churnEnabled = false;
+  const double without = runExperiment(cfg).results.meanFreshFraction;
+  EXPECT_LT(withChurn, without);
+}
+
+TEST(Churn, BaselinesRunUnderChurn) {
+  for (SchemeKind kind : {SchemeKind::kEpidemic, SchemeKind::kFlooding,
+                          SchemeKind::kPull, SchemeKind::kNoRefresh}) {
+    auto cfg = churnConfig(false);
+    cfg.scheme = kind;
+    const auto out = runExperiment(cfg);
+    EXPECT_GE(out.results.meanFreshFraction, 0.0) << schemeName(kind);
+    EXPECT_GT(out.contactsSuppressed, 0u) << schemeName(kind);
+    EXPECT_EQ(out.churnRepairs, 0u) << schemeName(kind);
+  }
+}
+
+TEST(Churn, DeterministicWithChurnEnabled) {
+  const auto a = runExperiment(churnConfig(true));
+  const auto b = runExperiment(churnConfig(true));
+  EXPECT_DOUBLE_EQ(a.results.meanFreshFraction, b.results.meanFreshFraction);
+  EXPECT_EQ(a.churnTransitions, b.churnTransitions);
+  EXPECT_EQ(a.churnRepairs, b.churnRepairs);
+}
+
+TEST(Churn, DownRequestersIssueNoQueries) {
+  // With churn, fewer queries reach the collector than the workload planned.
+  auto cfg = churnConfig(true);
+  const auto withChurn = runExperiment(cfg);
+  cfg.churnEnabled = false;
+  const auto without = runExperiment(cfg);
+  EXPECT_LT(withChurn.results.queries.issued, without.results.queries.issued);
+  EXPECT_GT(withChurn.results.queries.issued, 0u);
+}
+
+}  // namespace
+}  // namespace dtncache::runner

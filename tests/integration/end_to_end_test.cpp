@@ -1,0 +1,129 @@
+/// End-to-end runs through the runner: full stack, generated traces,
+/// workload, every scheme. These are the "does the whole system behave"
+/// tests; module correctness lives in the per-module suites.
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace dtncache::runner {
+namespace {
+
+ExperimentConfig smallConfig(SchemeKind scheme = SchemeKind::kHierarchical) {
+  ExperimentConfig c;
+  c.trace = trace::homogeneousConfig(20, 4.0, sim::days(10), 3);
+  c.catalog.itemCount = 5;
+  c.catalog.refreshPeriod = sim::hours(12);
+  c.workload.queriesPerNodePerDay = 3.0;
+  c.workload.queryDeadline = sim::hours(12);
+  c.cache.cachingNodesPerItem = 6;
+  c.estimatorWarmup = sim::days(3);
+  c.scheme = scheme;
+  return c;
+}
+
+TEST(EndToEnd, HierarchicalRunProducesSaneMetrics) {
+  const auto out = runExperiment(smallConfig());
+  const auto& r = out.results;
+  EXPECT_EQ(out.scheme, "Hierarchical");
+  EXPECT_GT(r.meanFreshFraction, 0.3);
+  EXPECT_LE(r.meanFreshFraction, 1.0);
+  EXPECT_GT(r.queries.issued, 100u);
+  EXPECT_GT(r.queries.answeredRatio(), 0.3);
+  EXPECT_GT(r.refreshPushes, 0u);
+  EXPECT_GT(r.transfers.of(net::Traffic::kControl).messages, 0u);
+  EXPECT_EQ(r.copiesTracked, 5u * 6u);
+  EXPECT_FALSE(r.freshOverTime.empty());
+  EXPECT_GT(out.maxHierarchyDepth, 0u);
+}
+
+TEST(EndToEnd, DeterministicAcrossRuns) {
+  const auto a = runExperiment(smallConfig());
+  const auto b = runExperiment(smallConfig());
+  EXPECT_DOUBLE_EQ(a.results.meanFreshFraction, b.results.meanFreshFraction);
+  EXPECT_EQ(a.results.queries.answered, b.results.queries.answered);
+  EXPECT_EQ(a.results.transfers.total().bytes, b.results.transfers.total().bytes);
+  EXPECT_EQ(a.replicationAssignments, b.replicationAssignments);
+}
+
+TEST(EndToEnd, SeedChangesOutcome) {
+  auto cfg = smallConfig();
+  const auto a = runExperiment(cfg);
+  cfg.seed = 2;
+  const auto b = runExperiment(cfg);
+  EXPECT_NE(a.results.transfers.total().bytes, b.results.transfers.total().bytes);
+}
+
+TEST(EndToEnd, EverySchemeRunsToCompletion) {
+  for (SchemeKind kind : allSchemes()) {
+    const auto out = runExperiment(smallConfig(kind));
+    EXPECT_GE(out.results.meanFreshFraction, 0.0) << out.scheme;
+    EXPECT_LE(out.results.meanFreshFraction, 1.0) << out.scheme;
+    EXPECT_GT(out.results.queries.issued, 0u) << out.scheme;
+  }
+}
+
+TEST(EndToEnd, FreshnessNeverExceedsFloodingCeiling) {
+  auto cfg = smallConfig();
+  double flooding = 0.0;
+  std::vector<std::pair<std::string, double>> others;
+  for (SchemeKind kind : allSchemes()) {
+    cfg.scheme = kind;
+    const auto out = runExperiment(cfg);
+    if (kind == SchemeKind::kFlooding)
+      flooding = out.results.meanFreshFraction;
+    else
+      others.push_back({out.scheme, out.results.meanFreshFraction});
+  }
+  for (const auto& [name, fresh] : others)
+    EXPECT_LE(fresh, flooding + 0.05) << name;
+}
+
+TEST(EndToEnd, HierarchicalBeatsNoRefreshAndSourceDirect) {
+  auto cfg = smallConfig();
+  cfg.scheme = SchemeKind::kHierarchical;
+  const double h = runExperiment(cfg).results.meanFreshFraction;
+  cfg.scheme = SchemeKind::kNoRefresh;
+  const double n = runExperiment(cfg).results.meanFreshFraction;
+  cfg.scheme = SchemeKind::kSourceDirect;
+  const double s = runExperiment(cfg).results.meanFreshFraction;
+  EXPECT_GT(h, n);
+  EXPECT_GT(h, s);
+}
+
+TEST(EndToEnd, QueryValidityTracksFreshness) {
+  // A scheme with much fresher caches must answer at least as many queries
+  // with valid data.
+  auto cfg = smallConfig();
+  cfg.scheme = SchemeKind::kHierarchical;
+  const auto h = runExperiment(cfg).results;
+  cfg.scheme = SchemeKind::kNoRefresh;
+  const auto n = runExperiment(cfg).results;
+  EXPECT_GT(h.queries.successRatio(), n.queries.successRatio());
+}
+
+TEST(EndToEnd, WorkloadCanBeDisabled) {
+  auto cfg = smallConfig();
+  cfg.workload.queriesPerNodePerDay = 0.0;
+  const auto out = runExperiment(cfg);
+  EXPECT_EQ(out.results.queries.issued, 0u);
+  EXPECT_GT(out.results.meanFreshFraction, 0.0);
+}
+
+TEST(EndToEnd, RunSchemeComparisonCoversAll) {
+  const auto outs = runSchemeComparison(smallConfig());
+  ASSERT_EQ(outs.size(), allSchemes().size());
+  EXPECT_EQ(outs[0].scheme, "Hierarchical");
+}
+
+TEST(EndToEnd, ColdStartPlacementEventuallyFillsCaches) {
+  auto cfg = smallConfig();
+  cfg.cache.warmStart = false;
+  const auto out = runExperiment(cfg);
+  // Placement traffic must exist and most copies must arrive over 10 days.
+  EXPECT_GT(out.results.transfers.of(net::Traffic::kPlacement).bytes, 0u);
+  EXPECT_GT(out.results.copiesTracked, 5u * 6u / 2);
+}
+
+}  // namespace
+}  // namespace dtncache::runner

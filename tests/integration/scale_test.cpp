@@ -1,0 +1,46 @@
+/// Scale guard: a network well beyond the presets must complete in bounded
+/// time with sane metrics — a regression trap for accidental quadratic
+/// blowups in contact handling or maintenance.
+
+#include <chrono>
+
+#include <gtest/gtest.h>
+
+#include "runner/experiment.hpp"
+
+namespace dtncache::runner {
+namespace {
+
+TEST(Scale, TwoHundredNodesSixtyDays) {
+  ExperimentConfig c;
+  c.trace.nodeCount = 200;
+  c.trace.duration = sim::days(60);
+  c.trace.model = trace::RateModel::kCommunity;
+  c.trace.communities = 10;
+  c.trace.meanContactsPerPairPerDay = 0.15;
+  c.trace.seed = 5;
+  c.catalog.itemCount = 20;
+  c.catalog.refreshPeriod = sim::days(2);
+  c.workload.queriesPerNodePerDay = 1.0;
+  c.workload.queryDeadline = sim::days(1);
+  c.cache.cachingNodesPerItem = 12;
+  c.hierarchical.useOracleRates = true;
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto out = runExperiment(c);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  EXPECT_EQ(out.traceStats.nodeCount, 200u);
+  EXPECT_GT(out.traceStats.contactCount, 100000u);
+  EXPECT_GT(out.results.meanFreshFraction, 0.1);
+  EXPECT_GT(out.results.queries.issued, 5000u);
+  EXPECT_EQ(out.results.copiesTracked, 20u * 12u);
+  // Generous wall-clock bound (CI machines vary); the preset runs take
+  // well under a second, so 60 s flags only catastrophic regressions.
+  EXPECT_LT(elapsed, 60);
+}
+
+}  // namespace
+}  // namespace dtncache::runner

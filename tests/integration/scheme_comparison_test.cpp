@@ -1,0 +1,108 @@
+/// Paired-comparison properties on the preset traces — the qualitative
+/// shapes the paper's evaluation rests on, asserted as tests so a
+/// regression in any module that would flip a paper conclusion fails CI.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "runner/experiment.hpp"
+
+namespace dtncache::runner {
+namespace {
+
+ExperimentConfig infocomConfig() {
+  ExperimentConfig c;
+  c.trace = trace::infocomLikeConfig(11);
+  c.catalog.itemCount = 8;
+  c.catalog.refreshPeriod = sim::hours(6);
+  c.workload.queriesPerNodePerDay = 2.0;
+  c.workload.queryDeadline = sim::hours(3);
+  c.cache.cachingNodesPerItem = 8;
+  return c;
+}
+
+class InfocomComparison : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    results_ = new std::vector<ExperimentOutput>(runSchemeComparison(infocomConfig()));
+  }
+  static void TearDownTestSuite() {
+    delete results_;
+    results_ = nullptr;
+  }
+  static const ExperimentOutput& of(SchemeKind kind) {
+    const auto schemes = allSchemes();
+    const auto it = std::find(schemes.begin(), schemes.end(), kind);
+    return (*results_)[static_cast<std::size_t>(it - schemes.begin())];
+  }
+  static std::vector<ExperimentOutput>* results_;
+};
+
+std::vector<ExperimentOutput>* InfocomComparison::results_ = nullptr;
+
+TEST_F(InfocomComparison, HierarchicalNearEpidemicFreshness) {
+  const double h = of(SchemeKind::kHierarchical).results.meanFreshFraction;
+  const double e = of(SchemeKind::kEpidemic).results.meanFreshFraction;
+  EXPECT_GT(h, 0.9 * e);
+}
+
+TEST_F(InfocomComparison, HierarchicalFarAboveNoRefresh) {
+  const double h = of(SchemeKind::kHierarchical).results.meanFreshFraction;
+  const double n = of(SchemeKind::kNoRefresh).results.meanFreshFraction;
+  EXPECT_GT(h, 3.0 * n);
+}
+
+TEST_F(InfocomComparison, HierarchicalMuchCheaperThanFlooding) {
+  const auto h = of(SchemeKind::kHierarchical).results.transfers.of(net::Traffic::kRefresh);
+  const auto f = of(SchemeKind::kFlooding).results.transfers.of(net::Traffic::kRefresh);
+  EXPECT_LT(h.bytes, f.bytes);
+  // ...while retaining most of its freshness.
+  EXPECT_GT(of(SchemeKind::kHierarchical).results.meanFreshFraction,
+            0.75 * of(SchemeKind::kFlooding).results.meanFreshFraction);
+}
+
+TEST_F(InfocomComparison, SourceDirectIsWeaker) {
+  EXPECT_LT(of(SchemeKind::kSourceDirect).results.meanFreshFraction,
+            of(SchemeKind::kHierarchical).results.meanFreshFraction);
+}
+
+TEST_F(InfocomComparison, ValidAnswerRatioOrdering) {
+  EXPECT_GE(of(SchemeKind::kHierarchical).results.queries.successRatio(),
+            of(SchemeKind::kNoRefresh).results.queries.successRatio());
+}
+
+TEST_F(InfocomComparison, ReplicationGuaranteeHolds) {
+  // The achieved refresh-within-period ratio should not fall far below the
+  // analytical prediction (relays only add on top of the chain model).
+  const auto& h = of(SchemeKind::kHierarchical);
+  EXPECT_GE(h.results.refreshWithinPeriodRatio, h.meanPredictedProbability - 0.05);
+}
+
+TEST(RealityComparison, SparseTraceShapes) {
+  ExperimentConfig c;
+  c.trace = trace::realityLikeConfig(13);
+  c.trace.duration = sim::days(21);
+  c.catalog.itemCount = 6;
+  c.catalog.refreshPeriod = sim::days(2);
+  c.workload.queriesPerNodePerDay = 1.0;
+  c.workload.queryDeadline = sim::days(1);
+  c.cache.cachingNodesPerItem = 8;
+
+  const auto outs = runSchemeComparison(
+      c, {SchemeKind::kHierarchical, SchemeKind::kNoRefresh, SchemeKind::kSourceDirect,
+          SchemeKind::kFlooding});
+  const double h = outs[0].results.meanFreshFraction;
+  const double n = outs[1].results.meanFreshFraction;
+  const double s = outs[2].results.meanFreshFraction;
+  const double f = outs[3].results.meanFreshFraction;
+  EXPECT_GT(h, n);
+  EXPECT_GT(h, s);
+  EXPECT_LE(h, f + 0.05);
+  // Overhead: hierarchical must be well below flooding.
+  EXPECT_LT(outs[0].results.transfers.of(net::Traffic::kRefresh).bytes,
+            outs[3].results.transfers.of(net::Traffic::kRefresh).bytes / 2);
+}
+
+}  // namespace
+}  // namespace dtncache::runner

@@ -1,0 +1,194 @@
+#include "metrics/collector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::metrics {
+namespace {
+
+data::Catalog oneItem(double tau = 100.0) {
+  data::ItemSpec s;
+  s.id = 0;
+  s.source = 0;
+  s.refreshPeriod = tau;
+  s.lifetime = 2 * tau;
+  return data::Catalog({s});
+}
+
+TEST(Collector, FreshFractionTracksInstalls) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 0.0);
+  c.copyInstalled(0, 0, 0.0);   // fresh (version 0 current)
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 1.0);
+  c.copyInstalled(0, 0, 150.0);  // stale (version 1 current at t=150)
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 0.5);
+}
+
+TEST(Collector, VersionBumpMakesAllCopiesStale) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.copyInstalled(0, 0, 10.0);
+  c.versionBumped(0, 100.0);
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 0.0);
+}
+
+TEST(Collector, UpgradeRestoresFreshness) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.versionBumped(0, 100.0);
+  c.copyUpgraded(0, 0, 1, 120.0);
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 1.0);
+}
+
+TEST(Collector, StaleUpgradeDoesNotCountFresh) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.versionBumped(0, 100.0);
+  c.versionBumped(0, 200.0);
+  c.copyUpgraded(0, 0, 1, 250.0);  // upgraded to v1 while v2 is current
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 0.0);
+}
+
+TEST(Collector, EvictionRemovesCopyAndFreshness) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.copyInstalled(0, 0, 1.0);
+  c.copyEvicted(0, 0, 2.0);
+  EXPECT_EQ(c.totalCopies(), 1u);
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 1.0);
+}
+
+TEST(Collector, TimeWeightedMeanIntegratesCorrectly) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);     // fresh from t=0
+  c.versionBumped(0, 100.0);      // stale from t=100
+  c.copyUpgraded(0, 0, 1, 150.0); // fresh again from t=150
+  const auto r = c.finalize(200.0, net::TransferLog{});
+  // Fresh during [0,100) and [150,200): 150/200.
+  EXPECT_NEAR(r.meanFreshFraction, 0.75, 1e-9);
+  EXPECT_DOUBLE_EQ(r.finalFreshFraction, 1.0);
+}
+
+TEST(Collector, RefreshWithinPeriodRatio) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.copyInstalled(0, 0, 1.0);
+  c.versionBumped(0, 100.0);      // 2 slots
+  c.copyUpgraded(0, 0, 1, 120.0); // fresh upgrade: 1 hit
+  c.versionBumped(0, 200.0);      // 2 more slots
+  c.copyUpgraded(0, 0, 2, 220.0); // fresh upgrade: 1 hit (the other copy)
+  c.versionBumped(0, 300.0);      // 2 more slots
+  c.copyUpgraded(0, 1, 2, 320.0); // stale upgrade (v3 current at 320): miss
+  const auto r = c.finalize(400.0, net::TransferLog{});
+  // 6 slots (3 bumps × 2 copies), 2 fresh upgrades.
+  EXPECT_NEAR(r.refreshWithinPeriodRatio, 2.0 / 6.0, 1e-12);
+}
+
+TEST(Collector, QueryLifecycle) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  data::Query q;
+  q.id = 1;
+  q.issueTime = 10.0;
+  q.deadline = 50.0;
+  c.queryIssued(q);
+  c.queryAnswered(1, 30.0, /*fresh=*/true, /*valid=*/true, /*localHit=*/false);
+  const auto r = c.finalize(100.0, net::TransferLog{});
+  EXPECT_EQ(r.queries.issued, 1u);
+  EXPECT_EQ(r.queries.answered, 1u);
+  EXPECT_EQ(r.queries.answeredFresh, 1u);
+  EXPECT_DOUBLE_EQ(r.queries.delay.mean(), 20.0);
+  EXPECT_DOUBLE_EQ(r.queries.successRatio(), 1.0);
+}
+
+TEST(Collector, DuplicateAnswersIgnored) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  data::Query q;
+  q.id = 1;
+  q.issueTime = 10.0;
+  q.deadline = 50.0;
+  c.queryIssued(q);
+  c.queryAnswered(1, 20.0, true, true, false);
+  c.queryAnswered(1, 25.0, true, true, false);
+  const auto r = c.finalize(100.0, net::TransferLog{});
+  EXPECT_EQ(r.queries.answered, 1u);
+  EXPECT_DOUBLE_EQ(r.queries.delay.mean(), 10.0);
+}
+
+TEST(Collector, LateAnswerRejected) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  data::Query q;
+  q.id = 1;
+  q.issueTime = 10.0;
+  q.deadline = 50.0;
+  c.queryIssued(q);
+  c.queryAnswered(1, 60.0, true, true, false);
+  const auto r = c.finalize(100.0, net::TransferLog{});
+  EXPECT_EQ(r.queries.answered, 0u);
+}
+
+TEST(Collector, AnswerForUnknownQueryIgnored) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.queryAnswered(99, 60.0, true, true, false);
+  const auto r = c.finalize(100.0, net::TransferLog{});
+  EXPECT_EQ(r.queries.answered, 0u);
+}
+
+TEST(Collector, StaleValidAnswerCountsSeparately) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  data::Query q;
+  q.id = 1;
+  q.issueTime = 10.0;
+  q.deadline = 50.0;
+  c.queryIssued(q);
+  c.queryAnswered(1, 20.0, /*fresh=*/false, /*valid=*/true, false);
+  const auto r = c.finalize(100.0, net::TransferLog{});
+  EXPECT_EQ(r.queries.answeredValid, 1u);
+  EXPECT_EQ(r.queries.answeredFresh, 0u);
+  EXPECT_DOUBLE_EQ(r.queries.freshAnswerRatio(), 0.0);
+}
+
+TEST(Collector, SamplesBuildTimeSeries) {
+  const auto catalog = oneItem();
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.samplePoint(10.0, 1.0);
+  c.versionBumped(0, 100.0);
+  c.samplePoint(110.0, 0.5);
+  const auto r = c.finalize(200.0, net::TransferLog{});
+  ASSERT_EQ(r.freshOverTime.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(r.freshOverTime.points()[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(r.freshOverTime.points()[1].value, 0.0);
+  EXPECT_DOUBLE_EQ(r.validOverTime.points()[1].value, 0.5);
+  EXPECT_DOUBLE_EQ(r.meanValidFraction, 0.75);
+}
+
+TEST(Collector, MultiItemAggregation) {
+  data::ItemSpec a;
+  a.id = 0;
+  a.source = 0;
+  a.refreshPeriod = 100.0;
+  a.lifetime = 200.0;
+  data::ItemSpec b = a;
+  b.id = 1;
+  b.source = 1;
+  data::Catalog catalog({a, b});
+  MetricsCollector c(catalog, 0.0);
+  c.copyInstalled(0, 0, 0.0);
+  c.copyInstalled(1, 0, 0.0);
+  c.versionBumped(0, 100.0);  // item 0 copies stale; item 1 still fresh
+  EXPECT_DOUBLE_EQ(c.currentFreshFraction(), 0.5);
+}
+
+}  // namespace
+}  // namespace dtncache::metrics

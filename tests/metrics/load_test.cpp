@@ -1,0 +1,71 @@
+#include "metrics/load.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::metrics {
+namespace {
+
+TEST(LoadStats, EmptyInput) {
+  const auto s = loadStats({});
+  EXPECT_DOUBLE_EQ(s.meanBytes, 0.0);
+  EXPECT_EQ(s.activeNodes, 0u);
+}
+
+TEST(LoadStats, AllZeros) {
+  const auto s = loadStats({0, 0, 0});
+  EXPECT_DOUBLE_EQ(s.meanBytes, 0.0);
+  EXPECT_DOUBLE_EQ(s.gini, 0.0);
+  EXPECT_EQ(s.activeNodes, 0u);
+}
+
+TEST(LoadStats, PerfectlyEvenLoad) {
+  const auto s = loadStats({100, 100, 100, 100});
+  EXPECT_DOUBLE_EQ(s.meanBytes, 100.0);
+  EXPECT_DOUBLE_EQ(s.peakToMean, 1.0);
+  EXPECT_NEAR(s.gini, 0.0, 1e-12);
+  EXPECT_EQ(s.activeNodes, 4u);
+}
+
+TEST(LoadStats, SingleWorkerIsMaximallyUnequal) {
+  const std::size_t n = 10;
+  std::vector<std::uint64_t> v(n, 0);
+  v[7] = 1000;
+  const auto s = loadStats(v);
+  EXPECT_EQ(s.busiestNode, 7u);
+  EXPECT_EQ(s.maxBytes, 1000u);
+  EXPECT_DOUBLE_EQ(s.peakToMean, 10.0);
+  // Gini of "one has all" over n nodes is (n-1)/n.
+  EXPECT_NEAR(s.gini, 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(s.top10Share, 1.0);
+}
+
+TEST(LoadStats, KnownGiniValue) {
+  // {1, 3}: mean 2; G = |1-3|·2 / (2·n²·mean) ... closed-form for two
+  // values a<b is (b-a)/(2(a+b)) · 2 = (b-a)/(a+b)·(1/2)·2 = 0.25.
+  const auto s = loadStats({1, 3});
+  EXPECT_NEAR(s.gini, 0.25, 1e-12);
+}
+
+TEST(LoadStats, GiniInsensitiveToScale) {
+  const auto a = loadStats({1, 2, 3, 4});
+  const auto b = loadStats({1000, 2000, 3000, 4000});
+  EXPECT_NEAR(a.gini, b.gini, 1e-12);
+}
+
+TEST(LoadStats, MoreConcentrationMeansHigherGini) {
+  const auto even = loadStats({25, 25, 25, 25});
+  const auto skew = loadStats({5, 10, 15, 70});
+  const auto extreme = loadStats({0, 0, 0, 100});
+  EXPECT_LT(even.gini, skew.gini);
+  EXPECT_LT(skew.gini, extreme.gini);
+}
+
+TEST(LoadStats, Top10ShareWithLargeN) {
+  std::vector<std::uint64_t> v(100, 10);
+  for (std::size_t i = 0; i < 10; ++i) v[i] = 910;  // top 10 nodes hold 90%+
+  const auto s = loadStats(v);
+  EXPECT_NEAR(s.top10Share, 9100.0 / 10000.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dtncache::metrics

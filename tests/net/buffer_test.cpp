@@ -1,0 +1,88 @@
+#include "net/buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::net {
+namespace {
+
+Message msg(MessageId id, std::uint32_t payload = 0, sim::SimTime deadline = 0.0) {
+  Message m;
+  m.id = id;
+  m.payloadBytes = payload;
+  m.deadline = deadline;
+  return m;
+}
+
+TEST(MessageBuffer, AddAndContains) {
+  MessageBuffer b(1024);
+  EXPECT_TRUE(b.add(msg(1), 0.0));
+  EXPECT_TRUE(b.contains(1));
+  EXPECT_FALSE(b.contains(2));
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.usedBytes(), kHeaderBytes);
+}
+
+TEST(MessageBuffer, RejectsDuplicates) {
+  MessageBuffer b(1024);
+  EXPECT_TRUE(b.add(msg(1), 0.0));
+  EXPECT_FALSE(b.add(msg(1), 0.0));
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(MessageBuffer, RejectsOversized) {
+  MessageBuffer b(100);
+  EXPECT_FALSE(b.add(msg(1, 1000), 0.0));
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(MessageBuffer, DropHeadOnOverflow) {
+  MessageBuffer b(3 * kHeaderBytes);
+  EXPECT_TRUE(b.add(msg(1), 0.0));
+  EXPECT_TRUE(b.add(msg(2), 0.0));
+  EXPECT_TRUE(b.add(msg(3), 0.0));
+  EXPECT_TRUE(b.add(msg(4), 0.0));  // evicts oldest (1)
+  EXPECT_FALSE(b.contains(1));
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_TRUE(b.contains(4));
+  EXPECT_EQ(b.size(), 3u);
+}
+
+TEST(MessageBuffer, PurgeExpired) {
+  MessageBuffer b(4096);
+  b.add(msg(1, 0, 10.0), 0.0);
+  b.add(msg(2, 0, 100.0), 0.0);
+  b.add(msg(3, 0, 0.0), 0.0);  // deadline 0 = immortal
+  b.purgeExpired(50.0);
+  EXPECT_FALSE(b.contains(1));
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_TRUE(b.contains(3));
+}
+
+TEST(MessageBuffer, AddPurgesExpiredFirst) {
+  MessageBuffer b(2 * kHeaderBytes);
+  b.add(msg(1, 0, 10.0), 0.0);
+  b.add(msg(2, 0, 0.0), 0.0);
+  // Adding after id 1's deadline should drop 1, not evict 2.
+  EXPECT_TRUE(b.add(msg(3), 20.0));
+  EXPECT_TRUE(b.contains(2));
+  EXPECT_TRUE(b.contains(3));
+}
+
+TEST(MessageBuffer, RemoveIfKeepsAccounting) {
+  MessageBuffer b(4096);
+  b.add(msg(1, 100), 0.0);
+  b.add(msg(2, 200), 0.0);
+  b.removeIf([](const Message& m) { return m.id == 1; });
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.usedBytes(), kHeaderBytes + 200u);
+}
+
+TEST(MessageBuffer, UsedBytesTracksPayloads) {
+  MessageBuffer b(1 << 20);
+  b.add(msg(1, 500), 0.0);
+  b.add(msg(2, 700), 0.0);
+  EXPECT_EQ(b.usedBytes(), 2 * kHeaderBytes + 1200u);
+}
+
+}  // namespace
+}  // namespace dtncache::net

@@ -1,0 +1,125 @@
+#include "net/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace dtncache::net {
+namespace {
+
+TEST(Churn, AllNodesStartUp) {
+  sim::Simulator s;
+  ChurnProcess churn(s, 10, {}, sim::days(10));
+  for (NodeId n = 0; n < 10; ++n) EXPECT_TRUE(churn.isUp(n));
+  EXPECT_DOUBLE_EQ(churn.upFraction(), 1.0);
+}
+
+TEST(Churn, NodesFlipOverTime) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = sim::hours(10);
+  cfg.meanDowntime = sim::hours(10);
+  ChurnProcess churn(s, 20, cfg, sim::days(10));
+  s.runUntil(sim::days(10));
+  EXPECT_GT(churn.transitions(), 100u);  // ~20 nodes * 24 flips expected
+}
+
+TEST(Churn, LongRunUpFractionMatchesDutyCycle) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = sim::hours(30);
+  cfg.meanDowntime = sim::hours(10);  // duty cycle 0.75
+  cfg.seed = 4;
+  ChurnProcess churn(s, 200, cfg, sim::days(30));
+  // Sample the up fraction daily after an initial transient.
+  double sum = 0.0;
+  int samples = 0;
+  for (double d = 10.0; d <= 30.0; d += 1.0) {
+    s.runUntil(sim::days(d));
+    sum += churn.upFraction();
+    ++samples;
+  }
+  EXPECT_NEAR(sum / samples, 0.75, 0.05);
+}
+
+TEST(Churn, ProtectedNodesNeverGoDown) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = sim::minutes(10);  // aggressive churn
+  cfg.meanDowntime = sim::hours(10);
+  ChurnProcess churn(s, 10, cfg, sim::days(5), {3, 7});
+  bool violated = false;
+  churn.addListener([&](NodeId n, bool, sim::SimTime) {
+    if (n == 3 || n == 7) violated = true;
+  });
+  s.runUntil(sim::days(5));
+  EXPECT_FALSE(violated);
+  EXPECT_TRUE(churn.isUp(3));
+  EXPECT_TRUE(churn.isUp(7));
+  EXPECT_LT(churn.upFraction(), 1.0);  // the others did churn
+}
+
+TEST(Churn, ListenersSeeEveryTransition) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = sim::hours(5);
+  cfg.meanDowntime = sim::hours(5);
+  ChurnProcess churn(s, 5, cfg, sim::days(5));
+  std::size_t events = 0;
+  churn.addListener([&](NodeId, bool, sim::SimTime) { ++events; });
+  s.runUntil(sim::days(5));
+  EXPECT_EQ(events, churn.transitions());
+  EXPECT_GT(events, 0u);
+}
+
+TEST(Churn, ListenerStateMatchesIsUp) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = sim::hours(2);
+  cfg.meanDowntime = sim::hours(2);
+  ChurnProcess churn(s, 5, cfg, sim::days(3));
+  churn.addListener([&](NodeId n, bool up, sim::SimTime) {
+    EXPECT_EQ(up, churn.isUp(n));
+  });
+  s.runUntil(sim::days(3));
+}
+
+TEST(Churn, ContactFilterRequiresBothUp) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = sim::hours(1);
+  cfg.meanDowntime = sim::hours(1000);  // first flip is final
+  ChurnProcess churn(s, 3, cfg, sim::days(1), {0});
+  s.runUntil(sim::days(1));
+  // Nodes 1 and 2 are down by now; 0 is protected.
+  EXPECT_TRUE(churn.isUp(0));
+  EXPECT_FALSE(churn.isUp(1));
+  EXPECT_TRUE(churn.contactAllowed(0, 0));
+  EXPECT_FALSE(churn.contactAllowed(0, 1));
+  EXPECT_FALSE(churn.contactAllowed(1, 2));
+}
+
+TEST(Churn, DeterministicInSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    ChurnConfig cfg;
+    cfg.seed = seed;
+    cfg.meanUptime = sim::hours(8);
+    cfg.meanDowntime = sim::hours(8);
+    ChurnProcess churn(s, 10, cfg, sim::days(5));
+    s.runUntil(sim::days(5));
+    return churn.transitions();
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(Churn, InvalidConfigRejected) {
+  sim::Simulator s;
+  ChurnConfig cfg;
+  cfg.meanUptime = 0.0;
+  EXPECT_THROW(ChurnProcess(s, 5, cfg, sim::days(1)), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dtncache::net

@@ -1,0 +1,104 @@
+#include "net/energy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtncache::net {
+namespace {
+
+EnergyConfig config(double battery = 100.0) {
+  EnergyConfig c;
+  c.batteryJoules = battery;
+  c.txJoulesPerMB = 10.0;
+  c.rxJoulesPerMB = 5.0;
+  c.scanJoulesPerContact = 1.0;
+  c.idleJoulesPerHour = 2.0;
+  return c;
+}
+
+TEST(Energy, StartsFull) {
+  EnergyModel e(4, config());
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_DOUBLE_EQ(e.remaining(n), 100.0);
+    EXPECT_DOUBLE_EQ(e.remainingFraction(n), 1.0);
+    EXPECT_FALSE(e.depleted(n));
+  }
+  EXPECT_EQ(e.depletedCount(), 0u);
+  EXPECT_TRUE(std::isinf(e.firstDepletionTime()));
+}
+
+TEST(Energy, TransferChargesTxAndRx) {
+  EnergyModel e(4, config());
+  e.onTransfer(0, 1, 2 * 1024 * 1024);  // 2 MB
+  EXPECT_DOUBLE_EQ(e.remaining(0), 100.0 - 20.0);
+  EXPECT_DOUBLE_EQ(e.remaining(1), 100.0 - 10.0);
+  EXPECT_DOUBLE_EQ(e.remaining(2), 100.0);
+}
+
+TEST(Energy, UnknownEndpointsSkipped) {
+  EnergyModel e(4, config());
+  e.onTransfer(kNoNode, 1, 1024 * 1024);
+  e.onTransfer(0, kNoNode, 1024 * 1024);
+  EXPECT_DOUBLE_EQ(e.remaining(1), 95.0);
+  EXPECT_DOUBLE_EQ(e.remaining(0), 90.0);
+}
+
+TEST(Energy, ScanChargesBothEndpoints) {
+  EnergyModel e(4, config());
+  e.onContact(0, 2);
+  EXPECT_DOUBLE_EQ(e.remaining(0), 99.0);
+  EXPECT_DOUBLE_EQ(e.remaining(2), 99.0);
+}
+
+TEST(Energy, IdleDrainIsTimeProportional) {
+  EnergyModel e(2, config());
+  e.advanceTo(sim::hours(10));
+  EXPECT_DOUBLE_EQ(e.remaining(0), 80.0);
+  e.advanceTo(sim::hours(15));
+  EXPECT_DOUBLE_EQ(e.remaining(0), 70.0);
+}
+
+TEST(Energy, AdvanceIsMonotoneAndIdempotent) {
+  EnergyModel e(2, config());
+  e.advanceTo(sim::hours(5));
+  e.advanceTo(sim::hours(5));
+  e.advanceTo(sim::hours(3));  // going "back" must not re-drain
+  EXPECT_DOUBLE_EQ(e.remaining(0), 90.0);
+}
+
+TEST(Energy, DepletionClampsAtZeroAndRecordsTime) {
+  EnergyModel e(2, config(10.0));
+  e.advanceTo(sim::hours(2));       // 4 J idle → 6 J left each
+  e.onTransfer(0, 1, 1024 * 1024);  // node 0: -10 J → dead; node 1: -5 J → 1 J
+  EXPECT_TRUE(e.depleted(0));
+  EXPECT_DOUBLE_EQ(e.remaining(0), 0.0);
+  EXPECT_FALSE(e.depleted(1));
+  EXPECT_NEAR(e.remaining(1), 1.0, 1e-9);
+  EXPECT_EQ(e.depletedCount(), 1u);
+  EXPECT_DOUBLE_EQ(e.firstDepletionTime(), sim::hours(2));
+}
+
+TEST(Energy, DeadNodesStopDraining) {
+  EnergyModel e(2, config(5.0));
+  e.advanceTo(sim::hours(100));  // everyone long dead
+  e.onTransfer(0, 1, 10 * 1024 * 1024);
+  EXPECT_DOUBLE_EQ(e.remaining(0), 0.0);
+  EXPECT_DOUBLE_EQ(e.remaining(1), 0.0);
+}
+
+TEST(Energy, AggregateStats) {
+  EnergyModel e(4, config());
+  e.onTransfer(0, 1, 4 * 1024 * 1024);  // 0: -40, 1: -20
+  EXPECT_NEAR(e.meanRemainingFraction(), (60 + 80 + 100 + 100) / 400.0, 1e-12);
+  EXPECT_NEAR(e.minRemainingFraction(), 0.6, 1e-12);
+}
+
+TEST(Energy, InvalidConfigRejected) {
+  EnergyConfig c;
+  c.batteryJoules = 0.0;
+  EXPECT_THROW(EnergyModel(2, c), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dtncache::net

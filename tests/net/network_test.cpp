@@ -1,0 +1,166 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "trace/contact.hpp"
+
+namespace dtncache::net {
+namespace {
+
+trace::ContactTrace makeTrace() {
+  std::vector<trace::Contact> cs = {
+      {10.0, 5.0, 0, 1},
+      {20.0, 10.0, 1, 2},
+      {30.0, 1.0, 0, 2},
+  };
+  return trace::ContactTrace(3, std::move(cs));
+}
+
+TEST(Network, DeliversContactsInOrder) {
+  sim::Simulator s;
+  const auto trace = makeTrace();
+  Network net(s, trace);
+  std::vector<sim::SimTime> seen;
+  net.start([&](NodeId, NodeId, sim::SimTime t, sim::SimTime, ContactChannel&) {
+    seen.push_back(t);
+  });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<sim::SimTime>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(net.contactsDelivered(), 3u);
+}
+
+TEST(Network, BudgetScalesWithDurationAndBandwidth) {
+  sim::Simulator s;
+  const auto trace = makeTrace();
+  NetworkConfig cfg;
+  cfg.bandwidthBytesPerSec = 1000.0;
+  cfg.minContactBudgetBytes = 1;
+  Network net(s, trace, cfg);
+  std::vector<std::uint64_t> budgets;
+  net.start([&](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel& ch) {
+    budgets.push_back(ch.remainingBytes());
+  });
+  s.run();
+  EXPECT_EQ(budgets, (std::vector<std::uint64_t>{5000, 10000, 1000}));
+}
+
+TEST(Network, MinBudgetFloorApplies) {
+  sim::Simulator s;
+  std::vector<trace::Contact> cs = {{1.0, 0.0, 0, 1}};  // zero-duration artifact
+  trace::ContactTrace trace(2, std::move(cs));
+  Network net(s, trace);
+  std::uint64_t budget = 0;
+  net.start([&](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel& ch) {
+    budget = ch.remainingBytes();
+  });
+  s.run();
+  EXPECT_EQ(budget, NetworkConfig{}.minContactBudgetBytes);
+}
+
+TEST(ContactChannel, EnforcesBudget) {
+  TransferLog log;
+  ContactChannel ch(100, log);
+  EXPECT_TRUE(ch.transfer(Traffic::kRefresh, 60));
+  EXPECT_FALSE(ch.transfer(Traffic::kRefresh, 60));  // would exceed
+  EXPECT_TRUE(ch.transfer(Traffic::kControl, 40));
+  EXPECT_EQ(ch.remainingBytes(), 0u);
+}
+
+TEST(ContactChannel, FailedTransferNotLogged) {
+  TransferLog log;
+  ContactChannel ch(10, log);
+  EXPECT_FALSE(ch.transfer(Traffic::kQuery, 100));
+  EXPECT_EQ(log.total().messages, 0u);
+  EXPECT_EQ(log.total().bytes, 0u);
+}
+
+TEST(TransferLog, AccumulatesByCategory) {
+  TransferLog log;
+  log.record(Traffic::kRefresh, 100);
+  log.record(Traffic::kRefresh, 50);
+  log.record(Traffic::kQuery, 10);
+  EXPECT_EQ(log.of(Traffic::kRefresh).messages, 2u);
+  EXPECT_EQ(log.of(Traffic::kRefresh).bytes, 150u);
+  EXPECT_EQ(log.of(Traffic::kQuery).bytes, 10u);
+  EXPECT_EQ(log.total().messages, 3u);
+  EXPECT_EQ(log.total().bytes, 160u);
+}
+
+TEST(Network, StartTwiceThrows) {
+  sim::Simulator s;
+  const auto trace = makeTrace();
+  Network net(s, trace);
+  auto noop = [](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel&) {};
+  net.start(noop);
+  EXPECT_THROW(net.start(noop), InvariantViolation);
+}
+
+TEST(Network, SkipsContactsBeforeCurrentTime) {
+  sim::Simulator s;
+  s.scheduleAt(15.0, [](sim::SimTime) {});
+  s.run();  // clock now at 15
+  const auto trace = makeTrace();
+  Network net(s, trace);
+  std::size_t count = 0;
+  net.start([&](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel&) { ++count; });
+  s.run();
+  EXPECT_EQ(count, 2u);  // the t=10 contact is skipped
+}
+
+TEST(Network, ContactLossDropsExpectedFraction) {
+  sim::Simulator s;
+  std::vector<trace::Contact> cs;
+  for (int i = 0; i < 4000; ++i)
+    cs.push_back({static_cast<double>(i), 1.0, 0, 1});
+  trace::ContactTrace trace(2, std::move(cs));
+  NetworkConfig cfg;
+  cfg.contactLossRate = 0.3;
+  Network net(s, trace, cfg);
+  net.start([](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel&) {});
+  s.run();
+  EXPECT_EQ(net.contactsDelivered() + net.contactsLost(), 4000u);
+  EXPECT_NEAR(static_cast<double>(net.contactsLost()) / 4000.0, 0.3, 0.03);
+}
+
+TEST(Network, ZeroLossDeliversEverything) {
+  sim::Simulator s;
+  const auto trace = makeTrace();
+  Network net(s, trace);
+  net.start([](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel&) {});
+  s.run();
+  EXPECT_EQ(net.contactsLost(), 0u);
+  EXPECT_EQ(net.contactsDelivered(), 3u);
+}
+
+TEST(Network, LossIsDeterministicInSeed) {
+  auto run = [](std::uint64_t seed) {
+    sim::Simulator s;
+    std::vector<trace::Contact> cs;
+    for (int i = 0; i < 500; ++i) cs.push_back({static_cast<double>(i), 1.0, 0, 1});
+    trace::ContactTrace trace(2, std::move(cs));
+    NetworkConfig cfg;
+    cfg.contactLossRate = 0.5;
+    cfg.lossSeed = seed;
+    Network net(s, trace, cfg);
+    net.start([](NodeId, NodeId, sim::SimTime, sim::SimTime, ContactChannel&) {});
+    s.run();
+    return net.contactsLost();
+  };
+  EXPECT_EQ(run(1), run(1));
+  EXPECT_NE(run(1), run(2));
+}
+
+TEST(TrafficNames, AllDistinct) {
+  EXPECT_STREQ(trafficName(Traffic::kControl), "control");
+  EXPECT_STREQ(trafficName(Traffic::kRefresh), "refresh");
+  EXPECT_STREQ(trafficName(Traffic::kPlacement), "placement");
+  EXPECT_STREQ(trafficName(Traffic::kQuery), "query");
+  EXPECT_STREQ(trafficName(Traffic::kReply), "reply");
+  EXPECT_STREQ(trafficName(Traffic::kPull), "pull");
+}
+
+}  // namespace
+}  // namespace dtncache::net

@@ -1,0 +1,128 @@
+#include "runner/config_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::runner {
+namespace {
+
+TEST(ConfigIo, RoundTripPreservesEveryField) {
+  ExperimentConfig original;
+  original.trace = trace::infocomLikeConfig(9);
+  original.catalog.itemCount = 17;
+  original.catalog.refreshPeriod = sim::hours(7);
+  original.workload.queriesPerNodePerDay = 3.5;
+  original.workload.zipfExponent = 1.3;
+  original.cache.cachingNodesPerItem = 11;
+  original.network.contactLossRate = 0.25;
+  original.estimator.mode = trace::EstimatorMode::kSlidingWindow;
+  original.estimator.window = sim::days(2);
+  original.allocation = cache::AllocationPolicy::kSqrt;
+  original.scheme = SchemeKind::kEpidemic;
+  original.hierarchical.hierarchy.fanoutBound = 5;
+  original.hierarchical.replication.theta = 0.93;
+  original.hierarchical.maintenance = core::MaintenanceMode::kStatic;
+  original.hierarchical.relayAssisted = false;
+  original.churnEnabled = true;
+  original.churn.meanDowntime = sim::hours(13);
+  original.energyEnabled = true;
+  original.energy.batteryJoules = 432.0;
+  original.seed = 77;
+
+  const auto back = loadConfig(dumpConfig(original));
+
+  EXPECT_EQ(back.trace.nodeCount, original.trace.nodeCount);
+  EXPECT_DOUBLE_EQ(back.trace.duration, original.trace.duration);
+  EXPECT_EQ(back.trace.model, original.trace.model);
+  EXPECT_DOUBLE_EQ(back.trace.nightActivity, original.trace.nightActivity);
+  EXPECT_EQ(back.catalog.itemCount, 17u);
+  EXPECT_DOUBLE_EQ(back.catalog.refreshPeriod, sim::hours(7));
+  EXPECT_DOUBLE_EQ(back.workload.queriesPerNodePerDay, 3.5);
+  EXPECT_EQ(back.cache.cachingNodesPerItem, 11u);
+  EXPECT_DOUBLE_EQ(back.network.contactLossRate, 0.25);
+  EXPECT_EQ(back.estimator.mode, trace::EstimatorMode::kSlidingWindow);
+  EXPECT_EQ(back.allocation, cache::AllocationPolicy::kSqrt);
+  EXPECT_EQ(back.scheme, SchemeKind::kEpidemic);
+  EXPECT_EQ(back.hierarchical.hierarchy.fanoutBound, 5u);
+  EXPECT_DOUBLE_EQ(back.hierarchical.replication.theta, 0.93);
+  EXPECT_EQ(back.hierarchical.maintenance, core::MaintenanceMode::kStatic);
+  EXPECT_FALSE(back.hierarchical.relayAssisted);
+  EXPECT_TRUE(back.churnEnabled);
+  EXPECT_DOUBLE_EQ(back.churn.meanDowntime, sim::hours(13));
+  EXPECT_TRUE(back.energyEnabled);
+  EXPECT_DOUBLE_EQ(back.energy.batteryJoules, 432.0);
+  EXPECT_EQ(back.seed, 77u);
+}
+
+TEST(ConfigIo, RoundTripProducesIdenticalRuns) {
+  ExperimentConfig original;
+  original.trace = trace::homogeneousConfig(12, 5.0, sim::days(4), 3);
+  original.catalog.itemCount = 3;
+  original.catalog.refreshPeriod = sim::hours(8);
+  original.workload.queriesPerNodePerDay = 2.0;
+  original.cache.cachingNodesPerItem = 5;
+  const auto back = loadConfig(dumpConfig(original));
+  const auto a = runExperiment(original);
+  const auto b = runExperiment(back);
+  EXPECT_DOUBLE_EQ(a.results.meanFreshFraction, b.results.meanFreshFraction);
+  EXPECT_EQ(a.results.transfers.total().bytes, b.results.transfers.total().bytes);
+}
+
+TEST(ConfigIo, PartialConfigKeepsDefaults) {
+  const auto c = loadConfig(R"({"catalog.itemCount": 4, "scheme": "flooding"})");
+  EXPECT_EQ(c.catalog.itemCount, 4u);
+  EXPECT_EQ(c.scheme, SchemeKind::kFlooding);
+  EXPECT_EQ(c.cache.cachingNodesPerItem, ExperimentConfig{}.cache.cachingNodesPerItem);
+}
+
+TEST(ConfigIo, EmptyObjectIsAllDefaults) {
+  const auto c = loadConfig("{}");
+  EXPECT_EQ(c.scheme, ExperimentConfig{}.scheme);
+}
+
+TEST(ConfigIo, UnknownKeyRejected) {
+  EXPECT_THROW(loadConfig(R"({"catalogg.itemCount": 4})"), InvariantViolation);
+}
+
+TEST(ConfigIo, TypeMismatchRejected) {
+  EXPECT_THROW(loadConfig(R"({"catalog.itemCount": "four"})"), InvariantViolation);
+  EXPECT_THROW(loadConfig(R"({"cache.warmStart": 1})"), InvariantViolation);
+  EXPECT_THROW(loadConfig(R"({"scheme": true})"), InvariantViolation);
+}
+
+TEST(ConfigIo, NonIntegralIntegerRejected) {
+  EXPECT_THROW(loadConfig(R"({"catalog.itemCount": 4.5})"), InvariantViolation);
+}
+
+TEST(ConfigIo, UnknownEnumValueRejected) {
+  EXPECT_THROW(loadConfig(R"({"scheme": "telepathy"})"), InvariantViolation);
+}
+
+TEST(ConfigIo, MalformedJsonRejected) {
+  EXPECT_THROW(loadConfig(""), InvariantViolation);
+  EXPECT_THROW(loadConfig("{"), InvariantViolation);
+  EXPECT_THROW(loadConfig(R"({"a": 1,})"), InvariantViolation);
+  EXPECT_THROW(loadConfig(R"({"a": 1} trailing)"), InvariantViolation);
+}
+
+TEST(ConfigIo, WhitespaceAndEscapesTolerated) {
+  const auto c = loadConfig("  {\n\t\"seed\" :\t42 \n}  \n");
+  EXPECT_EQ(c.seed, 42u);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  ExperimentConfig original;
+  original.seed = 123;
+  original.catalog.itemCount = 6;
+  const std::string path = "/tmp/dtncache_config_test.json";
+  saveConfigFile(original, path);
+  const auto back = loadConfigFile(path);
+  EXPECT_EQ(back.seed, 123u);
+  EXPECT_EQ(back.catalog.itemCount, 6u);
+}
+
+TEST(ConfigIo, MissingFileThrows) {
+  EXPECT_THROW(loadConfigFile("/nonexistent/cfg.json"), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace dtncache::runner

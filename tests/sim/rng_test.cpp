@@ -1,0 +1,148 @@
+#include "sim/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dtncache::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.uniform() == b.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng a(7);
+  Rng b(7);
+  // Consume different amounts from the parents; forks must still agree.
+  a.uniform();
+  for (int i = 0; i < 50; ++i) b.uniform();
+  Rng fa = a.fork(3);
+  Rng fb = b.fork(3);
+  for (int i = 0; i < 20; ++i) EXPECT_DOUBLE_EQ(fa.uniform(), fb.uniform());
+}
+
+TEST(Rng, ForksWithDifferentSaltsDecorrelated) {
+  Rng root(9);
+  Rng f1 = root.fork(1);
+  Rng f2 = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (f1.uniform() == f2.uniform()) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng r(1);
+  bool sawLo = false;
+  bool sawHi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    sawLo |= v == 0;
+    sawHi |= v == 3;
+  }
+  EXPECT_TRUE(sawLo);
+  EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng r(5);
+  const double rate = 0.25;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(11);
+  int heads = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i)
+    if (r.bernoulli(0.3)) ++heads;
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ParetoRespectsScale) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, ParetoTruncatedStaysInBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.paretoTruncated(1.0, 1.5, 100.0);
+    EXPECT_GE(x, 1.0);
+    EXPECT_LE(x, 100.0);
+  }
+}
+
+TEST(Rng, ParetoTruncatedIsHeavyTailed) {
+  Rng r(3);
+  int big = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i)
+    if (r.paretoTruncated(1.0, 1.0, 1000.0) > 10.0) ++big;
+  // For alpha=1 truncated at 1000, P(X > 10) ≈ (1/10 - 1/1000)/(1 - 1/1000) ≈ 0.099.
+  EXPECT_NEAR(static_cast<double>(big) / n, 0.099, 0.01);
+}
+
+TEST(Rng, InvalidParametersThrow) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), InvariantViolation);
+  EXPECT_THROW(r.bernoulli(1.5), InvariantViolation);
+  EXPECT_THROW(r.pareto(0.0, 1.0), InvariantViolation);
+  EXPECT_THROW(r.uniform(5.0, 2.0), InvariantViolation);
+}
+
+TEST(ZipfSampler, ProbabilitiesSumToOne) {
+  ZipfSampler z(10, 0.8);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < z.size(); ++k) sum += z.probability(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler z(4, 0.0);
+  for (std::size_t k = 0; k < 4; ++k) EXPECT_NEAR(z.probability(k), 0.25, 1e-12);
+}
+
+TEST(ZipfSampler, MostPopularIsItemZero) {
+  ZipfSampler z(20, 1.0);
+  for (std::size_t k = 1; k < 20; ++k) EXPECT_GT(z.probability(0), z.probability(k));
+}
+
+TEST(ZipfSampler, EmpiricalFrequencyMatchesTheory) {
+  ZipfSampler z(5, 1.2);
+  Rng r(17);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(r)];
+  for (std::size_t k = 0; k < 5; ++k)
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, z.probability(k), 0.01);
+}
+
+}  // namespace
+}  // namespace dtncache::sim

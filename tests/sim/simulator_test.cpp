@@ -1,0 +1,132 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dtncache::sim {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator s;
+  EXPECT_DOUBLE_EQ(s.now(), 0.0);
+}
+
+TEST(Simulator, RunAdvancesClockToEventTimes) {
+  Simulator s;
+  std::vector<SimTime> seen;
+  s.scheduleAt(5.0, [&](SimTime t) { seen.push_back(t); });
+  s.scheduleAfter(2.0, [&](SimTime t) { seen.push_back(t); });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{2.0, 5.0}));
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Simulator s;
+  int fired = 0;
+  s.scheduleAt(1.0, [&](SimTime) { ++fired; });
+  s.scheduleAt(10.0, [&](SimTime) { ++fired; });
+  s.runUntil(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(s.now(), 5.0);
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  s.runUntil(20.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(s.now(), 20.0);
+}
+
+TEST(Simulator, EventsCanScheduleFollowUps) {
+  Simulator s;
+  std::vector<SimTime> seen;
+  s.scheduleAt(1.0, [&](SimTime t) {
+    seen.push_back(t);
+    s.scheduleAfter(1.5, [&](SimTime t2) { seen.push_back(t2); });
+  });
+  s.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{1.0, 2.5}));
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator s;
+  s.scheduleAt(3.0, [](SimTime) {});
+  s.run();
+  EXPECT_THROW(s.scheduleAt(2.0, [](SimTime) {}), InvariantViolation);
+}
+
+TEST(Simulator, NegativeDelayThrows) {
+  Simulator s;
+  EXPECT_THROW(s.scheduleAfter(-1.0, [](SimTime) {}), InvariantViolation);
+}
+
+TEST(Simulator, CancelSingleEvent) {
+  Simulator s;
+  int fired = 0;
+  const EventId id = s.scheduleAt(1.0, [&](SimTime) { ++fired; });
+  s.cancel(id);
+  s.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Simulator, PeriodicFiresAtFixedCadence) {
+  Simulator s;
+  std::vector<SimTime> seen;
+  s.schedulePeriodic(2.0, [&](SimTime t) { seen.push_back(t); });
+  s.runUntil(7.0);
+  EXPECT_EQ(seen, (std::vector<SimTime>{2.0, 4.0, 6.0}));
+}
+
+TEST(Simulator, PeriodicHonorsPhase) {
+  Simulator s;
+  std::vector<SimTime> seen;
+  s.schedulePeriodic(3.0, [&](SimTime t) { seen.push_back(t); }, /*phase=*/0.5);
+  s.runUntil(7.0);
+  EXPECT_EQ(seen, (std::vector<SimTime>{0.5, 3.5, 6.5}));
+}
+
+TEST(Simulator, PeriodicCancelStopsSeries) {
+  Simulator s;
+  int count = 0;
+  const EventId id = s.schedulePeriodic(1.0, [&](SimTime) { ++count; });
+  s.scheduleAt(3.5, [&](SimTime) { s.cancel(id); });
+  s.runUntil(10.0);
+  EXPECT_EQ(count, 3);  // fired at 1, 2, 3
+}
+
+TEST(Simulator, PeriodicCanCancelItselfFromCallback) {
+  Simulator s;
+  int count = 0;
+  EventId id = 0;
+  id = s.schedulePeriodic(1.0, [&](SimTime) {
+    if (++count == 2) s.cancel(id);
+  });
+  s.runUntil(10.0);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator s;
+  int fired = 0;
+  s.scheduleAt(1.0, [&](SimTime) {
+    ++fired;
+    s.stop();
+  });
+  s.scheduleAt(2.0, [&](SimTime) { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.stopped());
+}
+
+TEST(Simulator, ClearPendingDropsEventsKeepsClock) {
+  Simulator s;
+  s.scheduleAt(1.0, [](SimTime) {});
+  s.runUntil(2.0);
+  s.scheduleAt(5.0, [](SimTime) { FAIL() << "should have been cleared"; });
+  s.clearPending();
+  EXPECT_EQ(s.pendingEvents(), 0u);
+  EXPECT_DOUBLE_EQ(s.now(), 2.0);
+  s.run();
+}
+
+}  // namespace
+}  // namespace dtncache::sim

@@ -1,0 +1,32 @@
+#include "sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::sim {
+namespace {
+
+TEST(Time, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(seconds(42.0), 42.0);
+  EXPECT_DOUBLE_EQ(minutes(2.0), 120.0);
+  EXPECT_DOUBLE_EQ(hours(1.5), 5400.0);
+  EXPECT_DOUBLE_EQ(days(2.0), 172800.0);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(toHours(hours(7.25)), 7.25);
+  EXPECT_DOUBLE_EQ(toDays(days(3.5)), 3.5);
+  EXPECT_DOUBLE_EQ(toDays(hours(12.0)), 0.5);
+}
+
+TEST(Time, CompositionIsExact) {
+  EXPECT_DOUBLE_EQ(days(1.0), hours(24.0));
+  EXPECT_DOUBLE_EQ(hours(1.0), minutes(60.0));
+  EXPECT_DOUBLE_EQ(minutes(1.0), seconds(60.0));
+}
+
+TEST(Time, NeverSentinelIsNegative) {
+  EXPECT_LT(kNever, 0.0);
+}
+
+}  // namespace
+}  // namespace dtncache::sim

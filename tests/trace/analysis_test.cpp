@@ -1,0 +1,132 @@
+#include "trace/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.hpp"
+#include "trace/generators.hpp"
+
+namespace dtncache::trace {
+namespace {
+
+ContactTrace pairTrace(const std::vector<double>& starts, NodeId a = 0, NodeId b = 1) {
+  std::vector<Contact> cs;
+  for (double t : starts) cs.push_back({t, 1.0, a, b});
+  return ContactTrace(std::max(a, b) + 1, std::move(cs));
+}
+
+TEST(Analysis, InterContactTimesAreGaps) {
+  const auto t = pairTrace({10.0, 25.0, 31.0, 60.0});
+  const auto gaps = interContactTimes(t, 0, 1);
+  EXPECT_EQ(gaps, (std::vector<double>{15.0, 6.0, 29.0}));
+  // Symmetric in the pair order.
+  EXPECT_EQ(interContactTimes(t, 1, 0), gaps);
+}
+
+TEST(Analysis, InterContactTimesEmptyForStrangers) {
+  const auto t = pairTrace({10.0, 25.0});
+  std::vector<Contact> cs = t.contacts();
+  ContactTrace t3(3, std::move(cs));
+  EXPECT_TRUE(interContactTimes(t3, 0, 2).empty());
+}
+
+TEST(Analysis, AllInterContactTimesPoolsPairs) {
+  std::vector<Contact> cs = {
+      {0.0, 1.0, 0, 1}, {10.0, 1.0, 0, 1},                      // gap 10
+      {5.0, 1.0, 1, 2}, {8.0, 1.0, 1, 2}, {14.0, 1.0, 1, 2},    // gaps 3, 6
+      {7.0, 1.0, 0, 2},                                          // single: excluded
+  };
+  const auto gaps = allInterContactTimes(ContactTrace(3, std::move(cs)));
+  EXPECT_EQ(gaps.size(), 3u);
+}
+
+TEST(Analysis, ExponentialFitRecoversRate) {
+  sim::Rng rng(5);
+  std::vector<double> samples;
+  const double trueRate = 0.02;
+  for (int i = 0; i < 20000; ++i) samples.push_back(rng.exponential(trueRate));
+  const auto fit = fitExponential(samples);
+  EXPECT_NEAR(fit.rate, trueRate, trueRate * 0.05);
+  EXPECT_NEAR(fit.cv, 1.0, 0.05);
+  EXPECT_LT(fit.ksDistance, 0.02);  // a true exponential fits itself
+}
+
+TEST(Analysis, NonExponentialHasHighKs) {
+  // Constant gaps: maximally non-exponential.
+  std::vector<double> samples(1000, 10.0);
+  const auto fit = fitExponential(samples);
+  EXPECT_NEAR(fit.cv, 0.0, 1e-9);
+  EXPECT_GT(fit.ksDistance, 0.3);
+}
+
+TEST(Analysis, TooFewSamplesGiveDefaultFit) {
+  EXPECT_EQ(fitExponential({}).samples, 0u);
+  const auto one = fitExponential({5.0});
+  EXPECT_DOUBLE_EQ(one.rate, 0.0);
+  EXPECT_DOUBLE_EQ(one.ksDistance, 1.0);
+}
+
+TEST(Analysis, SyntheticHomogeneousTraceFitsExponential) {
+  const auto world = generate(homogeneousConfig(10, 6.0, sim::days(30), 2));
+  const auto fit = fitExponential(allInterContactTimes(world.trace));
+  EXPECT_GT(fit.samples, 1000u);
+  EXPECT_NEAR(fit.cv, 1.0, 0.1);
+  EXPECT_LT(fit.ksDistance, 0.05);
+  // The pooled MLE rate must match the generator's per-pair ground truth.
+  EXPECT_NEAR(fit.rate, world.rates.rate(0, 1), world.rates.rate(0, 1) * 0.15);
+}
+
+TEST(Analysis, DiurnalTraceDeviatesFromExponential) {
+  auto cfg = homogeneousConfig(10, 6.0, sim::days(30), 2);
+  cfg.diurnal = true;
+  cfg.nightActivity = 0.02;
+  const auto world = generate(cfg);
+  const auto fit = fitExponential(allInterContactTimes(world.trace));
+  // Day/night gating makes gaps bursty: CV > 1, worse KS.
+  EXPECT_GT(fit.cv, 1.05);
+}
+
+TEST(Analysis, NodeActivityCountsAndSorts) {
+  std::vector<Contact> cs = {
+      {0.0, 1.0, 0, 1}, {1.0, 1.0, 0, 2}, {2.0, 1.0, 0, 3}, {3.0, 1.0, 1, 2},
+  };
+  const auto act = nodeActivity(ContactTrace(4, std::move(cs)));
+  ASSERT_EQ(act.size(), 4u);
+  EXPECT_EQ(act[0].node, 0u);  // busiest first
+  EXPECT_EQ(act[0].contacts, 3u);
+  EXPECT_EQ(act[0].distinctPeers, 3u);
+  EXPECT_EQ(act[3].contacts, 1u);
+}
+
+TEST(Analysis, CommunityTraceHasSkewedActivity) {
+  SyntheticTraceConfig cfg;
+  cfg.nodeCount = 30;
+  cfg.duration = sim::days(10);
+  cfg.model = RateModel::kCommunity;
+  cfg.diurnal = false;
+  cfg.meanContactsPerPairPerDay = 1.0;
+  cfg.seed = 6;
+  const auto act = nodeActivity(generate(cfg).trace);
+  EXPECT_GT(act.front().contacts, 2 * act.back().contacts);
+}
+
+TEST(Analysis, CcdfIsMonotoneNonIncreasing) {
+  sim::Rng rng(9);
+  std::vector<double> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(rng.pareto(1.0, 1.5));
+  const auto points = ccdf(samples, 15);
+  ASSERT_EQ(points.size(), 15u);
+  for (std::size_t k = 1; k < points.size(); ++k) {
+    EXPECT_GE(points[k].first, points[k - 1].first);
+    EXPECT_LE(points[k].second, points[k - 1].second + 1e-12);
+  }
+  EXPECT_NEAR(points.front().second, 1.0, 0.01);
+}
+
+TEST(Analysis, CcdfEdgeCases) {
+  EXPECT_TRUE(ccdf({}, 10).empty());
+  EXPECT_TRUE(ccdf({1.0, 2.0}, 0).empty());
+  EXPECT_EQ(ccdf({1.0}, 5).size(), 5u);
+}
+
+}  // namespace
+}  // namespace dtncache::trace

@@ -1,0 +1,78 @@
+/// Statistical property sweeps of the trace generators: the ground-truth
+/// rate matrix the generator reports must agree with the contacts it
+/// emits — the whole analytical pipeline keys off this consistency.
+
+#include <gtest/gtest.h>
+
+#include "trace/analysis.hpp"
+#include "trace/generators.hpp"
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::trace {
+namespace {
+
+class GeneratorProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorProperty, ReportedRatesMatchEmittedContacts) {
+  SyntheticTraceConfig cfg;
+  const int p = GetParam();
+  cfg.nodeCount = 10 + p % 10;
+  cfg.duration = sim::days(20);
+  cfg.model = static_cast<RateModel>(p % 3);
+  cfg.communities = 3;
+  cfg.diurnal = p % 2 == 0;
+  cfg.meanContactsPerPairPerDay = 0.5 + 0.5 * (p % 4);
+  cfg.seed = static_cast<std::uint64_t>(p) * 101 + 7;
+  const auto world = generate(cfg);
+
+  // Aggregate check (per-pair counts are too noisy at these durations):
+  // total contacts vs the sum of ground-truth rates × duration.
+  double expected = 0.0;
+  for (NodeId i = 0; i < cfg.nodeCount; ++i)
+    for (NodeId j = i + 1; j < cfg.nodeCount; ++j)
+      expected += world.rates.rate(i, j) * cfg.duration;
+  const auto actual = static_cast<double>(world.trace.contacts().size());
+  EXPECT_NEAR(actual / expected, 1.0, 0.15) << "model=" << p % 3;
+
+  // The busiest pairs must match their individual rates too.
+  const auto empirical = RateMatrix::fitFromTrace(world.trace);
+  double bestTruth = 0.0;
+  NodeId bi = 0, bj = 1;
+  for (NodeId i = 0; i < cfg.nodeCount; ++i)
+    for (NodeId j = i + 1; j < cfg.nodeCount; ++j)
+      if (world.rates.rate(i, j) > bestTruth) {
+        bestTruth = world.rates.rate(i, j);
+        bi = i;
+        bj = j;
+      }
+  if (bestTruth * cfg.duration > 50.0) {  // enough samples to compare
+    EXPECT_NEAR(empirical.rate(bi, bj) / bestTruth, 1.0, 0.35);
+  }
+
+  // Structural sanity.
+  EXPECT_EQ(world.trace.nodeCount(), cfg.nodeCount);
+  for (const auto& c : world.trace.contacts()) {
+    EXPECT_GE(c.start, 0.0);
+    EXPECT_LT(c.start, cfg.duration);
+    EXPECT_GT(c.duration, 0.0);
+  }
+}
+
+TEST_P(GeneratorProperty, NonDiurnalPairGapsAreExponential) {
+  SyntheticTraceConfig cfg;
+  cfg.nodeCount = 6;
+  cfg.duration = sim::days(60);
+  cfg.model = RateModel::kHomogeneous;
+  cfg.diurnal = false;
+  cfg.meanContactsPerPairPerDay = 4.0;
+  cfg.seed = static_cast<std::uint64_t>(GetParam()) + 50;
+  const auto world = generate(cfg);
+  const auto fit = fitExponential(allInterContactTimes(world.trace));
+  EXPECT_NEAR(fit.cv, 1.0, 0.12);
+  EXPECT_LT(fit.ksDistance, 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConfigs, GeneratorProperty, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dtncache::trace
