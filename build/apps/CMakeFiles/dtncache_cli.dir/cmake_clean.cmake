@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_cli.dir/dtncache_sim.cpp.o"
+  "CMakeFiles/dtncache_cli.dir/dtncache_sim.cpp.o.d"
+  "dtncache"
+  "dtncache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

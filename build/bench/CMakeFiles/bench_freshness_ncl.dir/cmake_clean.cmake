@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freshness_ncl.dir/bench_freshness_ncl.cpp.o"
+  "CMakeFiles/bench_freshness_ncl.dir/bench_freshness_ncl.cpp.o.d"
+  "bench_freshness_ncl"
+  "bench_freshness_ncl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freshness_ncl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

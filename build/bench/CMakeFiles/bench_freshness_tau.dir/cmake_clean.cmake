@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freshness_tau.dir/bench_freshness_tau.cpp.o"
+  "CMakeFiles/bench_freshness_tau.dir/bench_freshness_tau.cpp.o.d"
+  "bench_freshness_tau"
+  "bench_freshness_tau.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freshness_tau.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

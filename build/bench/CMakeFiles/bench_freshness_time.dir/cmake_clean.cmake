@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freshness_time.dir/bench_freshness_time.cpp.o"
+  "CMakeFiles/bench_freshness_time.dir/bench_freshness_time.cpp.o.d"
+  "bench_freshness_time"
+  "bench_freshness_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freshness_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

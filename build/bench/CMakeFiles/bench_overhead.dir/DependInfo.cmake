@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_overhead.cpp" "bench/CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o" "gcc" "bench/CMakeFiles/bench_overhead.dir/bench_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runner/CMakeFiles/dtncache_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/dtncache_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dtncache_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dtncache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dtncache_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtncache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dtncache_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtncache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dtncache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

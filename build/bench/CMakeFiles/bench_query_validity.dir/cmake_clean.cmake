@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_validity.dir/bench_query_validity.cpp.o"
+  "CMakeFiles/bench_query_validity.dir/bench_query_validity.cpp.o.d"
+  "bench_query_validity"
+  "bench_query_validity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_validity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theta_guarantee.dir/bench_theta_guarantee.cpp.o"
+  "CMakeFiles/bench_theta_guarantee.dir/bench_theta_guarantee.cpp.o.d"
+  "bench_theta_guarantee"
+  "bench_theta_guarantee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theta_guarantee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

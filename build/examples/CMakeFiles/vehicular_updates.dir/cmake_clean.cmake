@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vehicular_updates.dir/vehicular_updates.cpp.o"
+  "CMakeFiles/vehicular_updates.dir/vehicular_updates.cpp.o.d"
+  "vehicular_updates"
+  "vehicular_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vehicular_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

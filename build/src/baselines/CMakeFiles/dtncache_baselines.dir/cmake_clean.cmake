@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_baselines.dir/baselines.cpp.o"
+  "CMakeFiles/dtncache_baselines.dir/baselines.cpp.o.d"
+  "libdtncache_baselines.a"
+  "libdtncache_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

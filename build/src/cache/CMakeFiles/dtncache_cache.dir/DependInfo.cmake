@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/allocation.cpp" "src/cache/CMakeFiles/dtncache_cache.dir/allocation.cpp.o" "gcc" "src/cache/CMakeFiles/dtncache_cache.dir/allocation.cpp.o.d"
+  "/root/repo/src/cache/cache_store.cpp" "src/cache/CMakeFiles/dtncache_cache.dir/cache_store.cpp.o" "gcc" "src/cache/CMakeFiles/dtncache_cache.dir/cache_store.cpp.o.d"
+  "/root/repo/src/cache/centrality.cpp" "src/cache/CMakeFiles/dtncache_cache.dir/centrality.cpp.o" "gcc" "src/cache/CMakeFiles/dtncache_cache.dir/centrality.cpp.o.d"
+  "/root/repo/src/cache/coop_cache.cpp" "src/cache/CMakeFiles/dtncache_cache.dir/coop_cache.cpp.o" "gcc" "src/cache/CMakeFiles/dtncache_cache.dir/coop_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtncache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dtncache_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtncache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dtncache_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_cache.dir/allocation.cpp.o"
+  "CMakeFiles/dtncache_cache.dir/allocation.cpp.o.d"
+  "CMakeFiles/dtncache_cache.dir/cache_store.cpp.o"
+  "CMakeFiles/dtncache_cache.dir/cache_store.cpp.o.d"
+  "CMakeFiles/dtncache_cache.dir/centrality.cpp.o"
+  "CMakeFiles/dtncache_cache.dir/centrality.cpp.o.d"
+  "CMakeFiles/dtncache_cache.dir/coop_cache.cpp.o"
+  "CMakeFiles/dtncache_cache.dir/coop_cache.cpp.o.d"
+  "libdtncache_cache.a"
+  "libdtncache_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

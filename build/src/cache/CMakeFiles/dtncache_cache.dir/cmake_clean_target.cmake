@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdtncache_cache.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/freshness.cpp" "src/core/CMakeFiles/dtncache_core.dir/freshness.cpp.o" "gcc" "src/core/CMakeFiles/dtncache_core.dir/freshness.cpp.o.d"
+  "/root/repo/src/core/hierarchical_scheme.cpp" "src/core/CMakeFiles/dtncache_core.dir/hierarchical_scheme.cpp.o" "gcc" "src/core/CMakeFiles/dtncache_core.dir/hierarchical_scheme.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/core/CMakeFiles/dtncache_core.dir/hierarchy.cpp.o" "gcc" "src/core/CMakeFiles/dtncache_core.dir/hierarchy.cpp.o.d"
+  "/root/repo/src/core/hierarchy_dot.cpp" "src/core/CMakeFiles/dtncache_core.dir/hierarchy_dot.cpp.o" "gcc" "src/core/CMakeFiles/dtncache_core.dir/hierarchy_dot.cpp.o.d"
+  "/root/repo/src/core/replication.cpp" "src/core/CMakeFiles/dtncache_core.dir/replication.cpp.o" "gcc" "src/core/CMakeFiles/dtncache_core.dir/replication.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtncache_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dtncache_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtncache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dtncache_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dtncache_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_core.dir/freshness.cpp.o"
+  "CMakeFiles/dtncache_core.dir/freshness.cpp.o.d"
+  "CMakeFiles/dtncache_core.dir/hierarchical_scheme.cpp.o"
+  "CMakeFiles/dtncache_core.dir/hierarchical_scheme.cpp.o.d"
+  "CMakeFiles/dtncache_core.dir/hierarchy.cpp.o"
+  "CMakeFiles/dtncache_core.dir/hierarchy.cpp.o.d"
+  "CMakeFiles/dtncache_core.dir/hierarchy_dot.cpp.o"
+  "CMakeFiles/dtncache_core.dir/hierarchy_dot.cpp.o.d"
+  "CMakeFiles/dtncache_core.dir/replication.cpp.o"
+  "CMakeFiles/dtncache_core.dir/replication.cpp.o.d"
+  "libdtncache_core.a"
+  "libdtncache_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

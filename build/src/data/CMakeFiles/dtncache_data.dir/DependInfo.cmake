@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/item.cpp" "src/data/CMakeFiles/dtncache_data.dir/item.cpp.o" "gcc" "src/data/CMakeFiles/dtncache_data.dir/item.cpp.o.d"
+  "/root/repo/src/data/source.cpp" "src/data/CMakeFiles/dtncache_data.dir/source.cpp.o" "gcc" "src/data/CMakeFiles/dtncache_data.dir/source.cpp.o.d"
+  "/root/repo/src/data/workload.cpp" "src/data/CMakeFiles/dtncache_data.dir/workload.cpp.o" "gcc" "src/data/CMakeFiles/dtncache_data.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtncache_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

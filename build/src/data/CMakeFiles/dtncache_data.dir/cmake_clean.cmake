@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_data.dir/item.cpp.o"
+  "CMakeFiles/dtncache_data.dir/item.cpp.o.d"
+  "CMakeFiles/dtncache_data.dir/source.cpp.o"
+  "CMakeFiles/dtncache_data.dir/source.cpp.o.d"
+  "CMakeFiles/dtncache_data.dir/workload.cpp.o"
+  "CMakeFiles/dtncache_data.dir/workload.cpp.o.d"
+  "libdtncache_data.a"
+  "libdtncache_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

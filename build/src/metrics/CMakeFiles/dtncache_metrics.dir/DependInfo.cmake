@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/collector.cpp" "src/metrics/CMakeFiles/dtncache_metrics.dir/collector.cpp.o" "gcc" "src/metrics/CMakeFiles/dtncache_metrics.dir/collector.cpp.o.d"
+  "/root/repo/src/metrics/load.cpp" "src/metrics/CMakeFiles/dtncache_metrics.dir/load.cpp.o" "gcc" "src/metrics/CMakeFiles/dtncache_metrics.dir/load.cpp.o.d"
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/dtncache_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/dtncache_metrics.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtncache_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dtncache_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dtncache_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dtncache_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

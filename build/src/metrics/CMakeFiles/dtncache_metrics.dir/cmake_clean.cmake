@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_metrics.dir/collector.cpp.o"
+  "CMakeFiles/dtncache_metrics.dir/collector.cpp.o.d"
+  "CMakeFiles/dtncache_metrics.dir/load.cpp.o"
+  "CMakeFiles/dtncache_metrics.dir/load.cpp.o.d"
+  "CMakeFiles/dtncache_metrics.dir/report.cpp.o"
+  "CMakeFiles/dtncache_metrics.dir/report.cpp.o.d"
+  "libdtncache_metrics.a"
+  "libdtncache_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

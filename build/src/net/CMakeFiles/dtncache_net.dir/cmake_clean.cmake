@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_net.dir/churn.cpp.o"
+  "CMakeFiles/dtncache_net.dir/churn.cpp.o.d"
+  "CMakeFiles/dtncache_net.dir/energy.cpp.o"
+  "CMakeFiles/dtncache_net.dir/energy.cpp.o.d"
+  "CMakeFiles/dtncache_net.dir/network.cpp.o"
+  "CMakeFiles/dtncache_net.dir/network.cpp.o.d"
+  "libdtncache_net.a"
+  "libdtncache_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_runner.dir/args.cpp.o"
+  "CMakeFiles/dtncache_runner.dir/args.cpp.o.d"
+  "CMakeFiles/dtncache_runner.dir/config_io.cpp.o"
+  "CMakeFiles/dtncache_runner.dir/config_io.cpp.o.d"
+  "CMakeFiles/dtncache_runner.dir/experiment.cpp.o"
+  "CMakeFiles/dtncache_runner.dir/experiment.cpp.o.d"
+  "CMakeFiles/dtncache_runner.dir/replicate.cpp.o"
+  "CMakeFiles/dtncache_runner.dir/replicate.cpp.o.d"
+  "libdtncache_runner.a"
+  "libdtncache_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_sim.dir/rng.cpp.o"
+  "CMakeFiles/dtncache_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/dtncache_sim.dir/stats.cpp.o"
+  "CMakeFiles/dtncache_sim.dir/stats.cpp.o.d"
+  "libdtncache_sim.a"
+  "libdtncache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

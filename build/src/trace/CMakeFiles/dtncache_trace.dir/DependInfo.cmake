@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/analysis.cpp" "src/trace/CMakeFiles/dtncache_trace.dir/analysis.cpp.o" "gcc" "src/trace/CMakeFiles/dtncache_trace.dir/analysis.cpp.o.d"
+  "/root/repo/src/trace/contact.cpp" "src/trace/CMakeFiles/dtncache_trace.dir/contact.cpp.o" "gcc" "src/trace/CMakeFiles/dtncache_trace.dir/contact.cpp.o.d"
+  "/root/repo/src/trace/estimator.cpp" "src/trace/CMakeFiles/dtncache_trace.dir/estimator.cpp.o" "gcc" "src/trace/CMakeFiles/dtncache_trace.dir/estimator.cpp.o.d"
+  "/root/repo/src/trace/generators.cpp" "src/trace/CMakeFiles/dtncache_trace.dir/generators.cpp.o" "gcc" "src/trace/CMakeFiles/dtncache_trace.dir/generators.cpp.o.d"
+  "/root/repo/src/trace/one_format.cpp" "src/trace/CMakeFiles/dtncache_trace.dir/one_format.cpp.o" "gcc" "src/trace/CMakeFiles/dtncache_trace.dir/one_format.cpp.o.d"
+  "/root/repo/src/trace/rate_matrix.cpp" "src/trace/CMakeFiles/dtncache_trace.dir/rate_matrix.cpp.o" "gcc" "src/trace/CMakeFiles/dtncache_trace.dir/rate_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dtncache_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dtncache_trace.dir/analysis.cpp.o"
+  "CMakeFiles/dtncache_trace.dir/analysis.cpp.o.d"
+  "CMakeFiles/dtncache_trace.dir/contact.cpp.o"
+  "CMakeFiles/dtncache_trace.dir/contact.cpp.o.d"
+  "CMakeFiles/dtncache_trace.dir/estimator.cpp.o"
+  "CMakeFiles/dtncache_trace.dir/estimator.cpp.o.d"
+  "CMakeFiles/dtncache_trace.dir/generators.cpp.o"
+  "CMakeFiles/dtncache_trace.dir/generators.cpp.o.d"
+  "CMakeFiles/dtncache_trace.dir/one_format.cpp.o"
+  "CMakeFiles/dtncache_trace.dir/one_format.cpp.o.d"
+  "CMakeFiles/dtncache_trace.dir/rate_matrix.cpp.o"
+  "CMakeFiles/dtncache_trace.dir/rate_matrix.cpp.o.d"
+  "libdtncache_trace.a"
+  "libdtncache_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dtncache_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cache.dir/cache/allocation_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/allocation_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/cache_store_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/cache_store_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/centrality_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/centrality_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/coop_cache_property_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/coop_cache_property_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/coop_cache_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/coop_cache_test.cpp.o.d"
+  "CMakeFiles/test_cache.dir/cache/forwarding_edge_test.cpp.o"
+  "CMakeFiles/test_cache.dir/cache/forwarding_edge_test.cpp.o.d"
+  "test_cache"
+  "test_cache.pdb"
+  "test_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

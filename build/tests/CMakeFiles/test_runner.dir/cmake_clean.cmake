@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runner.dir/runner/args_test.cpp.o"
+  "CMakeFiles/test_runner.dir/runner/args_test.cpp.o.d"
+  "CMakeFiles/test_runner.dir/runner/config_io_test.cpp.o"
+  "CMakeFiles/test_runner.dir/runner/config_io_test.cpp.o.d"
+  "CMakeFiles/test_runner.dir/runner/experiment_test.cpp.o"
+  "CMakeFiles/test_runner.dir/runner/experiment_test.cpp.o.d"
+  "test_runner"
+  "test_runner.pdb"
+  "test_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

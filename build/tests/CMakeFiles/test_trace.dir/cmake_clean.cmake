@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/analysis_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/contact_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/contact_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/estimator_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/estimator_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/generators_property_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/generators_property_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/generators_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/generators_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/one_format_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/one_format_test.cpp.o.d"
+  "CMakeFiles/test_trace.dir/trace/rate_matrix_test.cpp.o"
+  "CMakeFiles/test_trace.dir/trace/rate_matrix_test.cpp.o.d"
+  "test_trace"
+  "test_trace.pdb"
+  "test_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
