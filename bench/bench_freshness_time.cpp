@@ -12,14 +12,18 @@ using namespace dtncache;
 
 namespace {
 
-void runScenario(const char* name, runner::ExperimentConfig base) {
+void runScenario(const char* name, runner::ExperimentConfig base, std::size_t jobs) {
   std::cout << "\n--- " << name << " ---\n";
   metrics::Table summary({"scheme", "mean_fresh", "final_fresh", "mean_valid",
                           "refresh_within_tau", "refresh_MB"});
   std::vector<std::pair<std::string, sim::TimeSeries>> series;
+  // One simulation per scheme — independent cells, pooled via the engine.
+  std::vector<runner::ExperimentConfig> configs;
   for (const auto kind : runner::allSchemes()) {
     base.scheme = kind;
-    const auto out = runner::runExperiment(base);
+    configs.push_back(base);
+  }
+  for (const auto& out : sweep::runParallel(configs, jobs)) {
     const auto& r = out.results;
     summary.addRow({out.scheme, metrics::fmt(r.meanFreshFraction),
                     metrics::fmt(r.finalFreshFraction), metrics::fmt(r.meanValidFraction),
@@ -55,14 +59,15 @@ void runScenario(const char* name, runner::ExperimentConfig base) {
 
 }  // namespace
 
-void seedSweep(const char* name, const runner::ExperimentConfig& base, std::size_t seeds) {
+void seedSweep(const char* name, const runner::ExperimentConfig& base, std::size_t seeds,
+               std::size_t jobs) {
   std::cout << "\n--- " << name << ": headline numbers over " << seeds
             << " seeds (mean±sd) ---\n";
   metrics::Table table({"scheme", "mean_fresh", "valid_answers", "refresh_MB"});
   for (const auto kind : runner::allSchemes()) {
     auto cfg = base;
     cfg.scheme = kind;
-    const auto agg = runner::runReplicated(cfg, seeds);
+    const auto agg = runner::runReplicated(cfg, seeds, jobs);
     table.addRow({runner::schemeName(kind), runner::formatMeanSd(agg.meanFresh),
                   runner::formatMeanSd(agg.validAnswerRatio),
                   runner::formatMeanSd(agg.refreshMegabytes, 1)});
@@ -70,12 +75,13 @@ void seedSweep(const char* name, const runner::ExperimentConfig& base, std::size
   table.print(std::cout);
 }
 
-int main() {
+int main(int argc, char** argv) {
+  const std::size_t jobs = bench::jobsArg(argc, argv);
   bench::banner("F2", "freshness ratio over time (all schemes)");
-  runScenario("reality-like (tau = 2 days)", bench::realityConfig());
-  runScenario("infocom-like (tau = 6 h)", bench::infocomConfig());
+  runScenario("reality-like (tau = 2 days)", bench::realityConfig(), jobs);
+  runScenario("infocom-like (tau = 6 h)", bench::infocomConfig(), jobs);
   // Single-trace numbers above are points; the sweep shows they are stable
   // across mobility realizations (every random process re-drawn per seed).
-  seedSweep("infocom-like", bench::infocomConfig(), 5);
+  seedSweep("infocom-like", bench::infocomConfig(), 5, jobs);
   return 0;
 }

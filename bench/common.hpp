@@ -11,13 +11,31 @@
 /// Infocom-like conference trace, so items refresh every 2 days vs 6 hours.
 
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "metrics/report.hpp"
+#include "runner/args.hpp"
 #include "runner/experiment.hpp"
+#include "sweep/sweep_engine.hpp"
 
 namespace dtncache::bench {
+
+/// `--jobs N` for the sweep-backed benches (0 = one worker per hardware
+/// core). Cells of an experiment grid are independent simulations; the
+/// sweep engine aggregates them in grid order, so the printed tables are
+/// identical at any jobs count — only wall-clock changes.
+inline std::size_t jobsArg(int argc, char** argv) {
+  runner::ArgParser args(argc, argv);
+  const auto jobs = args.getInt("--jobs", 0, "worker threads (0 = hardware cores)");
+  if (args.helpRequested()) {
+    std::cout << args.helpText(argv[0]);
+    std::exit(0);
+  }
+  for (const auto& e : args.errors()) std::cerr << "warning: " << e << "\n";
+  return jobs < 0 ? 0 : static_cast<std::size_t>(jobs);
+}
 
 inline runner::ExperimentConfig realityConfig(std::uint64_t seed = 1) {
   runner::ExperimentConfig c;

@@ -1,10 +1,58 @@
 #!/usr/bin/env bash
 # Build, test, and regenerate every experiment table into bench_output.txt.
+#
+#   scripts/run_all.sh [--jobs N]
+#
+# --jobs (default: nproc) drives the build, ctest, and the sweep-backed
+# benches. Bench tables are deterministic at any jobs count (the sweep
+# engine aggregates in grid order), so bench_output.txt is comparable
+# across machines and parallelism levels. Bench stderr (progress noise)
+# stays on the console; only stdout lands in bench_output.txt.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+jobs="$(nproc)"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --jobs)   jobs="$2"; shift 2 ;;
+    --jobs=*) jobs="${1#--jobs=}"; shift ;;
+    *) echo "usage: $0 [--jobs N]" >&2; exit 2 ;;
+  esac
+done
+
 cmake -B build -G Ninja
-cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/bench_*; do "$b"; done 2>&1 | tee bench_output.txt
-echo "done: test_output.txt, bench_output.txt"
+cmake --build build -j "$jobs"
+ctest --test-dir build -j "$jobs" 2>&1 | tee test_output.txt
+
+# Explicit bench order (paper table order), not glob order — a new binary
+# appearing mid-alphabet must not reshuffle bench_output.txt.
+benches=(
+  bench_trace_stats        # T1
+  bench_freshness_time     # F2
+  bench_freshness_tau      # F3
+  bench_freshness_ncl      # F4
+  bench_theta_guarantee    # F5
+  bench_overhead           # F6
+  bench_query_validity     # F7
+  bench_ablation_hierarchy # F8
+  bench_ablation_estimator # F9
+  bench_load_balance       # F10
+  bench_churn              # F11
+  bench_energy             # F12 (extension)
+  bench_allocation         # F13 (extension)
+  bench_scaling            # F14 (extension)
+)
+
+# Sweep-backed benches accept --jobs; the others ignore argv entirely.
+sweep_backed=" bench_freshness_time bench_freshness_tau bench_freshness_ncl bench_theta_guarantee bench_scaling "
+
+{
+  for b in "${benches[@]}"; do
+    if [[ "$sweep_backed" == *" $b "* ]]; then
+      "build/bench/$b" --jobs "$jobs"
+    else
+      "build/bench/$b"
+    fi
+  done
+} | tee bench_output.txt
+echo "done: test_output.txt, bench_output.txt (jobs=$jobs)"

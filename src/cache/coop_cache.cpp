@@ -167,7 +167,7 @@ double CooperativeCache::validFraction(sim::SimTime t) const {
       if (catalog_.clock(e->item).isValid(e->version, t)) ++valid;
     }
   }
-  return total == 0 ? 0.0 : static_cast<double>(valid) / static_cast<double>(total);
+  return sim::ratio(valid, total);
 }
 
 // ---- internals --------------------------------------------------------------

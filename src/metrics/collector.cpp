@@ -103,9 +103,7 @@ RunResults MetricsCollector::finalize(sim::SimTime end, const net::TransferLog& 
   r.transfers = transfers;
   r.copiesTracked = totalCopies_;
   r.refreshPushes = refreshPushes_;
-  r.refreshWithinPeriodRatio =
-      freshSlots_ == 0 ? 0.0
-                       : static_cast<double>(freshUpgrades_) / static_cast<double>(freshSlots_);
+  r.refreshWithinPeriodRatio = sim::ratio(freshUpgrades_, freshSlots_);
   r.freshOverTime = freshSeries_;
   r.validOverTime = validSeries_;
   r.simulatedTime = end;

@@ -31,15 +31,9 @@ struct QueryStats {
   std::size_t localHits = 0;
   sim::Accumulator delay;          ///< seconds, answered queries only
 
-  double successRatio() const {
-    return issued == 0 ? 0.0 : static_cast<double>(answeredValid) / static_cast<double>(issued);
-  }
-  double answeredRatio() const {
-    return issued == 0 ? 0.0 : static_cast<double>(answered) / static_cast<double>(issued);
-  }
-  double freshAnswerRatio() const {
-    return answered == 0 ? 0.0 : static_cast<double>(answeredFresh) / static_cast<double>(answered);
-  }
+  double successRatio() const { return sim::ratio(answeredValid, issued); }
+  double answeredRatio() const { return sim::ratio(answered, issued); }
+  double freshAnswerRatio() const { return sim::ratio(answeredFresh, answered); }
 };
 
 struct RunResults {

@@ -304,10 +304,15 @@ std::string dumpConfig(const ExperimentConfig& config) {
 }
 
 ExperimentConfig loadConfig(const std::string& json) {
+  ExperimentConfig config;
+  applyConfigJson(config, json);
+  return config;
+}
+
+void applyConfigJson(ExperimentConfig& config, const std::string& json) {
   FlatJsonParser parser(json);
   const auto values = parser.parse();
 
-  ExperimentConfig config;
   FieldBinder b;
   b.mode = FieldBinder::Mode::kLoad;
   b.values = &values;
@@ -315,7 +320,6 @@ ExperimentConfig loadConfig(const std::string& json) {
   DTNCACHE_CHECK_MSG(b.consumed == values.size(),
                      "config contains " << values.size() - b.consumed
                                         << " unknown key(s)");
-  return config;
 }
 
 ExperimentConfig loadConfigFile(const std::string& path) {

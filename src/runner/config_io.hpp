@@ -29,6 +29,11 @@ std::string dumpConfig(const ExperimentConfig& config);
 /// so hand-written partial configs work.
 ExperimentConfig loadConfig(const std::string& json);
 
+/// Apply a flat-JSON fragment on top of an existing config — the override
+/// mechanism behind sweep axes (`{"hierarchical.replication.theta": 0.7}`
+/// patches just that knob). Same key set and validation as loadConfig.
+void applyConfigJson(ExperimentConfig& config, const std::string& json);
+
 ExperimentConfig loadConfigFile(const std::string& path);
 void saveConfigFile(const ExperimentConfig& config, const std::string& path);
 

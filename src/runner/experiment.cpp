@@ -204,7 +204,7 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
         ++nodes;
       }
     }
-    out.meanPredictedProbability = nodes == 0 ? 0.0 : sumP / static_cast<double>(nodes);
+    out.meanPredictedProbability = sim::ratio(sumP, static_cast<double>(nodes));
     out.minPredictedProbability = nodes == 0 ? 0.0 : minP;
     out.reparentCount = hierarchical->reparentCount();
   }

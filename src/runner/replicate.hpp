@@ -6,6 +6,10 @@
 /// re-drawn coherently) and aggregate the headline metrics with mean and
 /// sample standard deviation. Benches use this where a single-trace number
 /// would be noise-dominated.
+///
+/// The implementation rides the sweep engine (src/sweep/replicate.cpp, in
+/// the dtncache_sweep library): seeds fan out across a thread pool and are
+/// aggregated in seed order, so the numbers are identical at any `jobs`.
 
 #include <cstdint>
 #include <vector>
@@ -31,8 +35,11 @@ struct ReplicatedResults {
   ExperimentOutput last;
 };
 
-/// Run `config` under seeds config.seed, config.seed+1, ... (count = runs).
-ReplicatedResults runReplicated(ExperimentConfig config, std::size_t runs);
+/// Run `config` under seeds config.seed, config.seed+1, ... (count = runs)
+/// on `jobs` worker threads (0 = one per hardware core). Aggregation is in
+/// seed order regardless of jobs, so results are deterministic.
+ReplicatedResults runReplicated(ExperimentConfig config, std::size_t runs,
+                                std::size_t jobs = 0);
 
 /// "mean±sd" with the given precision — compact table cell.
 std::string formatMeanSd(const sim::Accumulator& a, int precision = 3);

@@ -19,6 +19,19 @@
 
 namespace dtncache::sim {
 
+/// The repo-wide empty-denominator convention: a ratio over zero events is
+/// 0, not NaN. Every "x per y" metric (query success ratios, per-node
+/// loads, CSV/JSONL sink cells) funnels through here so that sweep output
+/// never contains `nan` cells and all callers agree on the convention.
+inline double ratio(double numerator, double denominator) {
+  return denominator == 0.0 ? 0.0 : numerator / denominator;
+}
+
+inline double ratio(std::size_t numerator, std::size_t denominator) {
+  return denominator == 0 ? 0.0
+                          : static_cast<double>(numerator) / static_cast<double>(denominator);
+}
+
 /// Streaming moments over a sequence of samples.
 class Accumulator {
  public:

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file result_sink.hpp
+/// Structured sweep output: one JSONL record per run plus a CSV summary.
+///
+/// Both sinks render the same flat field list (see recordFields): job
+/// identity (index, config fingerprint, scheme, seed, axis overrides),
+/// trace shape, every scalar of RunResults/ExperimentOutput, per-category
+/// transfer bytes, and the job's wall-clock. Numbers are printed with a
+/// fixed 17-significant-digit formatter, so records are byte-stable across
+/// worker counts; wall-clock fields are the only nondeterministic content
+/// and can be suppressed (the determinism test runs with them off).
+///
+/// Ratio cells all go through sim::ratio — a sweep with zero queries
+/// yields 0-valued ratio columns, never `nan`. The one non-finite metric
+/// (firstDepletionTime, +inf while every node lives) maps to JSON null and
+/// an empty CSV cell.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_engine.hpp"
+
+namespace dtncache::sweep {
+
+/// One rendered cell of a result record. `json` is a valid JSON scalar
+/// ("0.5", "\"epidemic\"", "null"); `csv` is the bare cell text.
+struct RecordField {
+  std::string key;
+  std::string json;
+  std::string csv;
+};
+
+/// Flatten a result into the shared field list (fixed key order; axis
+/// override columns appear in grid declaration order).
+std::vector<RecordField> recordFields(const JobResult& result, bool wallClock);
+
+/// One JSON object per line, keys in recordFields order.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(std::ostream& out, bool wallClock = true)
+      : out_(out), wallClock_(wallClock) {}
+
+  void write(const JobResult& result) override;
+
+ private:
+  std::ostream& out_;
+  bool wallClock_;
+};
+
+/// Header + one row per run, same fields as the JSONL records.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(std::ostream& out, bool wallClock = true)
+      : out_(out), wallClock_(wallClock) {}
+
+  void write(const JobResult& result) override;
+
+ private:
+  std::ostream& out_;
+  bool wallClock_;
+  bool headerWritten_ = false;
+};
+
+}  // namespace dtncache::sweep

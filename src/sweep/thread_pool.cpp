@@ -1,0 +1,45 @@
+#include "sweep/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace dtncache::sweep {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  DTNCACHE_CHECK_MSG(workers >= 1, "ThreadPool needs at least one worker");
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // second call: already joined
+    stopping_ = true;
+  }
+  available_.notify_all();
+  for (auto& w : workers_) w.join();
+  workers_.clear();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      available_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // exceptions land in the task's promise, never here
+  }
+}
+
+std::size_t ThreadPool::defaultWorkers() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+}  // namespace dtncache::sweep

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file thread_pool.hpp
+/// Fixed-size worker pool behind the sweep engine.
+///
+/// Deliberately minimal: a locked deque of type-erased tasks, N workers,
+/// futures for results. Exceptions thrown by a task are captured by its
+/// packaged_task and rethrown from the corresponding future's get() — a
+/// failing simulation surfaces at the aggregation site, not in a worker.
+/// shutdown() (and the destructor) is graceful: already-queued work is
+/// drained before the workers join, so no accepted job is silently dropped.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::sweep {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads immediately. workers must be >= 1.
+  explicit ThreadPool(std::size_t workers);
+
+  /// Drains and joins (see shutdown()).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t workerCount() const { return workers_.size(); }
+
+  /// Queue a task; the future delivers its result or rethrows its
+  /// exception. Throws InvariantViolation after shutdown().
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      DTNCACHE_CHECK_MSG(!stopping_, "submit() on a shut-down ThreadPool");
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    available_.notify_one();
+    return task->get_future();
+  }
+
+  /// Stop accepting work, run everything already queued, join the workers.
+  /// Idempotent; called by the destructor if not called explicitly.
+  void shutdown();
+
+  /// Default parallelism: hardware_concurrency, with a floor of 1 (the
+  /// standard permits returning 0 when the hardware can't be queried).
+  static std::size_t defaultWorkers();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable available_;
+  bool stopping_ = false;
+};
+
+}  // namespace dtncache::sweep

@@ -123,5 +123,13 @@ TEST(TimeSeries, ResampleNoopWhenSmall) {
   EXPECT_EQ(s.resampled(10).size(), 1u);
 }
 
+TEST(Ratio, EmptyDenominatorIsZeroNotNan) {
+  EXPECT_DOUBLE_EQ(ratio(3.0, 4.0), 0.75);
+  EXPECT_DOUBLE_EQ(ratio(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ratio(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(ratio(std::size_t{9}, std::size_t{3}), 3.0);
+  EXPECT_DOUBLE_EQ(ratio(std::size_t{9}, std::size_t{0}), 0.0);
+}
+
 }  // namespace
 }  // namespace dtncache::sim

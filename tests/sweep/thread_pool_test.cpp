@@ -1,0 +1,90 @@
+#include "sweep/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace dtncache::sweep {
+namespace {
+
+TEST(ThreadPool, TasksCompleteAndReturnValues) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i)
+    futures.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder) {
+  // With one worker the queue is FIFO, so side effects happen in order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 16; ++i)
+    futures.push_back(pool.submit([i, &order] { order.push_back(i); }));
+  for (auto& f : futures) f.get();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughTheFuture) {
+  ThreadPool pool(2);
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  auto good = pool.submit([] { return 7; });
+  EXPECT_EQ(good.get(), 7);  // a throwing task doesn't poison the pool
+  try {
+    bad.get();
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingWork) {
+  std::atomic<int> done{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 64; ++i)
+    pool.submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  pool.shutdown();  // graceful: every queued task runs before workers join
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, DestructorAlsoDrains) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 32; ++i) pool.submit([&done] { done.fetch_add(1); });
+  }
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW(pool.submit([] { return 1; }), InvariantViolation);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent) {
+  ThreadPool pool(2);
+  pool.submit([] {}).get();
+  pool.shutdown();
+  pool.shutdown();
+  EXPECT_EQ(pool.workerCount(), 0u);
+}
+
+TEST(ThreadPool, ZeroWorkersIsRejected) {
+  EXPECT_THROW(ThreadPool pool(0), InvariantViolation);
+}
+
+TEST(ThreadPool, DefaultWorkersHasFloorOfOne) {
+  EXPECT_GE(ThreadPool::defaultWorkers(), 1u);
+}
+
+}  // namespace
+}  // namespace dtncache::sweep
