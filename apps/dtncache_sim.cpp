@@ -14,14 +14,17 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "core/hierarchy_dot.hpp"
 #include "metrics/load.hpp"
 #include "metrics/report.hpp"
+#include "obs/tracer.hpp"
 #include "runner/args.hpp"
 #include "runner/config_io.hpp"
 #include "runner/experiment.hpp"
+#include "sweep/sweep_engine.hpp"
 #include "trace/one_format.hpp"
 
 using namespace dtncache;
@@ -72,6 +75,10 @@ int main(int argc, char** argv) {
       "--config", "", "load a JSON experiment config (flags below override it)");
   const bool dumpConfigFlag = args.getBool(
       "--dump-config", "print the effective config as JSON and exit (archivable run spec)");
+  const std::string traceOutPath = args.getString(
+      "--trace-out", "", "write the structured JSONL event trace here ('-' = stdout)");
+  const std::string traceFilterSpec = args.getString(
+      "--trace-filter", "", "comma list of event kinds to keep (default: all)");
 
   if (args.helpRequested()) {
     std::cout << args.helpText("dtncache");
@@ -146,7 +153,42 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  // Structured event tracing: one tracer for the whole run, labeled with
+  // the config fingerprint (the same label a sweep would use), flushed
+  // after the simulation so the hot path never touches the stream.
+  std::ofstream traceOutFile;
+  std::ostream* traceStream = nullptr;
+  std::unique_ptr<obs::Tracer> tracer;
+  obs::KindMask traceFilter = obs::kAllKinds;
+  try {  // validate the filter even without --trace-out: typos never pass silently
+    traceFilter = obs::parseKindFilter(traceFilterSpec);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+  if (!traceOutPath.empty()) {
+    if (traceOutPath == "-") {
+      traceStream = &std::cout;
+    } else {
+      traceOutFile.open(traceOutPath);
+      if (!traceOutFile.good()) {
+        std::cerr << "error: cannot write " << traceOutPath << "\n";
+        return 2;
+      }
+      traceStream = &traceOutFile;
+    }
+    tracer = std::make_unique<obs::Tracer>(sweep::configFingerprint(config), traceFilter);
+    config.tracer = tracer.get();
+  }
+
   const auto out = runner::runExperiment(config);
+
+  if (tracer != nullptr) {
+    tracer->flushTo(*traceStream);
+    traceStream->flush();
+    std::cerr << "trace: " << tracer->eventCount() << " event(s)"
+              << (traceOutPath == "-" ? "" : " -> " + traceOutPath) << "\n";
+  }
   const auto& r = out.results;
   const auto load = metrics::loadStats(r.transfers.perNodeRefreshBytes());
 

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "runner/args.hpp"
 #include "runner/config_io.hpp"
 #include "sweep/result_sink.hpp"
@@ -117,6 +118,10 @@ int runSweep(int argc, char** argv) {
       args.getString("--csv", "-", "write the CSV summary ('-' = stdout, '' = off)");
   const bool noWall =
       args.getBool("--no-wall", "omit wall-clock fields (byte-stable output)");
+  const std::string traceOutPath = args.getString(
+      "--trace-out", "", "write the merged JSONL event trace here ('-' = stdout)");
+  const std::string traceFilterSpec = args.getString(
+      "--trace-filter", "", "comma list of event kinds to keep (default: all)");
   const bool quiet = args.getBool("--quiet", "suppress progress/ETA on stderr");
   const bool list = args.getBool("--list", "print the expanded job plan and exit");
 
@@ -188,6 +193,10 @@ int runSweep(int argc, char** argv) {
   sweep::SweepOptions options;
   options.jobs = static_cast<std::size_t>(jobs);
   options.progress = !quiet;
+  // Parsed unconditionally so a typo'd filter fails even without --trace-out.
+  options.traceFilter = obs::parseKindFilter(traceFilterSpec);  // throws on typos
+  std::ofstream traceFile;
+  if (!traceOutPath.empty()) options.traceOut = openSink(traceOutPath, traceFile);
   sweep::SweepEngine engine(options);
   const auto results = engine.runJobs(plan, sinks);
 

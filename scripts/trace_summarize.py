@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Summarize a dtncache structured event trace (JSONL).
+
+Reads the output of `dtncache --trace-out=...` or `dtncache_sweep
+--trace-out=...` (see docs/observability.md for the schema) and prints,
+per run fingerprint:
+
+  - an event-kind histogram;
+  - a per-item freshness timeline: for every version_bump, how the new
+    version propagated through the caching set (pushes over time, time to
+    first/median/last delivery before the next bump);
+  - query outcome summary (local hits, delivered replies, fresh replies).
+
+Stdlib only; works on partial traces (kinds filtered out are skipped).
+
+Usage:
+  python3 scripts/trace_summarize.py trace.jsonl
+  python3 scripts/trace_summarize.py --item 0 --per-version trace.jsonl
+  dtncache --trace=infocom --trace-out=- --csv | python3 scripts/trace_summarize.py -
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def hours(seconds):
+    return seconds / 3600.0
+
+
+def median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def load_events(stream):
+    """Parse JSONL events grouped by run label, preserving order."""
+    runs = collections.defaultdict(list)
+    for lineno, line in enumerate(stream, 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            raise SystemExit(f"line {lineno}: not JSON: {err}")
+        runs[event.get("run", "?")].append(event)
+    return runs
+
+
+def freshness_timelines(events, only_item=None):
+    """Per item: version bumps in order, and each version's arrival delays."""
+    # Count each copy's arrival once: prefer `install` events (one per copy
+    # entering a store) when the trace carries them, else fall back to
+    # `push` (they pair up 1:1 on successful transfers).
+    arrival_kind = ("install" if any(e["kind"] == "install" for e in events)
+                    else "push")
+    bumps = {}  # item -> (version, bump time)
+    delays = collections.defaultdict(list)  # (item, version) -> arrival delays
+    order = []  # (item, version, bump time) in bump order
+    for event in events:
+        kind = event["kind"]
+        if kind == "version_bump":
+            item = event["item"]
+            if only_item is not None and item != only_item:
+                continue
+            bumps[item] = (event["version"], event["t"])
+            order.append((item, event["version"], event["t"]))
+        elif kind == arrival_kind:
+            item = event.get("item")
+            if item not in bumps:
+                continue
+            version, bumped_at = bumps[item]
+            if event.get("version") != version:
+                continue
+            delays[(item, version)].append(event["t"] - bumped_at)
+    return order, delays
+
+
+def summarize(run, events, args):
+    print(f"run {run}: {len(events)} event(s)")
+
+    histogram = collections.Counter(e["kind"] for e in events)
+    for kind, count in histogram.most_common():
+        print(f"  {kind:<22} {count}")
+
+    order, delays = freshness_timelines(events, args.item)
+    if order:
+        print("\n  freshness timelines (per version bump; delays in hours):")
+        per_item = collections.defaultdict(list)
+        for item, version, bumped_at in order:
+            per_item[item].append((version, bumped_at))
+        for item in sorted(per_item):
+            spreads = []
+            for version, bumped_at in per_item[item]:
+                arrivals = delays.get((item, version), [])
+                if not arrivals:
+                    continue
+                spreads.append(
+                    (version, bumped_at, len(arrivals), min(arrivals),
+                     median(arrivals), max(arrivals)))
+            if args.per_version:
+                print(f"    item {item}:")
+                for version, bumped_at, n, lo, mid, hi in spreads:
+                    print(f"      v{version} @ {hours(bumped_at):8.1f}h: "
+                          f"{n} deliveries, first {hours(lo):6.2f}h, "
+                          f"median {hours(mid):6.2f}h, last {hours(hi):6.2f}h")
+            elif spreads:
+                firsts = [s[3] for s in spreads]
+                medians = [s[4] for s in spreads]
+                lasts = [s[5] for s in spreads]
+                copies = sum(s[2] for s in spreads)
+                print(f"    item {item}: {len(spreads)} traced version(s), "
+                      f"{copies} deliveries; per-version delay "
+                      f"first {hours(median(firsts)):.2f}h / "
+                      f"median {hours(median(medians)):.2f}h / "
+                      f"last {hours(median(lasts)):.2f}h")
+
+    queries = histogram.get("query", 0)
+    if queries:
+        replies = [e for e in events if e["kind"] == "reply_delivered"]
+        fresh = sum(1 for e in replies if e.get("fresh"))
+        local = histogram.get("query_local_hit", 0)
+        print(f"\n  queries: {queries} issued, {local} local hits, "
+              f"{len(replies)} replies delivered ({fresh} fresh)")
+        if replies:
+            reply_delays = [e["delay"] for e in replies if "delay" in e]
+            if reply_delays:
+                print(f"  reply delay: median {hours(median(reply_delays)):.2f}h, "
+                      f"max {hours(max(reply_delays)):.2f}h")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("trace", help="JSONL trace file, or '-' for stdin")
+    parser.add_argument("--item", type=int, default=None,
+                        help="restrict freshness timelines to one item id")
+    parser.add_argument("--per-version", action="store_true",
+                        help="print one timeline row per version bump")
+    args = parser.parse_args()
+
+    stream = sys.stdin if args.trace == "-" else open(args.trace)
+    with stream:
+        runs = load_events(stream)
+    if not runs:
+        raise SystemExit("no events found")
+    for index, (run, events) in enumerate(runs.items()):
+        if index:
+            print()
+        summarize(run, events, args)
+
+
+if __name__ == "__main__":
+    main()

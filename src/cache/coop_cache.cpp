@@ -68,6 +68,26 @@ void CooperativeCache::setScheme(RefreshScheme* scheme) {
   scheme_ = scheme;
 }
 
+void CooperativeCache::setObservability(obs::Tracer* tracer, obs::Registry* registry) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    ctrHandshakeTruncated_ = ctrPushDelivered_ = ctrPushNoop_ = ctrPushDenied_ =
+        ctrInstallInserted_ = ctrInstallUpgraded_ = ctrInstallEvicted_ =
+            ctrQueryLocalHit_ = ctrQuerySprayed_ = ctrReplyDelivered_ = nullptr;
+    return;
+  }
+  ctrHandshakeTruncated_ = &registry->counter("cache.handshake.truncated");
+  ctrPushDelivered_ = &registry->counter("cache.push.delivered");
+  ctrPushNoop_ = &registry->counter("cache.push.noop");
+  ctrPushDenied_ = &registry->counter("cache.push.denied");
+  ctrInstallInserted_ = &registry->counter("cache.install.inserted");
+  ctrInstallUpgraded_ = &registry->counter("cache.install.upgraded");
+  ctrInstallEvicted_ = &registry->counter("cache.install.evicted");
+  ctrQueryLocalHit_ = &registry->counter("cache.query.local_hit");
+  ctrQuerySprayed_ = &registry->counter("cache.query.sprayed");
+  ctrReplyDelivered_ = &registry->counter("cache.reply.delivered");
+}
+
 void CooperativeCache::start(data::SourceProcess& sources, data::QueryWorkload* workload,
                              sim::SimTime horizon) {
   DTNCACHE_CHECK_MSG(!started_, "CooperativeCache::start called twice");
@@ -130,9 +150,21 @@ bool CooperativeCache::pushSpecificVersion(NodeId from, NodeId to, data::ItemId 
                      "scheme pushed a version from the future");
   if (!isCachingNode(to, item)) return false;
   const auto held = heldVersion(to, item, t);
-  if (held && *held >= version) return false;  // handshake told us: no-op
+  if (held && *held >= version) {  // handshake told us: no-op
+    if (ctrPushNoop_ != nullptr) ctrPushNoop_->add();
+    return false;
+  }
   const std::uint32_t bytes = net::kHeaderBytes + catalog_.spec(item).sizeBytes;
-  if (!channel.transfer(category, bytes, from)) return false;
+  if (!channel.transfer(category, bytes, from)) {
+    if (ctrPushDenied_ != nullptr) ctrPushDenied_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kPushDenied, t, {"from", from}, {"to", to},
+                   {"item", item}, {"version", version}, {"bytes", bytes});
+    return false;
+  }
+  if (ctrPushDelivered_ != nullptr) ctrPushDelivered_->add();
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kPush, t, {"from", from}, {"to", to},
+                 {"item", item}, {"version", version},
+                 {"cat", net::trafficName(category)});
   installCopy(to, item, version, t);
   return true;
 }
@@ -179,20 +211,29 @@ void CooperativeCache::installCopy(NodeId at, data::ItemId item, data::Version v
   switch (result.kind) {
     case InsertResult::Kind::kInserted:
       collector_.copyInstalled(item, v, t);
+      if (ctrInstallInserted_ != nullptr) ctrInstallInserted_->add();
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kInstall, t, {"at", at}, {"item", item},
+                     {"version", v}, {"how", "insert"});
       break;
     case InsertResult::Kind::kUpgraded:
       collector_.copyUpgraded(item, result.previousVersion, v, t);
+      if (ctrInstallUpgraded_ != nullptr) ctrInstallUpgraded_->add();
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kInstall, t, {"at", at}, {"item", item},
+                     {"version", v}, {"how", "upgrade"});
       break;
     case InsertResult::Kind::kAlreadyCurrent:
     case InsertResult::Kind::kRejected:
       break;
   }
-  for (const CacheEntry& victim : result.evicted)
+  for (const CacheEntry& victim : result.evicted) {
     collector_.copyEvicted(victim.item, victim.version, t);
+    if (ctrInstallEvicted_ != nullptr) ctrInstallEvicted_->add();
+  }
 }
 
 void CooperativeCache::handleNewVersion(data::ItemId item, data::Version v, sim::SimTime t) {
   collector_.versionBumped(item, t);
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kVersionBump, t, {"item", item}, {"version", v});
   scheme_->onNewVersion(*this, item, v, t);
 }
 
@@ -200,18 +241,28 @@ void CooperativeCache::handleQuery(const data::Query& q) {
   collector_.queryIssued(q);
   const sim::SimTime t = q.issueTime;
   const auto& clock = catalog_.clock(q.item);
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kQuery, t, {"node", q.requester},
+                 {"item", q.item}, {"query", q.id});
 
   // Local answer: own source, or a valid cached copy.
   if (q.requester == sourceOf(q.item)) {
     collector_.queryAnswered(q.id, t, true, true, true);
+    if (ctrQueryLocalHit_ != nullptr) ctrQueryLocalHit_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kQueryLocalHit, t, {"node", q.requester},
+                   {"item", q.item}, {"query", q.id}, {"fresh", true});
     return;
   }
   if (const CacheEntry* e = stores_[q.requester].find(q.item);
       e != nullptr && clock.isValid(e->version, t)) {
     stores_[q.requester].recordAccess(q.item, t);
-    collector_.queryAnswered(q.id, t, clock.isFresh(e->version, t), true, true);
+    const bool fresh = clock.isFresh(e->version, t);
+    collector_.queryAnswered(q.id, t, fresh, true, true);
+    if (ctrQueryLocalHit_ != nullptr) ctrQueryLocalHit_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kQueryLocalHit, t, {"node", q.requester},
+                   {"item", q.item}, {"query", q.id}, {"fresh", fresh});
     return;
   }
+  if (ctrQuerySprayed_ != nullptr) ctrQuerySprayed_->add();
 
   net::Message m;
   m.id = nextMessageId();
@@ -237,8 +288,13 @@ void CooperativeCache::handleContact(NodeId a, NodeId b, sim::SimTime t,
   const std::uint64_t handshakeHalf =
       net::kHeaderBytes +
       config_.versionVectorBytesPerItem * static_cast<std::uint64_t>(catalog_.size());
-  if (!channel.transfer(net::Traffic::kControl, handshakeHalf, a)) return;
-  if (!channel.transfer(net::Traffic::kControl, handshakeHalf, b)) return;
+  if (!channel.transfer(net::Traffic::kControl, handshakeHalf, a) ||
+      !channel.transfer(net::Traffic::kControl, handshakeHalf, b)) {
+    if (ctrHandshakeTruncated_ != nullptr) ctrHandshakeTruncated_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kHandshakeTruncated, t, {"a", a}, {"b", b},
+                   {"need", handshakeHalf});
+    return;
+  }
 
   // Freshness maintenance gets priority on the contact's bytes: stale data
   // serves nobody, and the paper's schemes are all push-on-contact.
@@ -285,6 +341,11 @@ void CooperativeCache::deliverReply(const net::Message& reply, sim::SimTime t) {
   const bool fresh = clock.isFresh(reply.version, t);
   const bool valid = clock.isValid(reply.version, t);
   collector_.queryAnswered(reply.queryId, t, fresh, valid, false);
+  if (ctrReplyDelivered_ != nullptr) ctrReplyDelivered_->add();
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kReplyDelivered, t, {"node", reply.requester},
+                 {"item", reply.item}, {"version", reply.version},
+                 {"query", reply.queryId}, {"fresh", fresh}, {"valid", valid},
+                 {"delay", t - reply.createdAt});
   satisfied_.insert(reply.queryId);
   // A requester that is itself a caching node keeps the data it just got.
   if (isCachingNode(reply.requester, reply.item))

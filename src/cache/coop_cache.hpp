@@ -32,6 +32,8 @@
 #include "net/buffer.hpp"
 #include "net/forwarding.hpp"
 #include "net/network.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "sim/simulator.hpp"
 #include "trace/estimator.hpp"
 #include "trace/rate_matrix.hpp"
@@ -115,6 +117,16 @@ class CooperativeCache {
   /// Churn hook: nodes for which this returns false issue no queries.
   void setUpPredicate(std::function<bool(NodeId)> pred) { upPredicate_ = std::move(pred); }
 
+  /// Attach the observability layer (neither owned; both may be null).
+  /// Events: handshake_truncated, push / push_denied, install,
+  /// version_bump, query / query_local_hit, reply_delivered. Counters
+  /// under cache.* (see docs/observability.md).
+  void setObservability(obs::Tracer* tracer, obs::Registry* registry);
+
+  /// The run's tracer (null when tracing is off) — schemes emit their own
+  /// events through this.
+  obs::Tracer* tracer() const { return tracer_; }
+
   // ---- accessors ----------------------------------------------------------
 
   sim::Simulator& simulator() { return simulator_; }
@@ -171,6 +183,17 @@ class CooperativeCache {
   std::unordered_set<std::uint64_t> answeredAt_;  ///< (query, node) reply-dedup
   std::unordered_set<data::QueryId> satisfied_;   ///< delivered to requester
   std::function<bool(NodeId)> upPredicate_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctrHandshakeTruncated_ = nullptr;
+  obs::Counter* ctrPushDelivered_ = nullptr;
+  obs::Counter* ctrPushNoop_ = nullptr;
+  obs::Counter* ctrPushDenied_ = nullptr;
+  obs::Counter* ctrInstallInserted_ = nullptr;
+  obs::Counter* ctrInstallUpgraded_ = nullptr;
+  obs::Counter* ctrInstallEvicted_ = nullptr;
+  obs::Counter* ctrQueryLocalHit_ = nullptr;
+  obs::Counter* ctrQuerySprayed_ = nullptr;
+  obs::Counter* ctrReplyDelivered_ = nullptr;
   net::MessageId nextMessageId_ = 1;
   bool started_ = false;
 };

@@ -14,6 +14,40 @@ HierarchicalRefreshScheme::HierarchicalRefreshScheme(HierarchicalConfig config,
                      "useOracleRates requires an oracle rate matrix");
 }
 
+void HierarchicalRefreshScheme::setObservability(obs::Tracer* tracer,
+                                                 obs::Registry* registry) {
+  tracer_ = tracer;
+  if (registry == nullptr) {
+    ctrMaintenanceRuns_ = nullptr;
+    ctrReparents_ = nullptr;
+    ctrRelayInjected_ = nullptr;
+    ctrChurnRepairs_ = nullptr;
+    ctrPlanHelpers_ = nullptr;
+    ctrPlanUnmet_ = nullptr;
+    maintenanceTimer_ = nullptr;
+    return;
+  }
+  ctrMaintenanceRuns_ = &registry->counter("core.maintenance.runs");
+  ctrReparents_ = &registry->counter("core.reparent.count");
+  ctrRelayInjected_ = &registry->counter("core.relay.injected");
+  ctrChurnRepairs_ = &registry->counter("core.churn.repairs");
+  ctrPlanHelpers_ = &registry->counter("core.plan.helpers");
+  ctrPlanUnmet_ = &registry->counter("core.plan.unmet");
+  maintenanceTimer_ = &registry->timer("core.maintenance");
+}
+
+void HierarchicalRefreshScheme::replan(cache::CooperativeCache& cache, data::ItemId item,
+                                       sim::SimTime t, const RateFn& rate) {
+  const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+  plans_[item] = planReplication(hierarchies_[item], rate, tau, config_.replication,
+                                 PlanTrace{tracer_, item, t});
+  const ReplicationPlan& plan = plans_[item];
+  if (ctrPlanHelpers_ != nullptr) ctrPlanHelpers_->add(plan.totalAssignments());
+  if (ctrPlanUnmet_ != nullptr) ctrPlanUnmet_->add(plan.unmetNodes().size());
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kPlan, t, {"item", item},
+                 {"helpers", plan.totalAssignments()}, {"unmet", plan.unmetNodes().size()});
+}
+
 RateFn HierarchicalRefreshScheme::makeRateFn(cache::CooperativeCache& cache,
                                              sim::SimTime t) const {
   if (config_.useOracleRates) {
@@ -33,7 +67,7 @@ void HierarchicalRefreshScheme::rebuildItem(cache::CooperativeCache& cache,
     if (!live_ || live_(n)) members.push_back(n);
   hierarchies_[item] =
       RefreshHierarchy::build(cache.sourceOf(item), members, rate, tau, config_.hierarchy);
-  plans_[item] = planReplication(hierarchies_[item], rate, tau, config_.replication);
+  replan(cache, item, t, rate);
 }
 
 void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
@@ -68,14 +102,20 @@ void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
         bestScore >= current * (1.0 + config_.repairImprovement)) {
       h.reparent(n, bestParent, config_.hierarchy.fanoutBound);
       ++reparentCount_;
+      if (ctrReparents_ != nullptr) ctrReparents_->add();
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kReparent, t, {"item", item}, {"node", n},
+                     {"parent", bestParent});
     }
   }
-  plans_[item] = planReplication(h, rate, tau, config_.replication);
+  replan(cache, item, t, rate);
 }
 
 void HierarchicalRefreshScheme::runMaintenance(cache::CooperativeCache& cache,
                                                sim::SimTime t) {
   ++maintenanceRuns_;
+  if (ctrMaintenanceRuns_ != nullptr) ctrMaintenanceRuns_->add();
+  obs::ScopedTimer timed(maintenanceTimer_);
+  const std::size_t reparentsBefore = reparentCount_;
   for (data::ItemId item = 0; item < cache.catalog().size(); ++item) {
     switch (config_.maintenance) {
       case MaintenanceMode::kRebuild:
@@ -89,6 +129,9 @@ void HierarchicalRefreshScheme::runMaintenance(cache::CooperativeCache& cache,
     }
     hierarchies_[item].checkInvariants();
   }
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kMaintenance, t,
+                 {"items", cache.catalog().size()},
+                 {"reparented", reparentCount_ - reparentsBefore});
 }
 
 void HierarchicalRefreshScheme::onStart(cache::CooperativeCache& cache) {
@@ -198,6 +241,10 @@ void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, Nod
       cache.injectMessage(carrier, m, t);
       ++used;
       ++relayInjections_;
+      if (ctrRelayInjected_ != nullptr) ctrRelayInjected_->add();
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kRelayInject, t, {"item", item},
+                     {"holder", holder}, {"carrier", carrier}, {"target", target},
+                     {"version", *held});
     }
   }
 }
@@ -214,6 +261,9 @@ void HierarchicalRefreshScheme::onNodeStateChanged(cache::CooperativeCache& cach
       if (!h.isMember(node)) continue;
       h.removeMember(node);  // children adopted by the grandparent
       ++churnRepairs_;
+      if (ctrChurnRepairs_ != nullptr) ctrChurnRepairs_->add();
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kChurnRepair, t, {"item", item},
+                     {"node", node}, {"up", false});
     } else {
       if (h.isMember(node)) continue;
       // Re-attach under the live parent with a free slot that maximizes the
@@ -235,8 +285,11 @@ void HierarchicalRefreshScheme::onNodeStateChanged(cache::CooperativeCache& cach
       DTNCACHE_CHECK_MSG(bestParent != kNoNode, "no free slot to re-attach node");
       h.addMember(node, bestParent, config_.hierarchy.fanoutBound);
       ++churnRepairs_;
+      if (ctrChurnRepairs_ != nullptr) ctrChurnRepairs_->add();
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kChurnRepair, t, {"item", item},
+                     {"node", node}, {"up", true});
     }
-    plans_[item] = planReplication(h, rate, tau, config_.replication);
+    replan(cache, item, t, rate);
     h.checkInvariants();
   }
 }

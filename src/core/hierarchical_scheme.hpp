@@ -101,6 +101,13 @@ class HierarchicalRefreshScheme : public cache::RefreshScheme {
     config_.replication.helperWeight = std::move(weight);
   }
 
+  /// Attach the observability layer (neither owned; both may be null).
+  /// Events: plan / helper_assign on every (re)plan, reparent on local
+  /// repair, relay_inject per relay handoff, churn_repair on membership
+  /// flips, maintenance per periodic pass. Counters under core.*; the
+  /// `core.maintenance` timer accumulates planning wall-clock.
+  void setObservability(obs::Tracer* tracer, obs::Registry* registry);
+
   /// Planning-state inspection (tests, benches, examples).
   const RefreshHierarchy& hierarchyOf(data::ItemId item) const;
   const ReplicationPlan& planOf(data::ItemId item) const;
@@ -122,8 +129,20 @@ class HierarchicalRefreshScheme : public cache::RefreshScheme {
   void injectRelays(cache::CooperativeCache& cache, NodeId holder, NodeId carrier,
                     sim::SimTime t, net::ContactChannel& channel);
 
+  /// Recompute (and trace) the item's replication plan.
+  void replan(cache::CooperativeCache& cache, data::ItemId item, sim::SimTime t,
+              const RateFn& rate);
+
   HierarchicalConfig config_;
   const trace::RateMatrix* oracleRates_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctrMaintenanceRuns_ = nullptr;
+  obs::Counter* ctrReparents_ = nullptr;
+  obs::Counter* ctrRelayInjected_ = nullptr;
+  obs::Counter* ctrChurnRepairs_ = nullptr;
+  obs::Counter* ctrPlanHelpers_ = nullptr;
+  obs::Counter* ctrPlanUnmet_ = nullptr;
+  obs::Timer* maintenanceTimer_ = nullptr;
   std::vector<RefreshHierarchy> hierarchies_;  ///< per item
   std::vector<ReplicationPlan> plans_;         ///< per item
   std::size_t maintenanceRuns_ = 0;

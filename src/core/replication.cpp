@@ -27,7 +27,8 @@ double ReplicationPlan::predictedProbability(NodeId target) const {
 }
 
 ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn& rate,
-                                sim::SimTime tau, const ReplicationConfig& config) {
+                                sim::SimTime tau, const ReplicationConfig& config,
+                                const PlanTrace& trace) {
   DTNCACHE_CHECK(config.theta >= 0.0 && config.theta <= 1.0);
   DTNCACHE_CHECK(tau > 0.0);
 
@@ -83,6 +84,9 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
         assigned.push_back(c.node);
         contributions.push_back(c.contribution);
         combined = combinedRefreshProbability(chainP, contributions);
+        DTNCACHE_EVENT(trace.tracer, obs::EventKind::kHelperAssign, trace.now,
+                       {"item", trace.item}, {"target", target}, {"helper", c.node},
+                       {"p", combined});
       }
       plan.totalAssignments_ += assigned.size();
     }

@@ -17,14 +17,25 @@
 /// to the target.
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/hierarchy.hpp"
+#include "obs/tracer.hpp"
 #include "sim/time.hpp"
 
 namespace dtncache::core {
+
+/// Optional observability context for planReplication: when `tracer` is
+/// set, every helper placement is emitted as a `helper_assign` event
+/// labeled with the item and the (sim-)time the plan was computed at.
+struct PlanTrace {
+  obs::Tracer* tracer = nullptr;
+  std::uint32_t item = 0;
+  sim::SimTime now = 0.0;
+};
 
 enum class HelperOrder {
   kBestContribution,  ///< greedy on h_k (freshness-weighted reach)
@@ -65,7 +76,8 @@ class ReplicationPlan {
 
  private:
   friend ReplicationPlan planReplication(const RefreshHierarchy&, const RateFn&,
-                                         sim::SimTime, const ReplicationConfig&);
+                                         sim::SimTime, const ReplicationConfig&,
+                                         const PlanTrace&);
   std::unordered_map<NodeId, std::vector<NodeId>> helpers_;
   std::unordered_map<NodeId, double> predicted_;
   std::vector<NodeId> unmet_;
@@ -74,7 +86,9 @@ class ReplicationPlan {
 };
 
 /// Compute helper assignments for every below-root member of `hierarchy`.
+/// `trace` labels and emits each copy placement when tracing is wired.
 ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn& rate,
-                                sim::SimTime tau, const ReplicationConfig& config);
+                                sim::SimTime tau, const ReplicationConfig& config,
+                                const PlanTrace& trace = {});
 
 }  // namespace dtncache::core

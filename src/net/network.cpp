@@ -30,6 +30,17 @@ Network::Network(sim::Simulator& simulator, const trace::ContactTrace& trace,
   DTNCACHE_CHECK(config_.contactLossRate >= 0.0 && config_.contactLossRate <= 1.0);
 }
 
+void Network::setObservability(obs::Tracer* tracer, obs::Registry* registry) {
+  tracer_ = tracer;
+  if (registry != nullptr) {
+    ctrDelivered_ = &registry->counter("net.contact.delivered");
+    ctrSuppressed_ = &registry->counter("net.contact.suppressed");
+    ctrLost_ = &registry->counter("net.contact.lost");
+  } else {
+    ctrDelivered_ = ctrSuppressed_ = ctrLost_ = nullptr;
+  }
+}
+
 void Network::start(ContactFn onContact) {
   DTNCACHE_CHECK_MSG(!started_, "Network::start called twice");
   started_ = true;
@@ -41,19 +52,30 @@ void Network::start(ContactFn onContact) {
       if (energy_ != nullptr) energy_->advanceTo(t);
       if (config_.contactLossRate > 0.0 && lossRng_.bernoulli(config_.contactLossRate)) {
         ++contactsLost_;
+        if (ctrLost_ != nullptr) ctrLost_->add();
+        DTNCACHE_EVENT(tracer_, obs::EventKind::kContactLost, t, {"a", c.a}, {"b", c.b});
         return;
       }
       if (filter_ && !filter_(c.a, c.b, t)) {
         ++contactsSuppressed_;
+        if (ctrSuppressed_ != nullptr) ctrSuppressed_->add();
+        DTNCACHE_EVENT(tracer_, obs::EventKind::kContactSuppressed, t, {"a", c.a},
+                       {"b", c.b});
         return;
       }
       ++contactsDelivered_;
+      if (ctrDelivered_ != nullptr) ctrDelivered_->add();
       if (energy_ != nullptr) energy_->onContact(c.a, c.b);
       const auto budget = std::max<std::uint64_t>(
           config_.minContactBudgetBytes,
           static_cast<std::uint64_t>(std::llround(c.duration * config_.bandwidthBytesPerSec)));
       ContactChannel channel(budget, log_, c.a, c.b, energy_);
       onContact_(c.a, c.b, t, c.duration, channel);
+      // Emitted after the protocol ran so the event can report the spend;
+      // same sim time as the pushes/forwards the contact carried.
+      DTNCACHE_EVENT(tracer_, obs::EventKind::kContact, t, {"a", c.a}, {"b", c.b},
+                     {"dur", c.duration}, {"budget", budget},
+                     {"spent", budget - channel.remainingBytes()});
     });
   }
 }

@@ -16,6 +16,8 @@
 #include <functional>
 #include <vector>
 
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "trace/contact.hpp"
@@ -161,6 +163,13 @@ class Network {
   /// on EnergyModel::depleted to make dead nodes disappear.
   void setEnergyModel(EnergyModel* energy) { energy_ = energy; }
 
+  /// Attach the observability layer (neither owned; both may be null).
+  /// Contact admission emits `contact` / `contact_suppressed` /
+  /// `contact_lost` events — the `contact` event carries the byte budget
+  /// and, since it is emitted after the protocol ran, the bytes spent.
+  /// Counters: net.contact.{delivered,suppressed,lost}.
+  void setObservability(obs::Tracer* tracer, obs::Registry* registry);
+
   const TransferLog& transfers() const { return log_; }
   std::size_t nodeCount() const { return trace_.nodeCount(); }
   std::size_t contactsDelivered() const { return contactsDelivered_; }
@@ -174,6 +183,10 @@ class Network {
   ContactFn onContact_;
   ContactFilter filter_;
   EnergyModel* energy_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* ctrDelivered_ = nullptr;
+  obs::Counter* ctrSuppressed_ = nullptr;
+  obs::Counter* ctrLost_ = nullptr;
   TransferLog log_;
   sim::Rng lossRng_;
   std::size_t contactsDelivered_ = 0;

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file event.hpp
+/// The trace-event vocabulary: every structured event kind the simulator
+/// can emit, with stable wire names and a bitmask type for filtering.
+///
+/// Kinds are closed and enumerated here on purpose: the JSONL schema in
+/// docs/observability.md is a contract with external tooling
+/// (scripts/trace_summarize.py, ad-hoc jq pipelines), and an open-ended
+/// string kind would let instrumentation sites silently fork the schema.
+/// Adding a kind means adding it here, to eventKindName(), and to the
+/// schema reference — the docs/observability.md table is generated from
+/// the same list.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dtncache::obs {
+
+/// Every structured event the instrumented layers can emit. Grouped by the
+/// emitting layer; docs/observability.md documents each kind's payload.
+enum class EventKind : std::uint8_t {
+  // -- net::Network: contact admission and budget spend ---------------------
+  kContact = 0,        ///< contact delivered to the protocol (budget + spend)
+  kContactSuppressed,  ///< filtered out (churn-down endpoint, depleted battery)
+  kContactLost,        ///< whole-contact loss (failed pairing)
+
+  // -- cache::CooperativeCache: handshake, pushes, queries ------------------
+  kHandshakeTruncated,  ///< contact budget could not fit the metadata exchange
+  kPush,                ///< a version push was transferred and installed
+  kPushDenied,          ///< a push failed on the contact's byte budget
+  kInstall,             ///< a copy entered (or upgraded in) a cache store
+  kVersionBump,         ///< the source produced a new version
+  kQuery,               ///< a query was issued
+  kQueryLocalHit,       ///< ... and answered from the requester's own store
+  kReplyDelivered,      ///< a reply reached its requester
+
+  // -- core: refresh propagation and replication planning -------------------
+  kPlan,         ///< per-item replication plan (re)computed
+  kHelperAssign, ///< replication assigned a helper to a target node
+  kReparent,     ///< local repair moved a node under a better parent
+  kRelayInject,  ///< a relay copy was handed to a third-party carrier
+  kChurnRepair,  ///< hierarchy membership repaired after a churn flip
+  kMaintenance,  ///< a periodic maintenance pass ran
+
+  // -- sweep::SweepEngine: job lifecycle ------------------------------------
+  kJobStart,  ///< a sweep job began (identity fields, sim time 0)
+  kJobDone,   ///< ... and finished (sim time = simulated horizon)
+
+  kKindCount,
+};
+
+/// Stable wire name (the JSONL "kind" field and the --trace-filter token).
+constexpr const char* eventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kContact: return "contact";
+    case EventKind::kContactSuppressed: return "contact_suppressed";
+    case EventKind::kContactLost: return "contact_lost";
+    case EventKind::kHandshakeTruncated: return "handshake_truncated";
+    case EventKind::kPush: return "push";
+    case EventKind::kPushDenied: return "push_denied";
+    case EventKind::kInstall: return "install";
+    case EventKind::kVersionBump: return "version_bump";
+    case EventKind::kQuery: return "query";
+    case EventKind::kQueryLocalHit: return "query_local_hit";
+    case EventKind::kReplyDelivered: return "reply_delivered";
+    case EventKind::kPlan: return "plan";
+    case EventKind::kHelperAssign: return "helper_assign";
+    case EventKind::kReparent: return "reparent";
+    case EventKind::kRelayInject: return "relay_inject";
+    case EventKind::kChurnRepair: return "churn_repair";
+    case EventKind::kMaintenance: return "maintenance";
+    case EventKind::kJobStart: return "job_start";
+    case EventKind::kJobDone: return "job_done";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+/// Bitmask over EventKind — the runtime trace filter. Fits easily: the
+/// enum is capped at 64 kinds by static_assert below.
+using KindMask = std::uint64_t;
+
+static_assert(static_cast<std::size_t>(EventKind::kKindCount) <= 64,
+              "KindMask is a 64-bit bitmask");
+
+constexpr KindMask kindBit(EventKind kind) {
+  return KindMask{1} << static_cast<std::size_t>(kind);
+}
+
+inline constexpr KindMask kAllKinds =
+    (KindMask{1} << static_cast<std::size_t>(EventKind::kKindCount)) - 1;
+
+/// Wire name → kind (for --trace-filter parsing); nullopt on unknown names.
+std::optional<EventKind> parseEventKind(const std::string& name);
+
+/// "kind1,kind2,..." → mask. Throws InvariantViolation on an unknown kind
+/// name (a typo'd filter silently tracing nothing would be worse). An
+/// empty spec means "all kinds".
+KindMask parseKindFilter(const std::string& spec);
+
+}  // namespace dtncache::obs

@@ -1,0 +1,20 @@
+#include "obs/registry.hpp"
+
+namespace dtncache::obs {
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::counterSnapshot() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) out.emplace_back(name, counter.value());
+  return out;
+}
+
+std::vector<TimerSnapshot> Registry::timerSnapshot() const {
+  std::vector<TimerSnapshot> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, timer] : timers_)
+    out.push_back({name, timer.count(), timer.seconds()});
+  return out;
+}
+
+}  // namespace dtncache::obs

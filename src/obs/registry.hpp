@@ -1,0 +1,99 @@
+#pragma once
+
+/// \file registry.hpp
+/// Named counter/timer registry — the aggregate side of the observability
+/// layer (the tracer is the per-event side).
+///
+/// A Registry belongs to one run: runner::runExperiment creates (or is
+/// handed) one, the instrumented layers cache `Counter*` references at
+/// wiring time (no name lookups on hot paths — incrementing is one add
+/// through a pointer, or a no-op branch when observability is off), and
+/// the final snapshot lands in ExperimentOutput.counters, from where the
+/// sweep result sinks render it as `ctr.*` columns.
+///
+/// Naming convention: dotted lowercase `layer.noun.verb`
+/// ("cache.push.denied", "net.contact.lost"). Snapshots are sorted by
+/// name, so counter columns have a stable order independent of first-use
+/// order — part of the sweep layer's byte-identical-output contract.
+/// Timers accumulate wall-clock and are therefore nondeterministic; the
+/// sinks only render them when wall-clock fields are on (`--no-wall` off).
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dtncache::obs {
+
+/// A monotonically increasing named count. Stable address for the life of
+/// its Registry (std::map nodes never move), so callers cache the pointer.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Accumulated wall-clock spent in a named activity.
+class Timer {
+ public:
+  void add(double seconds) {
+    ++count_;
+    seconds_ += seconds;
+  }
+  std::uint64_t count() const { return count_; }
+  double seconds() const { return seconds_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double seconds_ = 0.0;
+};
+
+struct TimerSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double seconds = 0.0;
+};
+
+class Registry {
+ public:
+  /// Get-or-create. The returned reference stays valid for the registry's
+  /// lifetime — cache it where the increment is hot.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Timer& timer(const std::string& name) { return timers_[name]; }
+
+  /// All counters, sorted by name (map order).
+  std::vector<std::pair<std::string, std::uint64_t>> counterSnapshot() const;
+  std::vector<TimerSnapshot> timerSnapshot() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Timer> timers_;
+};
+
+/// RAII wall-clock accumulation into a Timer:
+///   { ScopedTimer scope(registry.timer("plan"));  ...work...  }
+/// Null-safe: a default-constructed / nullptr scope does nothing, so call
+/// sites need no branching when observability is off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer)
+      : timer_(timer), start_(std::chrono::steady_clock::now()) {}
+  explicit ScopedTimer(Timer& timer) : ScopedTimer(&timer) {}
+  ~ScopedTimer() {
+    if (timer_ == nullptr) return;
+    timer_->add(std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+                    .count());
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dtncache::obs

@@ -1,0 +1,91 @@
+#include "obs/tracer.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::obs {
+
+std::string jsonNumber(double v) {
+  std::ostringstream out;
+  out.precision(17);
+  out << v;
+  return out.str();
+}
+
+std::optional<EventKind> parseEventKind(const std::string& name) {
+  for (std::size_t k = 0; k < static_cast<std::size_t>(EventKind::kKindCount); ++k) {
+    const auto kind = static_cast<EventKind>(k);
+    if (name == eventKindName(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+KindMask parseKindFilter(const std::string& spec) {
+  if (spec.empty()) return kAllKinds;
+  KindMask mask = 0;
+  std::istringstream in(spec);
+  std::string token;
+  while (std::getline(in, token, ',')) {
+    if (token.empty()) continue;
+    const auto kind = parseEventKind(token);
+    DTNCACHE_CHECK_MSG(kind.has_value(), "unknown trace event kind '" << token << "'");
+    mask |= kindBit(*kind);
+  }
+  return mask;
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == '"' || *p == '\\') out += '\\';
+    out += *p;
+  }
+}
+
+}  // namespace
+
+void Tracer::emit(EventKind kind, sim::SimTime t, std::initializer_list<Field> fields) {
+  // Fixed leading keys (run identity, sim time, kind) then the payload in
+  // emission-site order — one object per line, keys never reordered, so
+  // the schema in docs/observability.md holds byte-for-byte.
+  buffer_ += "{\"run\": \"";
+  buffer_ += run_;
+  buffer_ += "\", \"t\": ";
+  buffer_ += jsonNumber(t);
+  buffer_ += ", \"kind\": \"";
+  buffer_ += eventKindName(kind);
+  buffer_ += '"';
+  for (const Field& f : fields) {
+    buffer_ += ", \"";
+    buffer_ += f.key;
+    buffer_ += "\": ";
+    switch (f.type) {
+      case Field::Type::kUInt:
+        buffer_ += std::to_string(f.u);
+        break;
+      case Field::Type::kDouble:
+        buffer_ += jsonNumber(f.d);
+        break;
+      case Field::Type::kBool:
+        buffer_ += f.b ? "true" : "false";
+        break;
+      case Field::Type::kText:
+        buffer_ += '"';
+        appendEscaped(buffer_, f.s);
+        buffer_ += '"';
+        break;
+    }
+  }
+  buffer_ += "}\n";
+  ++events_;
+}
+
+void Tracer::flushTo(std::ostream& out) {
+  out << buffer_;
+  buffer_.clear();
+}
+
+}  // namespace dtncache::obs

@@ -29,6 +29,29 @@ std::vector<SchemeKind> allSchemes() {
           SchemeKind::kFlooding};
 }
 
+namespace {
+
+// Every standard counter/timer, pre-registered before the run so that all
+// schemes (which touch different subsets) snapshot the identical sorted
+// name set — result-sink columns then line up across rows. Keep in sync
+// with docs/observability.md.
+void preregisterObservables(obs::Registry& registry) {
+  static const char* const kCounters[] = {
+      "net.contact.delivered",   "net.contact.suppressed", "net.contact.lost",
+      "cache.handshake.truncated", "cache.push.delivered", "cache.push.noop",
+      "cache.push.denied",       "cache.install.inserted", "cache.install.upgraded",
+      "cache.install.evicted",   "cache.query.local_hit",  "cache.query.sprayed",
+      "cache.reply.delivered",   "core.maintenance.runs",  "core.reparent.count",
+      "core.relay.injected",     "core.churn.repairs",     "core.plan.helpers",
+      "core.plan.unmet",
+  };
+  static const char* const kTimers[] = {"core.maintenance", "runner.start", "runner.run"};
+  for (const char* name : kCounters) registry.counter(name);
+  for (const char* name : kTimers) registry.timer(name);
+}
+
+}  // namespace
+
 ExperimentOutput runExperiment(const ExperimentConfig& config) {
   // --- traces ---------------------------------------------------------------
   trace::SyntheticTraceConfig traceCfg = config.trace;
@@ -89,6 +112,12 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
   cache::CooperativeCache coop(simulator, network, catalog, estimator, collector,
                                world.rates, cacheCfg);
 
+  // --- observability ----------------------------------------------------------
+  obs::Registry registry;
+  preregisterObservables(registry);
+  network.setObservability(config.tracer, &registry);
+  coop.setObservability(config.tracer, &registry);
+
   // --- scheme -----------------------------------------------------------------
   std::unique_ptr<cache::RefreshScheme> scheme;
   core::HierarchicalRefreshScheme* hierarchical = nullptr;
@@ -128,6 +157,8 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
     }
   }
   coop.setScheme(scheme.get());
+  if (hierarchical != nullptr)
+    hierarchical->setObservability(config.tracer, &registry);
 
   // --- churn and energy ---------------------------------------------------------
   std::unique_ptr<net::ChurnProcess> churn;
@@ -178,8 +209,14 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
                                                      world.trace.nodeCount(), w);
   }
 
-  coop.start(sources, workload.get(), horizon);
-  simulator.runUntil(horizon);
+  {
+    obs::ScopedTimer timed(&registry.timer("runner.start"));
+    coop.start(sources, workload.get(), horizon);
+  }
+  {
+    obs::ScopedTimer timed(&registry.timer("runner.run"));
+    simulator.runUntil(horizon);
+  }
 
   // --- results ----------------------------------------------------------------
   ExperimentOutput out;
@@ -220,6 +257,8 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
     out.meanRemainingBattery = energy->meanRemainingFraction();
     out.minRemainingBattery = energy->minRemainingFraction();
   }
+  out.counters = registry.counterSnapshot();
+  out.timers = registry.timerSnapshot();
   return out;
 }
 

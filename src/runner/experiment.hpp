@@ -27,6 +27,8 @@
 #include "data/item.hpp"
 #include "data/workload.hpp"
 #include "metrics/collector.hpp"
+#include "obs/registry.hpp"
+#include "obs/tracer.hpp"
 #include "trace/estimator.hpp"
 #include "trace/generators.hpp"
 
@@ -90,6 +92,13 @@ struct ExperimentConfig {
   /// Master seed, mixed into the trace/workload seeds so that replications
   /// (seed sweep) change every random process coherently.
   std::uint64_t seed = 1;
+
+  /// Structured event tracing (runtime-only, like `externalTrace`): when
+  /// set, every instrumented seam emits typed JSONL events into this
+  /// caller-owned tracer. Null (the default) keeps the hot paths at a
+  /// single pointer compare per site. Counters are always collected — see
+  /// ExperimentOutput::counters.
+  obs::Tracer* tracer = nullptr;
 };
 
 struct ExperimentOutput {
@@ -114,6 +123,13 @@ struct ExperimentOutput {
   sim::SimTime firstDepletionTime = 0.0;  ///< +inf while everyone lives
   double meanRemainingBattery = 0.0;
   double minRemainingBattery = 0.0;
+
+  /// Observability registry snapshot: every standard counter (name → value,
+  /// sorted by name; the full set is pre-registered so all schemes report
+  /// identical columns) and the wall-clock timers (nondeterministic — result
+  /// sinks only render them alongside the other wall-clock fields).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<obs::TimerSnapshot> timers;
 };
 
 ExperimentOutput runExperiment(const ExperimentConfig& config);

@@ -113,7 +113,18 @@ std::vector<RecordField> recordFields(const JobResult& result, bool wallClock) {
   f.number("battery_mean", num(out.meanRemainingBattery));
   f.number("battery_min", num(out.minRemainingBattery));
 
-  if (wallClock) f.number("wall_ms", num(result.wallSeconds * 1000.0));
+  // -- observability counters -------------------------------------------------
+  // The runner pre-registers the full standard set, so every row carries the
+  // same `ctr.*` columns in the same (name-sorted) order.
+  for (const auto& [name, value] : out.counters)
+    f.number("ctr." + name, num(value));
+
+  if (wallClock) {
+    f.number("wall_ms", num(result.wallSeconds * 1000.0));
+    // Registry timers are wall-clock too — deterministic runs omit them.
+    for (const auto& timer : out.timers)
+      f.number("timer." + timer.name + "_ms", num(timer.seconds * 1000.0));
+  }
   return f.fields;
 }
 

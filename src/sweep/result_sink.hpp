@@ -6,8 +6,10 @@
 /// Both sinks render the same flat field list (see recordFields): job
 /// identity (index, config fingerprint, scheme, seed, axis overrides),
 /// trace shape, every scalar of RunResults/ExperimentOutput, per-category
-/// transfer bytes, and the job's wall-clock. Numbers are printed with a
-/// fixed 17-significant-digit formatter, so records are byte-stable across
+/// transfer bytes, the observability-counter snapshot (`ctr.*` columns,
+/// identical set on every row), and the job's wall-clock (`wall_ms` plus
+/// the registry's `timer.*_ms` columns). Numbers are printed with a fixed
+/// 17-significant-digit formatter, so records are byte-stable across
 /// worker counts; wall-clock fields are the only nondeterministic content
 /// and can be suppressed (the determinism test runs with them off).
 ///

@@ -6,8 +6,10 @@
 #include <cstdlib>
 #include <future>
 #include <iostream>
+#include <memory>
 #include <utility>
 
+#include "obs/tracer.hpp"
 #include "runner/config_io.hpp"
 #include "sim/assert.hpp"
 #include "sweep/thread_pool.hpp"
@@ -115,6 +117,20 @@ std::vector<JobResult> SweepEngine::run(const SweepGrid& grid,
 std::vector<JobResult> SweepEngine::runJobs(std::vector<SweepJob> jobs,
                                             const std::vector<ResultSink*>& sinks) {
   for (ResultSink* sink : sinks) sink->begin(jobs);
+
+  // Tracing: one thread-confined tracer per job, labeled with the job's
+  // config fingerprint. Buffers are flushed in job-index order below, which
+  // extends the jobs-count-independence contract to the merged trace.
+  std::vector<std::unique_ptr<obs::Tracer>> tracers;
+  if (options_.traceOut != nullptr) {
+    tracers.reserve(jobs.size());
+    for (SweepJob& job : jobs) {
+      tracers.push_back(
+          std::make_unique<obs::Tracer>(configFingerprint(job.config), options_.traceFilter));
+      job.config.tracer = tracers.back().get();
+    }
+  }
+
   std::vector<JobResult> results;
   results.reserve(jobs.size());
   if (!jobs.empty()) {
@@ -128,9 +144,15 @@ std::vector<JobResult> SweepEngine::runJobs(std::vector<SweepJob> jobs,
     futures.reserve(jobs.size());
     for (const SweepJob& job : jobs) {  // stable storage: jobs is not resized below
       futures.push_back(pool.submit([&job, &completed] {
+        DTNCACHE_EVENT(job.config.tracer, obs::EventKind::kJobStart, 0.0,
+                       {"job", job.index},
+                       {"scheme", runner::schemeName(job.config.scheme)},
+                       {"seed", job.config.seed});
         const auto jobStart = Clock::now();
         auto output = runner::runExperiment(job.config);
         const double wall = secondsSince(jobStart);
+        DTNCACHE_EVENT(job.config.tracer, obs::EventKind::kJobDone,
+                       output.traceStats.duration, {"job", job.index});
         completed.fetch_add(1, std::memory_order_relaxed);
         return std::pair{std::move(output), wall};
       }));
@@ -140,6 +162,7 @@ std::vector<JobResult> SweepEngine::runJobs(std::vector<SweepJob> jobs,
     // in — this is what makes the output independent of the jobs count.
     for (std::size_t i = 0; i < futures.size(); ++i) {
       auto [output, wall] = futures[i].get();
+      if (options_.traceOut != nullptr) tracers[i]->flushTo(*options_.traceOut);
       JobResult result{std::move(jobs[i]), std::move(output), wall};
       for (ResultSink* sink : sinks) sink->write(result);
       results.push_back(std::move(result));
@@ -148,6 +171,7 @@ std::vector<JobResult> SweepEngine::runJobs(std::vector<SweepJob> jobs,
                       futures.size(), secondsSince(start));
     }
   }
+  if (options_.traceOut != nullptr) options_.traceOut->flush();
   for (ResultSink* sink : sinks) sink->finish();
   return results;
 }

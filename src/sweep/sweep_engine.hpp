@@ -18,10 +18,12 @@
 /// bit-identical to --jobs 1 everywhere except wall-clock fields.
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "obs/event.hpp"
 #include "runner/experiment.hpp"
 
 namespace dtncache::sweep {
@@ -80,6 +82,14 @@ class ResultSink {
 struct SweepOptions {
   std::size_t jobs = 0;   ///< worker threads; 0 → ThreadPool::defaultWorkers()
   bool progress = false;  ///< live progress/ETA lines on stderr
+  /// Structured event tracing: when set, every job runs with a private
+  /// per-job tracer (run label = the job's config fingerprint) and the
+  /// buffers are flushed here in job-index order — so the merged JSONL is
+  /// byte-identical at any `jobs` count, like the result sinks. Null
+  /// disables tracing entirely (zero hot-path cost beyond a pointer test).
+  std::ostream* traceOut = nullptr;
+  /// Event-kind mask applied to every job tracer (see obs::parseKindFilter).
+  obs::KindMask traceFilter = obs::kAllKinds;
 };
 
 class SweepEngine {

@@ -1,0 +1,64 @@
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::obs {
+namespace {
+
+TEST(Registry, CounterGetOrCreateWithStableAddress) {
+  Registry registry;
+  Counter& c = registry.counter("cache.push.delivered");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(3);
+  // Registering more names must not move the first counter (map nodes are
+  // stable) — callers cache the pointer at wiring time.
+  Counter* cached = &c;
+  for (int i = 0; i < 64; ++i) registry.counter("filler." + std::to_string(i));
+  EXPECT_EQ(cached, &registry.counter("cache.push.delivered"));
+  EXPECT_EQ(cached->value(), 4u);
+}
+
+TEST(Registry, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.counter("net.contact.delivered").add(2);
+  registry.counter("cache.push.denied").add(1);
+  registry.counter("core.reparent.count");
+  const auto snapshot = registry.counterSnapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].first, "cache.push.denied");
+  EXPECT_EQ(snapshot[0].second, 1u);
+  EXPECT_EQ(snapshot[1].first, "core.reparent.count");
+  EXPECT_EQ(snapshot[1].second, 0u);
+  EXPECT_EQ(snapshot[2].first, "net.contact.delivered");
+  EXPECT_EQ(snapshot[2].second, 2u);
+}
+
+TEST(Registry, TimerAccumulates) {
+  Registry registry;
+  Timer& t = registry.timer("core.maintenance");
+  t.add(0.25);
+  t.add(0.5);
+  const auto snapshot = registry.timerSnapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  EXPECT_EQ(snapshot[0].name, "core.maintenance");
+  EXPECT_EQ(snapshot[0].count, 2u);
+  EXPECT_DOUBLE_EQ(snapshot[0].seconds, 0.75);
+}
+
+TEST(Registry, ScopedTimerRecordsOneInterval) {
+  Registry registry;
+  Timer& t = registry.timer("runner.run");
+  {
+    ScopedTimer scope(t);
+  }
+  EXPECT_EQ(t.count(), 1u);
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Registry, ScopedTimerIsNullSafe) {
+  ScopedTimer scope(nullptr);  // must not crash on destruction
+}
+
+}  // namespace
+}  // namespace dtncache::obs
