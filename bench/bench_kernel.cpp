@@ -1,0 +1,289 @@
+/// \file bench_kernel.cpp
+/// End-to-end simulation-kernel throughput benchmark.
+///
+/// Measures the costs that bound every sweep job in this repo: raw
+/// event-queue throughput (schedule+pop, steady-state churn, mixed cancel),
+/// contact-pipeline replay speed on the two standard synthetic traces, a
+/// full trace-driven experiment, and replication-planning throughput. Each
+/// benchmark also reports the peak pending-event-set size — the kernel's
+/// memory footprint driver.
+///
+/// Emits a machine-readable JSON snapshot (`--json=PATH`) consumed by
+/// scripts/bench_baseline.sh, which folds snapshots into the tracked
+/// BENCH_kernel.json baseline; scripts/bench_compare.py diffs two
+/// snapshots with a percentage threshold. Run from a Release build
+/// (scripts/bench_baseline.sh does this for you) — CMake warns otherwise.
+///
+///   bench_kernel [--json=PATH] [--label=NAME] [--quick]
+
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/freshness.hpp"
+#include "core/hierarchy.hpp"
+#include "core/replication.hpp"
+#include "net/network.hpp"
+#include "runner/experiment.hpp"
+#include "sim/assert.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "trace/generators.hpp"
+
+#ifndef DTNCACHE_BUILD_TYPE
+#define DTNCACHE_BUILD_TYPE "unknown"
+#endif
+
+namespace dtncache::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// One benchmark's metrics, in insertion order (stable JSON output).
+struct Metrics {
+  std::vector<std::pair<std::string, double>> values;
+  void set(const std::string& name, double v) { values.push_back({name, v}); }
+};
+
+/// Deterministic 64-bit mix (splitmix64) for synthetic event times.
+std::uint64_t mix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Best-of-`reps` wall time of `body` (min absorbs scheduler noise).
+template <typename F>
+double bestSeconds(int reps, F&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    body();
+    best = std::min(best, secondsSince(t0));
+  }
+  return best;
+}
+
+/// Bulk load: schedule N events at pseudorandom times, then drain.
+Metrics benchSchedulePop(std::size_t n, int reps) {
+  std::uint64_t fired = 0;
+  const double secs = bestSeconds(reps, [&] {
+    sim::EventQueue q;
+    std::uint64_t s = 1;
+    for (std::size_t i = 0; i < n; ++i)
+      q.schedule(static_cast<double>(mix64(s) >> 44), [&fired](sim::SimTime) { ++fired; });
+    while (!q.empty()) q.runNext();
+  });
+  Metrics m;
+  m.set("events_per_sec", static_cast<double>(n) / secs);
+  m.set("ns_per_event", secs * 1e9 / static_cast<double>(n));
+  DTNCACHE_CHECK(fired == static_cast<std::uint64_t>(reps) * n);
+  return m;
+}
+
+/// Steady state: a ring of `live` events; each pop schedules a successor.
+/// This is the shape of a running simulation (timers + streamed contacts).
+Metrics benchSteadyState(std::size_t live, std::size_t total, int reps) {
+  const double secs = bestSeconds(reps, [&] {
+    sim::EventQueue q;
+    std::uint64_t s = 2;
+    std::uint64_t remaining = total;
+    for (std::size_t i = 0; i < live; ++i)
+      q.schedule(static_cast<double>(mix64(s) >> 44), [](sim::SimTime) {});
+    while (!q.empty() && remaining > 0) {
+      const sim::SimTime t = q.runNext();
+      --remaining;
+      q.schedule(t + static_cast<double>((mix64(s) >> 50) + 1), [](sim::SimTime) {});
+    }
+    while (!q.empty()) q.runNext();
+  });
+  Metrics m;
+  m.set("events_per_sec", static_cast<double>(total) / secs);
+  m.set("ns_per_event", secs * 1e9 / static_cast<double>(total));
+  return m;
+}
+
+/// Mixed cancel: schedule N, cancel every other id as it goes, drain the
+/// survivors. Exercises the cancellation path and lazy heap purge.
+Metrics benchMixedCancel(std::size_t n, int reps) {
+  const double secs = bestSeconds(reps, [&] {
+    sim::EventQueue q;
+    std::uint64_t s = 3;
+    std::vector<sim::EventId> ids;
+    ids.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ids.push_back(
+          q.schedule(static_cast<double>(mix64(s) >> 44), [](sim::SimTime) {}));
+      if (i % 2 == 1) q.cancel(ids[i - 1]);
+    }
+    while (!q.empty()) q.runNext();
+  });
+  const double ops = static_cast<double>(n + n / 2 + n / 2);  // sched + cancel + pop
+  Metrics m;
+  m.set("ops_per_sec", ops / secs);
+  m.set("ns_per_op", secs * 1e9 / ops);
+  return m;
+}
+
+/// Contact-pipeline replay: the network streams a whole trace through the
+/// kernel with a no-op protocol. Isolates trace delivery from protocol cost.
+Metrics benchNetReplay(const trace::SyntheticTraceConfig& cfg) {
+  const trace::SyntheticTrace world = trace::generate(cfg);
+  const auto t0 = Clock::now();
+  sim::Simulator simulator;
+  net::Network network(simulator, world.trace);
+  std::size_t delivered = 0;
+  network.start([&delivered](NodeId, NodeId, sim::SimTime, sim::SimTime,
+                             net::ContactChannel&) { ++delivered; });
+  simulator.runUntil(cfg.duration);
+  const double secs = secondsSince(t0);
+  Metrics m;
+  m.set("contacts", static_cast<double>(delivered));
+  m.set("contacts_per_sec", static_cast<double>(delivered) / secs);
+  m.set("events_per_sec", static_cast<double>(simulator.eventsProcessed()) / secs);
+  m.set("peak_pending", static_cast<double>(simulator.peakPendingEvents()));
+  m.set("wall_ms", secs * 1e3);
+  return m;
+}
+
+/// Full trace-driven experiment (hierarchical scheme): the end-to-end
+/// number a sweep job pays per cell.
+Metrics benchExperiment(const runner::ExperimentConfig& cfg) {
+  const auto t0 = Clock::now();
+  const runner::ExperimentOutput out = runner::runExperiment(cfg);
+  const double secs = secondsSince(t0);
+  std::uint64_t contacts = 0;
+  for (const auto& [name, value] : out.counters)
+    if (name == "net.contact.delivered") contacts = value;
+  Metrics m;
+  m.set("events_processed", static_cast<double>(out.eventsProcessed));
+  m.set("events_per_sec", static_cast<double>(out.eventsProcessed) / secs);
+  m.set("contacts_per_sec", static_cast<double>(contacts) / secs);
+  m.set("peak_pending", static_cast<double>(out.peakPendingEvents));
+  m.set("wall_ms", secs * 1e3);
+  return m;
+}
+
+/// Replication planning throughput (hypoexponential-heavy hot loop).
+/// Rates are sparse enough that most members miss θ through the chain
+/// alone, so the helper-candidate loop (the expensive part) actually runs.
+Metrics benchPlanReplication(NodeId members, int iters) {
+  sim::Rng rng(11);
+  trace::RateMatrix rates(members + 1);
+  for (NodeId i = 0; i <= members; ++i)
+    for (NodeId j = i + 1; j <= members; ++j)
+      if (rng.bernoulli(0.7)) rates.setRate(i, j, rng.uniform(1e-6, 1e-4));
+  std::vector<NodeId> ms;
+  for (NodeId i = 1; i <= members; ++i) ms.push_back(i);
+  const core::RateFn rate = [&rates](NodeId a, NodeId b) { return rates.rate(a, b); };
+  core::HierarchyConfig hcfg;
+  hcfg.fanoutBound = 3;
+  const auto h = core::RefreshHierarchy::build(0, ms, rate, sim::hours(6), hcfg);
+  core::ReplicationConfig rcfg;
+  rcfg.theta = 0.95;
+  const auto t0 = Clock::now();
+  std::size_t assignments = 0;
+  for (int i = 0; i < iters; ++i)
+    assignments += core::planReplication(h, rate, sim::hours(6), rcfg).totalAssignments();
+  const double secs = secondsSince(t0);
+  Metrics m;
+  m.set("plans_per_sec", static_cast<double>(iters) / secs);
+  m.set("us_per_plan", secs * 1e6 / static_cast<double>(iters));
+  m.set("assignments", static_cast<double>(assignments / iters));
+  return m;
+}
+
+void writeJson(const std::string& path, const std::string& label, bool quick,
+               const std::vector<std::pair<std::string, Metrics>>& results) {
+  std::ofstream out(path);
+  if (!out.good()) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  out.precision(10);
+  out << "{\n  \"schema\": 1,\n  \"label\": \"" << label << "\",\n"
+      << "  \"build_type\": \"" << DTNCACHE_BUILD_TYPE << "\",\n"
+      << "  \"quick\": " << (quick ? "true" : "false") << ",\n  \"results\": {\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    out << "    \"" << results[i].first << "\": {";
+    const auto& vals = results[i].second.values;
+    for (std::size_t k = 0; k < vals.size(); ++k) {
+      out << "\"" << vals[k].first << "\": " << vals[k].second;
+      if (k + 1 < vals.size()) out << ", ";
+    }
+    out << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
+}
+
+}  // namespace
+}  // namespace dtncache::bench
+
+int main(int argc, char** argv) {
+  using namespace dtncache;
+  using namespace dtncache::bench;
+
+  std::string jsonPath;
+  std::string label = "current";
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) jsonPath = arg.substr(7);
+    else if (arg.rfind("--label=", 0) == 0) label = arg.substr(8);
+    else if (arg == "--quick") quick = true;
+    else {
+      std::cerr << "usage: " << argv[0] << " [--json=PATH] [--label=NAME] [--quick]\n";
+      return 2;
+    }
+  }
+
+  const std::size_t n = quick ? 50'000 : 200'000;
+  const int reps = quick ? 2 : 5;
+
+  std::vector<std::pair<std::string, Metrics>> results;
+  const auto run = [&](const std::string& name, Metrics m) {
+    results.push_back({name, std::move(m)});
+    std::cout << name << ":";
+    for (const auto& [k, v] : results.back().second.values) std::cout << "  " << k << "=" << v;
+    std::cout << "\n";
+  };
+
+  std::cout << "bench_kernel (" << DTNCACHE_BUILD_TYPE << (quick ? ", quick" : "")
+            << ")\n";
+  run("eq_schedule_pop", benchSchedulePop(n, reps));
+  run("eq_steady_state", benchSteadyState(4096, 2 * n, reps));
+  run("eq_mixed_cancel", benchMixedCancel(n, reps));
+
+  run("net_replay_infocom", benchNetReplay(trace::infocomLikeConfig(1)));
+  {
+    auto cfg = trace::realityLikeConfig(1);
+    if (quick) cfg.duration = sim::days(7);
+    run("net_replay_reality", benchNetReplay(cfg));
+  }
+
+  {
+    auto cfg = infocomConfig(1);
+    if (quick) cfg.trace.duration = sim::days(1);
+    run("sim_experiment_infocom", benchExperiment(cfg));
+  }
+
+  run("plan_replication_32", benchPlanReplication(32, quick ? 50 : 200));
+
+  if (!jsonPath.empty()) {
+    writeJson(jsonPath, label, quick, results);
+    std::cout << "wrote " << jsonPath << "\n";
+  }
+  return 0;
+}

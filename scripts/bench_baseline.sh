@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Capture a kernel benchmark snapshot and merge it into BENCH_kernel.json.
+#
+#   scripts/bench_baseline.sh [--label NAME] [--quick] [--fresh]
+#
+# Configures (if needed) and builds a Release tree in build-bench/, runs
+# bench_kernel, and appends the labelled snapshot to BENCH_kernel.json at
+# the repo root (replacing any existing snapshot with the same label).
+#
+#   --label NAME  snapshot label (default: git describe of HEAD)
+#   --quick       reduced repetitions — for smoke checks, not baselines
+#   --fresh       drop the existing BENCH_kernel.json snapshot list first
+#
+# Compare two snapshots with scripts/bench_compare.py.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="$(git describe --always --dirty 2>/dev/null || echo local)"
+quick=""
+fresh=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --label)   label="$2"; shift 2 ;;
+    --label=*) label="${1#--label=}"; shift ;;
+    --quick)   quick="--quick"; shift ;;
+    --fresh)   fresh=1; shift ;;
+    *) echo "usage: $0 [--label NAME] [--quick] [--fresh]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-bench -j "$(nproc)" --target bench_kernel
+
+snapshot="$(mktemp)"
+trap 'rm -f "$snapshot"' EXIT
+./build-bench/bench/bench_kernel --json="$snapshot" --label="$label" $quick
+
+FRESH="$fresh" SNAPSHOT="$snapshot" python3 - <<'EOF'
+import json, os
+
+snapshot = json.load(open(os.environ["SNAPSHOT"]))
+path = "BENCH_kernel.json"
+if os.path.exists(path) and os.environ["FRESH"] != "1":
+    doc = json.load(open(path))
+else:
+    doc = {
+        "schema": 1,
+        "description": "Kernel benchmark baseline (bench_kernel --json). "
+                       "Regenerate with scripts/bench_baseline.sh.",
+        "snapshots": [],
+    }
+doc["snapshots"] = [s for s in doc["snapshots"] if s.get("label") != snapshot["label"]]
+doc["snapshots"].append(snapshot)
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"BENCH_kernel.json: {len(doc['snapshots'])} snapshot(s), "
+      f"added {snapshot['label']!r}")
+EOF

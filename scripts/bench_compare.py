@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Compare two bench_kernel JSON snapshots and flag regressions.
+
+Usage:
+    scripts/bench_compare.py BASE[:LABEL] CAND[:LABEL] [--threshold PCT]
+
+Each argument is a JSON file written by `bench_kernel --json=...` (a single
+snapshot) or a committed BENCH_kernel.json (a `snapshots` list — append
+`:LABEL` to pick one; defaults to the last snapshot in the file).
+
+For every metric present in both snapshots the tool prints base, candidate,
+and the percentage delta, oriented so positive is always an improvement
+(throughput metrics up, latency/footprint metrics down). Exits 1 if any
+throughput metric regressed by more than --threshold percent (default 10),
+which makes it usable as a CI gate; footprint metrics are informational.
+"""
+
+import argparse
+import json
+import sys
+
+# metric-name suffix -> direction. "up" means bigger is better.
+DIRECTIONS = {
+    "per_sec": "up",
+    "ns_per_event": "down",
+    "ns_per_op": "down",
+    "us_per_plan": "down",
+    "wall_ms": "down",
+    "peak_pending": "down",
+}
+
+# Metrics that gate the exit code (throughput + latency). Footprint and
+# run-shape counters (contacts, assignments, events_processed) only inform.
+GATING_SUFFIXES = ("per_sec", "ns_per_event", "ns_per_op", "us_per_plan")
+
+
+def direction_of(metric: str):
+    for suffix, d in DIRECTIONS.items():
+        if metric.endswith(suffix):
+            return d
+    return None
+
+
+def load_snapshot(spec: str):
+    """`file.json` or `file.json:label` -> (label, results dict)."""
+    path, _, label = spec.partition(":")
+    with open(path) as f:
+        doc = json.load(f)
+    snapshots = doc.get("snapshots", [doc] if "results" in doc else [])
+    if not snapshots:
+        sys.exit(f"error: {path} contains no bench snapshots")
+    if label:
+        matches = [s for s in snapshots if s.get("label") == label]
+        if not matches:
+            known = ", ".join(s.get("label", "?") for s in snapshots)
+            sys.exit(f"error: no snapshot labelled {label!r} in {path} (have: {known})")
+        snap = matches[-1]
+    else:
+        snap = snapshots[-1]
+    return snap.get("label", path), snap["results"]
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("base", help="baseline snapshot: FILE[:LABEL]")
+    ap.add_argument("candidate", help="candidate snapshot: FILE[:LABEL]")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="max tolerated regression on gating metrics, in percent")
+    args = ap.parse_args()
+
+    base_label, base = load_snapshot(args.base)
+    cand_label, cand = load_snapshot(args.candidate)
+
+    print(f"base:      {base_label}")
+    print(f"candidate: {cand_label}")
+    print(f"{'metric':<44} {'base':>14} {'cand':>14} {'delta':>9}")
+
+    regressions = []
+    for bench in sorted(set(base) & set(cand)):
+        for metric in sorted(set(base[bench]) & set(cand[bench])):
+            b, c = base[bench][metric], cand[bench][metric]
+            if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
+                continue
+            d = direction_of(metric)
+            name = f"{bench}.{metric}"
+            if d is None or b == 0:
+                print(f"{name:<44} {b:>14.6g} {c:>14.6g} {'':>9}")
+                continue
+            # Positive delta = improvement, regardless of direction.
+            delta = (c - b) / b * 100.0 if d == "up" else (b - c) / b * 100.0
+            flag = ""
+            if metric.endswith(GATING_SUFFIXES) and delta < -args.threshold:
+                regressions.append((name, delta))
+                flag = "  << REGRESSION"
+            print(f"{name:<44} {b:>14.6g} {c:>14.6g} {delta:>+8.1f}%{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} metric(s) regressed beyond {args.threshold}%:",
+              file=sys.stderr)
+        for name, delta in regressions:
+            print(f"  {name}: {delta:+.1f}%", file=sys.stderr)
+        sys.exit(1)
+    print("\nno gating regressions")
+
+
+if __name__ == "__main__":
+    main()

@@ -34,41 +34,51 @@ std::vector<double> survivalWeights(const std::vector<double>& rates) {
 
 }  // namespace
 
-double hypoexponentialCdf(std::vector<double> rates, double t) {
-  DTNCACHE_CHECK(t >= 0.0);
-  if (rates.empty()) return 1.0;
-  for (double r : rates) {
+HypoexpCdf::HypoexpCdf(std::vector<double> rates) : rates_(std::move(rates)) {
+  for (double r : rates_) {
     DTNCACHE_CHECK(r >= 0.0);
-    if (r == 0.0) return 0.0;  // a dead link never delivers
+    if (r == 0.0) dead_ = true;  // a dead link never delivers
   }
-  if (rates.size() == 1) return 1.0 - std::exp(-rates[0] * t);
+  if (!dead_ && rates_.size() >= 2) {
+    separateRates(rates_);
+    weights_ = survivalWeights(rates_);
+  }
+}
 
-  separateRates(rates);
-  const auto w = survivalWeights(rates);
+double HypoexpCdf::cdf(double t) const {
+  DTNCACHE_CHECK(t >= 0.0);
+  if (rates_.empty()) return 1.0;
+  if (dead_) return 0.0;
+  if (rates_.size() == 1) return 1.0 - std::exp(-rates_[0] * t);
+
   double survival = 0.0;
-  for (std::size_t i = 0; i < rates.size(); ++i) survival += w[i] * std::exp(-rates[i] * t);
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    survival += weights_[i] * std::exp(-rates_[i] * t);
   return std::clamp(1.0 - survival, 0.0, 1.0);
 }
 
-double expectedDelayTruncated(std::vector<double> rates, double horizon) {
+double HypoexpCdf::truncatedMean(double horizon) const {
   DTNCACHE_CHECK(horizon >= 0.0);
-  if (rates.empty()) return 0.0;
-  for (double r : rates) {
-    DTNCACHE_CHECK(r >= 0.0);
-    if (r == 0.0) return horizon;  // never arrives: full staleness
-  }
+  if (rates_.empty()) return 0.0;
+  if (dead_) return horizon;  // never arrives: full staleness
   // E[min(D, H)] = ∫₀ᴴ S(t) dt with S(t) = Σ_i w_i e^{−r_i t}
   //              = Σ_i (w_i / r_i)(1 − e^{−r_i H}).
-  if (rates.size() == 1) {
-    const double r = rates[0];
+  if (rates_.size() == 1) {
+    const double r = rates_[0];
     return (1.0 - std::exp(-r * horizon)) / r;
   }
-  separateRates(rates);
-  const auto w = survivalWeights(rates);
   double integral = 0.0;
-  for (std::size_t i = 0; i < rates.size(); ++i)
-    integral += (w[i] / rates[i]) * (1.0 - std::exp(-rates[i] * horizon));
+  for (std::size_t i = 0; i < rates_.size(); ++i)
+    integral += (weights_[i] / rates_[i]) * (1.0 - std::exp(-rates_[i] * horizon));
   return std::clamp(integral, 0.0, horizon);
+}
+
+double hypoexponentialCdf(std::vector<double> rates, double t) {
+  return HypoexpCdf(std::move(rates)).cdf(t);
+}
+
+double expectedDelayTruncated(std::vector<double> rates, double horizon) {
+  return HypoexpCdf(std::move(rates)).truncatedMean(horizon);
 }
 
 double expectedFreshFraction(const std::vector<double>& chainRates, sim::SimTime tau) {
@@ -90,9 +100,14 @@ double combinedRefreshProbability(double chainProbability,
 
 double helperContribution(const std::vector<double>& helperChainRates, double rateToTarget,
                           sim::SimTime tau) {
+  return helperContribution(HypoexpCdf(helperChainRates), rateToTarget, tau);
+}
+
+double helperContribution(const HypoexpCdf& helperChain, double rateToTarget,
+                          sim::SimTime tau) {
   DTNCACHE_CHECK(rateToTarget >= 0.0);
   DTNCACHE_CHECK(tau > 0.0);
-  const double helperFreshInTime = hypoexponentialCdf(helperChainRates, tau / 2.0);
+  const double helperFreshInTime = helperChain.cdf(tau / 2.0);
   const double reachesTarget = trace::contactProbability(rateToTarget, tau / 2.0);
   return helperFreshInTime * reachesTarget;
 }

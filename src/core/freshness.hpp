@@ -28,6 +28,35 @@
 
 namespace dtncache::core {
 
+/// Prepared hypoexponential distribution for one refresh chain.
+///
+/// Construction pays the O(k²) work once — separating coinciding rates and
+/// forming the survival weights w_i = Π_{j≠i} r_j / (r_j − r_i) (the
+/// partial products of the closed form) — after which each evaluation
+/// costs one exp() per stage. Replication planning prepares one per node
+/// chain and evaluates it at τ and τ/2 for every candidate pairing instead
+/// of redoing the products per pairing. Results are bit-for-bit identical
+/// to the one-shot free functions below (which now delegate here).
+class HypoexpCdf {
+ public:
+  explicit HypoexpCdf(std::vector<double> rates);
+
+  /// P(Exp(r_1) + ... + Exp(r_k) ≤ t). Empty chain ⇒ delay 0 ⇒ 1.
+  /// Any zero rate makes the sum infinite ⇒ 0.
+  double cdf(double t) const;
+
+  /// E[min(D, horizon)] — the mean staleness a periodic observer
+  /// accumulates per period of length `horizon`.
+  double truncatedMean(double horizon) const;
+
+  std::size_t stages() const { return rates_.size(); }
+
+ private:
+  std::vector<double> rates_;    ///< sorted, coinciding rates nudged apart
+  std::vector<double> weights_;  ///< survival coefficients w_i
+  bool dead_ = false;            ///< some rate is 0: the chain never delivers
+};
+
 /// P(Exp(r_1) + ... + Exp(r_k) ≤ t). Empty chain ⇒ delay 0 ⇒ returns 1.
 /// Any zero rate makes the sum infinite ⇒ returns 0.
 double hypoexponentialCdf(std::vector<double> rates, double t);
@@ -58,6 +87,11 @@ double combinedRefreshProbability(double chainProbability,
 /// half-period (its own chain, evaluated at τ/2), then meet the target in
 /// the second half: q_k(τ/2) · (1 − e^{−λ·τ/2}).
 double helperContribution(const std::vector<double>& helperChainRates, double rateToTarget,
+                          sim::SimTime tau);
+
+/// Same, with the helper's chain already prepared (the planning hot path:
+/// one helper is evaluated against every under-θ target).
+double helperContribution(const HypoexpCdf& helperChain, double rateToTarget,
                           sim::SimTime tau);
 
 }  // namespace dtncache::core

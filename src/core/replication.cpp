@@ -35,9 +35,23 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
   ReplicationPlan plan;
   const auto members = hierarchy.membersBelowRoot();
 
+  // One prepared CDF per distinct chain: every node below θ evaluates every
+  // other member as a helper candidate, so without this cache the O(k²)
+  // survival-weight products behind hypoexponentialCdf are recomputed for
+  // each (target, candidate) pairing. Prepared once per node, the τ and τ/2
+  // evaluations reuse the partial products. Bit-identical to the uncached
+  // closed form (HypoexpCdf performs the exact same operations).
+  std::unordered_map<NodeId, HypoexpCdf> chainCdf;
+  chainCdf.reserve(members.size() + 1);
+  const auto chainOf = [&](NodeId n) -> const HypoexpCdf& {
+    auto it = chainCdf.find(n);
+    if (it == chainCdf.end())
+      it = chainCdf.emplace(n, HypoexpCdf(hierarchy.chainRates(n, rate))).first;
+    return it->second;
+  };
+
   for (NodeId target : members) {
-    const double chainP =
-        chainRefreshProbability(hierarchy.chainRates(target, rate), tau);
+    const double chainP = chainOf(target).cdf(tau);
     double combined = chainP;
     std::vector<NodeId>& assigned = plan.helpers_[target];
 
@@ -56,7 +70,7 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
         if (hierarchy.isAncestor(target, k)) return;
         const double r = rate(k, target);
         if (r <= 0.0) return;
-        const double h = helperContribution(hierarchy.chainRates(k, rate), r, tau);
+        const double h = helperContribution(chainOf(k), r, tau);
         if (h <= 0.0) return;
         candidates.push_back({k, h, r});
       };

@@ -36,10 +36,13 @@ QueryWorkload::QueryWorkload(sim::Simulator& simulator, const Catalog& catalog,
     }
   }
 
-  for (const Query& q : planned_) {
-    simulator.scheduleAt(q.issueTime, [this, q](sim::SimTime) {
+  // Capture an index into planned_ rather than the 32-byte Query itself:
+  // planned_ is immutable after construction, and the slim capture keeps
+  // every workload event inside the kernel's inline callable buffer.
+  for (std::size_t i = 0; i < planned_.size(); ++i) {
+    simulator.scheduleAt(planned_[i].issueTime, [this, i](sim::SimTime) {
       ++issued_;
-      for (const auto& listener : listeners_) listener(q);
+      for (const auto& listener : listeners_) listener(planned_[i]);
     });
   }
 }

@@ -45,39 +45,61 @@ void Network::start(ContactFn onContact) {
   DTNCACHE_CHECK_MSG(!started_, "Network::start called twice");
   started_ = true;
   onContact_ = std::move(onContact);
-  for (const auto& c : trace_.contacts()) {
-    // Contacts already in the past (e.g. a truncated warm-up) are skipped.
-    if (c.start < simulator_.now()) continue;
-    simulator_.scheduleAt(c.start, [this, c](sim::SimTime t) {
-      if (energy_ != nullptr) energy_->advanceTo(t);
-      if (config_.contactLossRate > 0.0 && lossRng_.bernoulli(config_.contactLossRate)) {
-        ++contactsLost_;
-        if (ctrLost_ != nullptr) ctrLost_->add();
-        DTNCACHE_EVENT(tracer_, obs::EventKind::kContactLost, t, {"a", c.a}, {"b", c.b});
-        return;
-      }
-      if (filter_ && !filter_(c.a, c.b, t)) {
-        ++contactsSuppressed_;
-        if (ctrSuppressed_ != nullptr) ctrSuppressed_->add();
-        DTNCACHE_EVENT(tracer_, obs::EventKind::kContactSuppressed, t, {"a", c.a},
-                       {"b", c.b});
-        return;
-      }
-      ++contactsDelivered_;
-      if (ctrDelivered_ != nullptr) ctrDelivered_->add();
-      if (energy_ != nullptr) energy_->onContact(c.a, c.b);
-      const auto budget = std::max<std::uint64_t>(
-          config_.minContactBudgetBytes,
-          static_cast<std::uint64_t>(std::llround(c.duration * config_.bandwidthBytesPerSec)));
-      ContactChannel channel(budget, log_, c.a, c.b, energy_);
-      onContact_(c.a, c.b, t, c.duration, channel);
-      // Emitted after the protocol ran so the event can report the spend;
-      // same sim time as the pushes/forwards the contact carried.
-      DTNCACHE_EVENT(tracer_, obs::EventKind::kContact, t, {"a", c.a}, {"b", c.b},
-                     {"dur", c.duration}, {"budget", budget},
-                     {"spent", budget - channel.remainingBytes()});
-    });
+  const auto& contacts = trace_.contacts();
+  // Contacts already in the past (e.g. a truncated warm-up) are skipped;
+  // the trace is start-sorted, so they form a prefix.
+  const sim::SimTime now = simulator_.now();
+  firstContact_ = static_cast<std::size_t>(
+      std::lower_bound(contacts.begin(), contacts.end(), now,
+                       [](const trace::Contact& c, sim::SimTime t) { return c.start < t; }) -
+      contacts.begin());
+  nextContact_ = firstContact_;
+  if (nextContact_ == contacts.size()) return;
+  // One FIFO rank per remaining contact, claimed here: the cursor event for
+  // contact i fires with rank seqBase_ + (i - firstContact_), i.e. exactly
+  // where the old eager fan-out would have placed it, while keeping a
+  // single event pending instead of the whole trace.
+  seqBase_ = simulator_.reserveSequences(contacts.size() - nextContact_);
+  scheduleNextContact();
+}
+
+void Network::scheduleNextContact() {
+  const trace::Contact& c = trace_.contacts()[nextContact_];
+  simulator_.scheduleAtSequence(c.start, seqBase_ + (nextContact_ - firstContact_),
+                                [this](sim::SimTime t) { deliverContact(t); });
+}
+
+void Network::deliverContact(sim::SimTime t) {
+  const trace::Contact& c = trace_.contacts()[nextContact_];
+  ++nextContact_;
+  if (nextContact_ < trace_.contacts().size()) scheduleNextContact();
+  if (energy_ != nullptr) energy_->advanceTo(t);
+  if (config_.contactLossRate > 0.0 && lossRng_.bernoulli(config_.contactLossRate)) {
+    ++contactsLost_;
+    if (ctrLost_ != nullptr) ctrLost_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kContactLost, t, {"a", c.a}, {"b", c.b});
+    return;
   }
+  if (filter_ && !filter_(c.a, c.b, t)) {
+    ++contactsSuppressed_;
+    if (ctrSuppressed_ != nullptr) ctrSuppressed_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kContactSuppressed, t, {"a", c.a},
+                   {"b", c.b});
+    return;
+  }
+  ++contactsDelivered_;
+  if (ctrDelivered_ != nullptr) ctrDelivered_->add();
+  if (energy_ != nullptr) energy_->onContact(c.a, c.b);
+  const auto budget = std::max<std::uint64_t>(
+      config_.minContactBudgetBytes,
+      static_cast<std::uint64_t>(std::llround(c.duration * config_.bandwidthBytesPerSec)));
+  ContactChannel channel(budget, log_, c.a, c.b, energy_);
+  onContact_(c.a, c.b, t, c.duration, channel);
+  // Emitted after the protocol ran so the event can report the spend;
+  // same sim time as the pushes/forwards the contact carried.
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kContact, t, {"a", c.a}, {"b", c.b},
+                 {"dur", c.duration}, {"budget", budget},
+                 {"spent", budget - channel.remainingBytes()});
 }
 
 }  // namespace dtncache::net

@@ -147,7 +147,12 @@ class Network {
   Network(sim::Simulator& simulator, const trace::ContactTrace& trace,
           NetworkConfig config = {});
 
-  /// Install the protocol callback, then schedule every trace contact.
+  /// Install the protocol callback and start streaming the trace: a single
+  /// self-rescheduling cursor event walks the time-sorted contact vector,
+  /// so the pending-event set holds one contact at a time instead of the
+  /// whole trace (O(active timers), not O(#contacts)). FIFO ranks for all
+  /// contacts are reserved upfront, so delivery interleaves with
+  /// simultaneous events exactly as the eager per-contact fan-out did.
   /// Must be called exactly once, before the simulator runs.
   void start(ContactFn onContact);
 
@@ -177,6 +182,9 @@ class Network {
   std::size_t contactsLost() const { return contactsLost_; }
 
  private:
+  void scheduleNextContact();
+  void deliverContact(sim::SimTime t);
+
   sim::Simulator& simulator_;
   const trace::ContactTrace& trace_;
   NetworkConfig config_;
@@ -193,6 +201,9 @@ class Network {
   std::size_t contactsSuppressed_ = 0;
   std::size_t contactsLost_ = 0;
   bool started_ = false;
+  std::size_t nextContact_ = 0;   ///< cursor into the sorted contact vector
+  std::size_t firstContact_ = 0;  ///< first non-warm-up contact at start()
+  sim::EventQueue::Sequence seqBase_ = 0;  ///< FIFO rank of firstContact_
 };
 
 }  // namespace dtncache::net

@@ -257,6 +257,8 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
     out.meanRemainingBattery = energy->meanRemainingFraction();
     out.minRemainingBattery = energy->minRemainingFraction();
   }
+  out.peakPendingEvents = simulator.peakPendingEvents();
+  out.eventsProcessed = simulator.eventsProcessed();
   out.counters = registry.counterSnapshot();
   out.timers = registry.timerSnapshot();
   return out;

@@ -124,6 +124,12 @@ struct ExperimentOutput {
   double meanRemainingBattery = 0.0;
   double minRemainingBattery = 0.0;
 
+  // Simulation-kernel health (perf trajectory, not protocol results —
+  // deterministic, but excluded from result-sink columns; see
+  // docs/performance.md and bench/bench_kernel.cpp).
+  std::size_t peakPendingEvents = 0;
+  std::uint64_t eventsProcessed = 0;
+
   /// Observability registry snapshot: every standard counter (name → value,
   /// sorted by name; the full set is pre-registered so all schemes report
   /// identical columns) and the wall-clock timers (nondeterministic — result

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file event_callback.hpp
+/// Small-buffer move-only callable for simulation events.
+///
+/// The discrete-event kernel fires millions of callbacks per sweep job, and
+/// std::function heap-allocates any capture larger than its
+/// implementation-defined inline buffer (16 bytes on libstdc++). Protocol
+/// callbacks in this tree capture `this` plus a few scalars; the largest —
+/// the periodic re-arm closure (this + shared_ptr + id + period) — is 40
+/// bytes. EventCallback therefore inlines any callable up to 48 bytes and
+/// only heap-allocates beyond that, so scheduling a typical event performs
+/// no allocation at all. Move-only: events fire once and the queue never
+/// copies them (periodic series re-invoke one stored callback instead).
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+#include "sim/time.hpp"
+
+namespace dtncache::sim {
+
+class EventCallback {
+ public:
+  /// Largest capture stored inline. Grep for `scheduleAt`/`schedulePeriodic`
+  /// call sites before shrinking this — a silent fallback to the heap is
+  /// exactly the regression this class exists to prevent.
+  static constexpr std::size_t kInlineSize = 48;
+
+  EventCallback() noexcept = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&, SimTime>>>
+  EventCallback(F&& f) {  // NOLINT: implicit like std::function
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineSize && alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  EventCallback(EventCallback&& other) noexcept : ops_(other.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  EventCallback& operator=(EventCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      ops_ = other.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(other.buf_, buf_);
+        other.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  ~EventCallback() { reset(); }
+
+  /// Destroy the held callable (no-op when empty).
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  /// Invoke the callable. May be called repeatedly; precondition: non-empty.
+  void operator()(SimTime t) { ops_->invoke(buf_, t); }
+
+ private:
+  struct Ops {
+    void (*invoke)(unsigned char*, SimTime);
+    void (*relocate)(unsigned char* src, unsigned char* dst);  // move; destroys src
+    void (*destroy)(unsigned char*);
+  };
+
+  template <typename Fn>
+  static Fn* inlinePtr(unsigned char* buf) {
+    return std::launder(reinterpret_cast<Fn*>(buf));
+  }
+  template <typename Fn>
+  static Fn* heapPtr(unsigned char* buf) {
+    return *std::launder(reinterpret_cast<Fn**>(buf));
+  }
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](unsigned char* buf, SimTime t) { (*inlinePtr<Fn>(buf))(t); },
+      [](unsigned char* src, unsigned char* dst) {
+        Fn* f = inlinePtr<Fn>(src);
+        ::new (static_cast<void*>(dst)) Fn(std::move(*f));
+        f->~Fn();
+      },
+      [](unsigned char* buf) { inlinePtr<Fn>(buf)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](unsigned char* buf, SimTime t) { (*heapPtr<Fn>(buf))(t); },
+      [](unsigned char* src, unsigned char* dst) {
+        ::new (static_cast<void*>(dst)) Fn*(heapPtr<Fn>(src));
+      },
+      [](unsigned char* buf) { delete heapPtr<Fn>(buf); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dtncache::sim

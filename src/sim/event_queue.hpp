@@ -3,105 +3,196 @@
 /// \file event_queue.hpp
 /// Pending-event set for the discrete-event engine.
 ///
-/// A binary heap keyed on (time, sequence). The sequence number makes
-/// ordering of simultaneous events deterministic (FIFO in scheduling order),
-/// which in turn makes whole simulation runs reproducible bit-for-bit for a
-/// given seed. Cancellation is lazy: a cancelled event stays in the heap but
-/// is skipped on pop, which keeps both schedule and cancel O(log n) without
-/// the bookkeeping of an indexed heap.
+/// Two-level structure tuned for throughput (measured in bench_kernel; see
+/// docs/performance.md):
+///
+///   - a binary heap of 24-byte POD entries (time, sequence, id). The
+///     sequence number makes simultaneous events fire FIFO in scheduling
+///     order, which keeps whole runs reproducible bit-for-bit for a given
+///     seed. Sift operations move only these PODs, never callables.
+///   - a slot table owning the callbacks. Heap entries name their slot via
+///     a generation-stamped id; cancellation frees the slot and bumps its
+///     generation (O(1), no hashing), and the stale heap entry is discarded
+///     when it surfaces at the top. Freed slots are recycled through a free
+///     list, so a steady-state simulation allocates nothing per event.
+///
+/// Callables are sim::EventCallback (48-byte small-buffer optimization), so
+/// typical protocol callbacks never touch the heap either.
 
 #include <cstdint>
-#include <functional>
 #include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/assert.hpp"
+#include "sim/event_callback.hpp"
 #include "sim/time.hpp"
 
 namespace dtncache::sim {
 
-/// Identifies a scheduled event so it can be cancelled.
+/// Identifies a scheduled event so it can be cancelled. Encodes slot-index+1
+/// (low 32 bits, so 0 is never a valid id and works as a "none" sentinel)
+/// and the slot's generation at allocation (next 30 bits). Ids therefore
+/// stay below 2^62: Simulator's periodic-series id space (bit 62 upward)
+/// never collides. A slot's generation wraps after 2^30 reuses — cancelling
+/// an id retained across a billion reuses of its slot could alias, which no
+/// real caller does (ids are cancelled promptly or dropped).
 using EventId = std::uint64_t;
 
 /// Callback invoked when an event fires. Receives the firing time.
-using EventFn = std::function<void(SimTime)>;
+using EventFn = EventCallback;
 
 class EventQueue {
  public:
+  /// FIFO rank among simultaneous events. Assigned internally by
+  /// schedule(); reserveSequences() hands out a contiguous block so a
+  /// streaming producer (net::Network's contact cursor) can schedule events
+  /// lazily that still fire exactly as if they had all been scheduled at
+  /// reservation time.
+  using Sequence = std::uint64_t;
+
   /// Insert an event at absolute time `at`. Returns an id usable with
   /// cancel(). `at` may equal the time of the most recently popped event
   /// (zero-delay follow-ups) but must never be earlier.
-  EventId schedule(SimTime at, EventFn fn) {
-    DTNCACHE_CHECK_MSG(at >= lastPopped_, "event scheduled in the past: at="
-                                              << at << " now=" << lastPopped_);
-    const EventId id = nextId_++;
-    heap_.push(Entry{at, id, std::move(fn)});
-    pending_.insert(id);
-    return id;
+  EventId schedule(SimTime at, EventFn fn) { return scheduleImpl(at, nextSeq_++, std::move(fn)); }
+
+  /// Claim the next `n` FIFO ranks without scheduling anything.
+  Sequence reserveSequences(std::size_t n) {
+    const Sequence first = nextSeq_;
+    nextSeq_ += n;
+    return first;
   }
 
-  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
-  /// id is a harmless no-op (the id space is never reused, so this is safe).
+  /// Schedule with a previously reserved FIFO rank.
+  EventId scheduleAtSequence(SimTime at, Sequence seq, EventFn fn) {
+    DTNCACHE_CHECK_MSG(seq < nextSeq_, "sequence " << seq << " was never reserved");
+    return scheduleImpl(at, seq, std::move(fn));
+  }
+
+  /// Cancel a pending event: O(1) — frees the slot and bumps its
+  /// generation, leaving the heap entry to be lazily discarded. Cancelling
+  /// an already-fired or already-cancelled id is a harmless no-op (the
+  /// generation no longer matches).
   void cancel(EventId id) {
-    if (pending_.erase(id) > 0) cancelled_.insert(id);
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= slots_.size() || slots_[slot].generation != generationOf(id)) return;
+    freeSlot(slot);
+    --live_;
   }
 
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event; kNever when empty.
   SimTime peekTime() {
-    skipCancelled();
+    purgeStale();
     return heap_.empty() ? kNever : heap_.top().time;
   }
 
   /// Pop and run the earliest live event. Precondition: !empty().
   /// Returns the time the event fired at.
   SimTime runNext() {
-    skipCancelled();
+    purgeStale();
     DTNCACHE_CHECK(!heap_.empty());
-    Entry e = heap_.top();
+    const HeapEntry e = heap_.top();
     heap_.pop();
-    pending_.erase(e.id);
+    const std::uint32_t slot = slotOf(e.id);
+    EventCallback fn = std::move(slots_[slot].fn);
+    // Free before invoking: the callback may schedule (reusing the slot
+    // under a fresh generation) or cancel its own id (a no-op, as before).
+    freeSlot(slot);
+    --live_;
+    ++processed_;
     lastPopped_ = e.time;
-    e.fn(e.time);
+    fn(e.time);
     return e.time;
   }
 
-  /// Remove every pending event.
+  /// Remove every pending event. Outstanding ids stay safely cancellable
+  /// (their generations are bumped); the clock floor is kept.
   void clear() {
     heap_ = {};
-    cancelled_.clear();
-    pending_.clear();
+    for (std::uint32_t s = 0; s < slots_.size(); ++s)
+      if (slots_[s].fn) freeSlot(s);
+    live_ = 0;
   }
+
+  /// Lifetime high-water mark of the pending set (not reset by clear()).
+  std::size_t peakSize() const { return peakSize_; }
+  /// Total events fired over the queue's lifetime.
+  std::uint64_t processed() const { return processed_; }
 
  private:
-  struct Entry {
+  struct HeapEntry {
     SimTime time;
+    Sequence seq;
     EventId id;
-    EventFn fn;
   };
   struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
       if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // FIFO among simultaneous events
+      return a.seq > b.seq;  // FIFO among simultaneous events
     }
   };
+  struct Slot {
+    EventCallback fn;
+    std::uint32_t generation = 0;
+  };
 
-  void skipCancelled() {
-    while (!heap_.empty() && cancelled_.count(heap_.top().id) > 0) {
-      cancelled_.erase(heap_.top().id);
-      heap_.pop();
-    }
+  static constexpr std::uint32_t kGenerationMask = (1u << 30) - 1;
+
+  static EventId makeId(std::uint32_t slot, std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) | (slot + 1);
+  }
+  static std::uint32_t slotOf(EventId id) { return static_cast<std::uint32_t>(id) - 1; }
+  static std::uint32_t generationOf(EventId id) {
+    return static_cast<std::uint32_t>(id >> 32);
   }
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> cancelled_;  ///< lazily skipped heap entries
-  std::unordered_set<EventId> pending_;    ///< scheduled, not yet fired/cancelled
-  EventId nextId_ = 1;
+  EventId scheduleImpl(SimTime at, Sequence seq, EventCallback fn) {
+    DTNCACHE_CHECK_MSG(at >= lastPopped_, "event scheduled in the past: at="
+                                              << at << " now=" << lastPopped_);
+    DTNCACHE_CHECK(static_cast<bool>(fn));
+    std::uint32_t slot;
+    if (!freeSlots_.empty()) {
+      slot = freeSlots_.back();
+      freeSlots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    slots_[slot].fn = std::move(fn);
+    const EventId id = makeId(slot, slots_[slot].generation);
+    heap_.push(HeapEntry{at, seq, id});
+    ++live_;
+    if (live_ > peakSize_) peakSize_ = live_;
+    return id;
+  }
+
+  void freeSlot(std::uint32_t slot) {
+    slots_[slot].fn.reset();
+    slots_[slot].generation = (slots_[slot].generation + 1) & kGenerationMask;
+    freeSlots_.push_back(slot);
+  }
+
+  /// A heap entry is stale when its slot moved on to a new generation
+  /// (the event was cancelled, or the slot was freed by clear()).
+  bool stale(const HeapEntry& e) const {
+    return slots_[slotOf(e.id)].generation != generationOf(e.id);
+  }
+
+  void purgeStale() {
+    while (!heap_.empty() && stale(heap_.top())) heap_.pop();
+  }
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::size_t live_ = 0;
+  Sequence nextSeq_ = 1;
   SimTime lastPopped_ = 0.0;
+  std::size_t peakSize_ = 0;
+  std::uint64_t processed_ = 0;
 };
 
 }  // namespace dtncache::sim

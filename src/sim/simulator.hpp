@@ -36,6 +36,21 @@ class Simulator {
     return queue_.schedule(now_ + delay, std::move(fn));
   }
 
+  /// Claim `n` consecutive FIFO ranks for later scheduleAtSequence calls.
+  /// A streaming producer (net::Network's contact cursor) reserves one rank
+  /// per future event upfront; events it then schedules lazily interleave
+  /// with simultaneous events exactly as if all had been scheduled at
+  /// reservation time. See docs/performance.md.
+  EventQueue::Sequence reserveSequences(std::size_t n) {
+    return queue_.reserveSequences(n);
+  }
+
+  /// Schedule `fn` at `at` (>= now()) with a reserved FIFO rank.
+  EventId scheduleAtSequence(SimTime at, EventQueue::Sequence seq, EventFn fn) {
+    DTNCACHE_CHECK_MSG(at >= now_, "scheduleAtSequence in the past: " << at << " < " << now_);
+    return queue_.scheduleAtSequence(at, seq, std::move(fn));
+  }
+
   /// Schedule `fn` to fire every `period` seconds. The first firing is at
   /// now()+phase, or now()+period when phase is kDefaultPhase. The callback
   /// keeps firing until the returned id is cancelled; the re-arm happens
@@ -49,15 +64,16 @@ class Simulator {
     auto series = std::make_shared<PeriodicSeries>();
     series->fn = std::move(fn);
     const EventId id = nextSeriesId_++;
-    armPeriodic(series, id, now_ + phase, period);
+    armPeriodic(series, now_ + phase, period);
+    periodic_[id] = std::move(series);
     return id;
   }
 
   /// Cancel a pending (or periodic) event; no-op for fired/unknown ids.
   void cancel(EventId id) {
-    if (auto it = periodicArm_.find(id); it != periodicArm_.end()) {
-      queue_.cancel(it->second);
-      periodicArm_.erase(it);
+    if (auto it = periodic_.find(id); it != periodic_.end()) {
+      queue_.cancel(it->second->armed);
+      periodic_.erase(it);
     } else {
       queue_.cancel(id);
     }
@@ -92,37 +108,45 @@ class Simulator {
 
   std::size_t pendingEvents() const { return queue_.size(); }
 
+  /// High-water mark of the pending-event set over the simulator's lifetime
+  /// — the kernel's memory footprint driver (see docs/performance.md).
+  std::size_t peakPendingEvents() const { return queue_.peakSize(); }
+
+  /// Total events fired so far (throughput denominator for benchmarks).
+  std::uint64_t eventsProcessed() const { return queue_.processed(); }
+
   /// Drop all pending events and reset the stop flag; the clock is kept
   /// (a simulator's clock never moves backwards).
   void clearPending() {
     queue_.clear();
-    periodicArm_.clear();
+    periodic_.clear();
     stopped_ = false;
   }
 
  private:
   struct PeriodicSeries {
     EventFn fn;
+    EventId armed = 0;  ///< the currently scheduled instance
   };
 
-  void armPeriodic(std::shared_ptr<PeriodicSeries> series, EventId seriesId,
-                   SimTime at, SimTime period) {
-    const EventId armed =
-        queue_.schedule(at, [this, series, seriesId, period](SimTime t) {
-          // Re-arm first so the callback can cancel the series.
-          armPeriodic(series, seriesId, t + period, period);
-          series->fn(t);
-        });
-    periodicArm_[seriesId] = armed;
+  void armPeriodic(std::shared_ptr<PeriodicSeries> series, SimTime at, SimTime period) {
+    // The armed id is written into the series itself, so re-arming on each
+    // firing touches no map — cancel() is the only map lookup.
+    PeriodicSeries* raw = series.get();
+    raw->armed = queue_.schedule(at, [this, series, period](SimTime t) {
+      // Re-arm first so the callback can cancel the series.
+      armPeriodic(series, t + period, period);
+      series->fn(t);
+    });
   }
 
   EventQueue queue_;
   SimTime now_ = 0.0;
   bool stopped_ = false;
-  // Periodic series ids live in a separate (odd, high-bit) space so they never
-  // collide with EventQueue ids handed to users.
+  // Periodic series ids live in a separate (high-bit) space so they never
+  // collide with EventQueue ids (which stay below 2^62).
   EventId nextSeriesId_ = (EventId{1} << 62) + 1;
-  std::unordered_map<EventId, EventId> periodicArm_;
+  std::unordered_map<EventId, std::shared_ptr<PeriodicSeries>> periodic_;
 };
 
 }  // namespace dtncache::sim

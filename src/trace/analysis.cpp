@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 
 #include "sim/assert.hpp"
 
@@ -22,11 +23,19 @@ std::vector<double> interContactTimes(const ContactTrace& trace, NodeId i, NodeI
 
 std::vector<double> allInterContactTimes(const ContactTrace& trace,
                                          std::size_t minContactsPerPair) {
-  // One pass: per-pair last-start map.
-  std::map<std::pair<NodeId, NodeId>, std::vector<double>> perPairStarts;
-  for (const auto& c : trace.contacts()) perPairStarts[{c.a, c.b}].push_back(c.start);
+  // One pass into a flat-keyed hash map (no per-insert tree rebalancing),
+  // then drain in sorted-key order — packed keys sort like (a, b) pairs,
+  // so the gap order (and any downstream floating-point accumulation) is
+  // identical to the old std::map<pair> traversal.
+  std::unordered_map<std::uint64_t, std::vector<double>> perPairStarts;
+  for (const auto& c : trace.contacts()) perPairStarts[pairKey(c.a, c.b)].push_back(c.start);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(perPairStarts.size());
+  for (const auto& [key, starts] : perPairStarts) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
   std::vector<double> gaps;
-  for (auto& [pair, starts] : perPairStarts) {
+  for (const std::uint64_t key : keys) {
+    const auto& starts = perPairStarts[key];
     if (starts.size() < minContactsPerPair) continue;
     for (std::size_t k = 1; k < starts.size(); ++k) gaps.push_back(starts[k] - starts[k - 1]);
   }
@@ -67,17 +76,20 @@ ExponentialFit fitExponential(std::vector<double> samples) {
 
 std::vector<NodeActivity> nodeActivity(const ContactTrace& trace) {
   std::vector<NodeActivity> out(trace.nodeCount());
-  std::vector<std::map<NodeId, bool>> peers(trace.nodeCount());
+  std::vector<std::vector<NodeId>> peers(trace.nodeCount());
   for (NodeId n = 0; n < trace.nodeCount(); ++n) out[n].node = n;
   for (const auto& c : trace.contacts()) {
     ++out[c.a].contacts;
     ++out[c.b].contacts;
-    peers[c.a][c.b] = true;
-    peers[c.b][c.a] = true;
+    peers[c.a].push_back(c.b);
+    peers[c.b].push_back(c.a);
   }
   const double days = sim::toDays(trace.duration());
   for (NodeId n = 0; n < trace.nodeCount(); ++n) {
-    out[n].distinctPeers = peers[n].size();
+    auto& p = peers[n];
+    std::sort(p.begin(), p.end());
+    out[n].distinctPeers =
+        static_cast<std::size_t>(std::unique(p.begin(), p.end()) - p.begin());
     if (days > 0.0)
       out[n].contactsPerDay = static_cast<double>(out[n].contacts) / days;
   }

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <fstream>
 #include <istream>
-#include <map>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "sim/assert.hpp"
 
@@ -37,18 +38,26 @@ TraceStats ContactTrace::stats() const {
   s.contactCount = contacts_.size();
   s.duration = duration();
 
-  std::map<std::pair<NodeId, NodeId>, std::size_t> perPair;
+  // Flat-keyed counting: one hash per contact instead of a tree walk. The
+  // rate sum below still runs in sorted-pair order (packed keys order like
+  // (a, b) tuples) so the floating-point accumulation matches the old
+  // std::map traversal bit for bit.
+  std::unordered_map<std::uint64_t, std::size_t> perPair;
   double durSum = 0.0;
   for (const auto& c : contacts_) {
-    ++perPair[{c.a, c.b}];
+    ++perPair[pairKey(c.a, c.b)];
     durSum += c.duration;
   }
   s.pairsThatMet = perPair.size();
   if (!contacts_.empty()) s.meanContactDuration = durSum / static_cast<double>(contacts_.size());
   if (s.duration > 0.0 && s.pairsThatMet > 0) {
+    std::vector<std::uint64_t> keys;
+    keys.reserve(perPair.size());
+    for (const auto& [key, count] : perPair) keys.push_back(key);
+    std::sort(keys.begin(), keys.end());
     double rateSum = 0.0;
-    for (const auto& [pair, count] : perPair)
-      rateSum += static_cast<double>(count) / s.duration;
+    for (const std::uint64_t key : keys)
+      rateSum += static_cast<double>(perPair[key]) / s.duration;
     s.meanPairwiseRate = rateSum / static_cast<double>(s.pairsThatMet);
     const auto totalPairs = static_cast<double>(nodeCount_ * (nodeCount_ - 1) / 2);
     s.meanContactsPerPairPerDay =

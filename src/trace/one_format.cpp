@@ -9,14 +9,6 @@
 #include "sim/assert.hpp"
 
 namespace dtncache::trace {
-namespace {
-
-std::uint64_t pairKey(NodeId a, NodeId b) {
-  if (a > b) std::swap(a, b);
-  return (static_cast<std::uint64_t>(a) << 32) | b;
-}
-
-}  // namespace
 
 OneImportResult loadOneConnectivity(std::istream& in) {
   OneImportResult result;
