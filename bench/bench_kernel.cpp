@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "cache/cache_store.hpp"
 #include "core/freshness.hpp"
 #include "core/hierarchy.hpp"
 #include "core/replication.hpp"
@@ -159,11 +160,15 @@ Metrics benchNetReplay(const trace::SyntheticTraceConfig& cfg) {
 }
 
 /// Full trace-driven experiment (hierarchical scheme): the end-to-end
-/// number a sweep job pays per cell.
-Metrics benchExperiment(const runner::ExperimentConfig& cfg) {
-  const auto t0 = Clock::now();
-  const runner::ExperimentOutput out = runner::runExperiment(cfg);
-  const double secs = secondsSince(t0);
+/// number a sweep job pays per cell. Min over reps like every other bench:
+/// the first rep additionally pays synthetic-trace generation, later reps
+/// replay the memoized trace (trace/trace_cache.hpp) — exactly a sweep's
+/// steady state, where every scheme arm after the first reuses the seed's
+/// cached trace. Outputs are identical across reps (runExperiment is
+/// deterministic), so only the clock differs.
+Metrics benchExperiment(const runner::ExperimentConfig& cfg, int reps = 3) {
+  runner::ExperimentOutput out;
+  const double secs = bestSeconds(reps, [&] { out = runner::runExperiment(cfg); });
   std::uint64_t contacts = 0;
   for (const auto& [name, value] : out.counters)
     if (name == "net.contact.delivered") contacts = value;
@@ -173,6 +178,38 @@ Metrics benchExperiment(const runner::ExperimentConfig& cfg) {
   m.set("contacts_per_sec", static_cast<double>(contacts) / secs);
   m.set("peak_pending", static_cast<double>(out.peakPendingEvents));
   m.set("wall_ms", secs * 1e3);
+  return m;
+}
+
+/// Per-node store micro-costs: the lookups and recency updates every
+/// contact handshake and query pays. A catalog-sized working set (items are
+/// small dense ids) with a hit-heavy op mix: 8 find : 2 recordAccess :
+/// 1 upgrade-insert, plus a miss probe per round.
+Metrics benchStoreLookup(std::size_t items, std::size_t rounds, int reps) {
+  std::uint64_t found = 0;
+  const double secs = bestSeconds(reps, [&] {
+    cache::CacheStore store(64ull * 1024 * 1024);
+    for (std::size_t i = 0; i < items; ++i)
+      store.insert(static_cast<data::ItemId>(i), 1, 64 * 1024, 0.0);
+    std::uint64_t s = 7;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const double now = static_cast<double>(r);
+      for (int k = 0; k < 8; ++k) {
+        const auto item = static_cast<data::ItemId>(mix64(s) % items);
+        if (store.find(item) != nullptr) ++found;
+      }
+      store.recordAccess(static_cast<data::ItemId>(mix64(s) % items), now);
+      store.recordAccess(static_cast<data::ItemId>(mix64(s) % items), now);
+      store.insert(static_cast<data::ItemId>(mix64(s) % items), r + 2, 64 * 1024, now);
+      if (store.find(static_cast<data::ItemId>(items + (mix64(s) % items))) != nullptr)
+        ++found;  // miss probe
+    }
+  });
+  const double ops = static_cast<double>(rounds) * 12.0;
+  Metrics m;
+  m.set("ops_per_sec", ops / secs);
+  m.set("ns_per_op", secs * 1e9 / ops);
+  DTNCACHE_CHECK(found > 0);
   return m;
 }
 
@@ -266,6 +303,8 @@ int main(int argc, char** argv) {
   run("eq_steady_state", benchSteadyState(4096, 2 * n, reps));
   run("eq_mixed_cancel", benchMixedCancel(n, reps));
 
+  run("store_lookup", benchStoreLookup(32, quick ? 100'000 : 400'000, reps));
+
   run("net_replay_infocom", benchNetReplay(trace::infocomLikeConfig(1)));
   {
     auto cfg = trace::realityLikeConfig(1);
@@ -274,9 +313,25 @@ int main(int argc, char** argv) {
   }
 
   {
+    // Contact hot path in isolation: the full protocol stack (handshake,
+    // scheme pushes, store lookups, metrics) with the query workload off,
+    // so every event is a contact and its application-layer cost.
+    auto cfg = infocomConfig(1);
+    cfg.workload.queriesPerNodePerDay = 0.0;
+    if (quick) cfg.trace.duration = sim::days(1);
+    run("cache_contact_hot", benchExperiment(cfg));
+  }
+
+  {
     auto cfg = infocomConfig(1);
     if (quick) cfg.trace.duration = sim::days(1);
     run("sim_experiment_infocom", benchExperiment(cfg));
+  }
+
+  {
+    auto cfg = realityConfig(1);
+    if (quick) cfg.trace.duration = sim::days(7);
+    run("sim_experiment_reality", benchExperiment(cfg));
   }
 
   run("plan_replication_32", benchPlanReplication(32, quick ? 50 : 200));

@@ -13,10 +13,17 @@ and the percentage delta, oriented so positive is always an improvement
 (throughput metrics up, latency/footprint metrics down). Exits 1 if any
 throughput metric regressed by more than --threshold percent (default 10),
 which makes it usable as a CI gate; footprint metrics are informational.
+
+With --gate REGEX, only metrics whose full `bench.metric` name matches the
+regex participate in the exit code; everything else is printed for context
+but cannot fail the run. CI uses this to hard-gate the end-to-end
+experiment throughput (`--gate 'sim_experiment_.*\\.events_per_sec'`) while
+leaving the noisier micro-metrics informational on shared runners.
 """
 
 import argparse
 import json
+import re
 import sys
 
 # metric-name suffix -> direction. "up" means bigger is better.
@@ -66,6 +73,10 @@ def main():
     ap.add_argument("candidate", help="candidate snapshot: FILE[:LABEL]")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="max tolerated regression on gating metrics, in percent")
+    ap.add_argument("--gate", metavar="REGEX", default=None,
+                    help="restrict the exit-code gate to bench.metric names "
+                         "matching this regex (default: gate every "
+                         "throughput/latency metric)")
     args = ap.parse_args()
 
     base_label, base = load_snapshot(args.base)
@@ -89,7 +100,9 @@ def main():
             # Positive delta = improvement, regardless of direction.
             delta = (c - b) / b * 100.0 if d == "up" else (b - c) / b * 100.0
             flag = ""
-            if metric.endswith(GATING_SUFFIXES) and delta < -args.threshold:
+            gated = metric.endswith(GATING_SUFFIXES) and (
+                args.gate is None or re.search(args.gate, name))
+            if gated and delta < -args.threshold:
                 regressions.append((name, delta))
                 flag = "  << REGRESSION"
             print(f"{name:<44} {b:>14.6g} {c:>14.6g} {delta:>+8.1f}%{flag}")

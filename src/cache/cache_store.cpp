@@ -4,6 +4,39 @@
 
 namespace dtncache::cache {
 
+std::uint32_t CacheStore::allocSlot() {
+  if (!freeSlots_.empty()) {
+    const std::uint32_t slot = freeSlots_.back();
+    freeSlots_.pop_back();
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void CacheStore::linkMru(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.lruPrev = lruTail_;
+  s.lruNext = kNil;
+  if (lruTail_ != kNil) slots_[lruTail_].lruNext = slot;
+  lruTail_ = slot;
+  if (lruHead_ == kNil) lruHead_ = slot;
+}
+
+void CacheStore::unlink(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  if (s.lruPrev != kNil) slots_[s.lruPrev].lruNext = s.lruNext;
+  else lruHead_ = s.lruNext;
+  if (s.lruNext != kNil) slots_[s.lruNext].lruPrev = s.lruPrev;
+  else lruTail_ = s.lruPrev;
+  s.lruPrev = s.lruNext = kNil;
+}
+
+void CacheStore::releaseSlot(std::uint32_t slot) {
+  slots_[slot].live = false;
+  freeSlots_.push_back(slot);
+}
+
 InsertResult CacheStore::insert(data::ItemId item, data::Version version,
                                 std::uint32_t sizeBytes, sim::SimTime now) {
   InsertResult result;
@@ -12,76 +45,86 @@ InsertResult CacheStore::insert(data::ItemId item, data::Version version,
     return result;
   }
 
-  if (auto it = entries_.find(item); it != entries_.end()) {
-    if (it->second.version >= version) {
+  if (const std::uint32_t slot = index_.find(item); slot != core::SlotIndex::kNoSlot) {
+    CacheEntry& e = slots_[slot].entry;
+    if (e.version >= version) {
       result.kind = InsertResult::Kind::kAlreadyCurrent;
       return result;
     }
     result.kind = InsertResult::Kind::kUpgraded;
-    result.previousVersion = it->second.version;
+    result.previousVersion = e.version;
     // Same item: occupancy may change if the item size changed between
-    // versions (it does not in our catalogs, but stay correct).
-    usedBytes_ -= it->second.sizeBytes;
+    // versions (it does not in our catalogs, but stay correct). Recency is
+    // untouched — an upgrade is a push, not a local access.
+    usedBytes_ -= e.sizeBytes;
     usedBytes_ += sizeBytes;
-    it->second.version = version;
-    it->second.sizeBytes = sizeBytes;
-    it->second.receivedAt = now;
+    e.version = version;
+    e.sizeBytes = sizeBytes;
+    e.receivedAt = now;
     while (usedBytes_ > capacityBytes_) evictLru(result.evicted);
     return result;
   }
 
   while (usedBytes_ + sizeBytes > capacityBytes_) evictLru(result.evicted);
-  CacheEntry e;
-  e.item = item;
-  e.version = version;
-  e.sizeBytes = sizeBytes;
-  e.receivedAt = now;
-  e.lastAccess = now;
-  entries_.emplace(item, e);
+  const std::uint32_t slot = allocSlot();
+  Slot& s = slots_[slot];
+  s.entry = CacheEntry{};
+  s.entry.item = item;
+  s.entry.version = version;
+  s.entry.sizeBytes = sizeBytes;
+  s.entry.receivedAt = now;
+  s.entry.lastAccess = now;
+  s.live = true;
+  index_.insert(item, slot);
+  linkMru(slot);
   usedBytes_ += sizeBytes;
   result.kind = InsertResult::Kind::kInserted;
   return result;
 }
 
-const CacheEntry* CacheStore::find(data::ItemId item) const {
-  const auto it = entries_.find(item);
-  return it == entries_.end() ? nullptr : &it->second;
-}
-
 void CacheStore::recordAccess(data::ItemId item, sim::SimTime now) {
-  if (auto it = entries_.find(item); it != entries_.end()) {
-    it->second.lastAccess = now;
-    ++it->second.accessCount;
+  const std::uint32_t slot = index_.find(item);
+  if (slot == core::SlotIndex::kNoSlot) return;
+  Slot& s = slots_[slot];
+  s.entry.lastAccess = now;
+  ++s.entry.accessCount;
+  if (lruTail_ != slot) {
+    unlink(slot);
+    linkMru(slot);
   }
 }
 
 std::optional<CacheEntry> CacheStore::remove(data::ItemId item) {
-  const auto it = entries_.find(item);
-  if (it == entries_.end()) return std::nullopt;
-  CacheEntry e = it->second;
+  const std::uint32_t slot = index_.erase(item);
+  if (slot == core::SlotIndex::kNoSlot) return std::nullopt;
+  const CacheEntry e = slots_[slot].entry;
   usedBytes_ -= e.sizeBytes;
-  entries_.erase(it);
+  unlink(slot);
+  releaseSlot(slot);
   return e;
 }
 
 std::vector<const CacheEntry*> CacheStore::entries() const {
   std::vector<const CacheEntry*> out;
-  out.reserve(entries_.size());
-  for (const auto& [id, e] : entries_) out.push_back(&e);
+  out.reserve(index_.size());
+  for (const Slot& s : slots_)
+    if (s.live) out.push_back(&s.entry);
   std::sort(out.begin(), out.end(),
             [](const CacheEntry* a, const CacheEntry* b) { return a->item < b->item; });
   return out;
 }
 
 void CacheStore::evictLru(std::vector<CacheEntry>& out) {
-  DTNCACHE_CHECK(!entries_.empty());
-  auto victim = entries_.begin();
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->second.lastAccess < victim->second.lastAccess) victim = it;
-  }
-  out.push_back(victim->second);
-  usedBytes_ -= victim->second.sizeBytes;
-  entries_.erase(victim);
+  DTNCACHE_CHECK(lruHead_ != kNil);
+  // Sim time is nondecreasing, so the list head is an entry with the
+  // minimum lastAccess — the same victim class the old timestamp scan
+  // picked, found in O(1).
+  const std::uint32_t victim = lruHead_;
+  out.push_back(slots_[victim].entry);
+  usedBytes_ -= slots_[victim].entry.sizeBytes;
+  index_.erase(slots_[victim].entry.item);
+  unlink(victim);
+  releaseSlot(victim);
 }
 
 }  // namespace dtncache::cache

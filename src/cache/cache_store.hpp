@@ -6,12 +6,21 @@
 /// Byte-bounded; when an insert does not fit, least-recently-accessed
 /// entries are evicted (classic LRU — the paper's focus is freshness, not
 /// replacement, so the substrate uses the standard policy). Upgrading an
-/// entry to a newer version of the same item never changes occupancy.
+/// entry to a newer version of the same item never changes occupancy or
+/// recency.
+///
+/// Storage is flat: entries live in a dense slot vector (freed slots are
+/// recycled through a free list), an open-addressing index maps item id to
+/// slot, and LRU order is an intrusive doubly-linked list threaded through
+/// the slots. find/insert/recordAccess are O(1) with no per-entry heap
+/// nodes, and eviction pops the list head instead of scanning for the
+/// minimum timestamp — the store appears in every contact handshake and
+/// every query, so these are among the hottest ops in a simulation.
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "core/slot_index.hpp"
 #include "data/item.hpp"
 #include "sim/assert.hpp"
 #include "sim/time.hpp"
@@ -23,7 +32,7 @@ struct CacheEntry {
   data::Version version = 0;
   std::uint32_t sizeBytes = 0;
   sim::SimTime receivedAt = 0.0;   ///< when this version arrived here
-  sim::SimTime lastAccess = 0.0;   ///< for LRU
+  sim::SimTime lastAccess = 0.0;   ///< insert or last recordAccess time
   std::size_t accessCount = 0;
 };
 
@@ -51,7 +60,10 @@ class CacheStore {
                       sim::SimTime now);
 
   /// Entry for `item`, or nullptr.
-  const CacheEntry* find(data::ItemId item) const;
+  const CacheEntry* find(data::ItemId item) const {
+    const std::uint32_t slot = index_.find(item);
+    return slot == core::SlotIndex::kNoSlot ? nullptr : &slots_[slot].entry;
+  }
 
   /// Record a cache hit (updates LRU recency).
   void recordAccess(data::ItemId item, sim::SimTime now);
@@ -61,17 +73,42 @@ class CacheStore {
 
   std::size_t usedBytes() const { return usedBytes_; }
   std::size_t capacityBytes() const { return capacityBytes_; }
-  std::size_t size() const { return entries_.size(); }
+  std::size_t size() const { return index_.size(); }
 
   /// Stable iteration (item-id order) for metric scans.
   std::vector<const CacheEntry*> entries() const;
 
+  /// Visit every entry without allocating, in unspecified order. For scans
+  /// whose accumulation is order-independent (counting valid copies).
+  template <typename Fn>
+  void forEachEntry(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.live) fn(s.entry);
+  }
+
  private:
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
+  struct Slot {
+    CacheEntry entry;
+    std::uint32_t lruPrev = kNil;  ///< toward least recently used
+    std::uint32_t lruNext = kNil;  ///< toward most recently used
+    bool live = false;
+  };
+
+  std::uint32_t allocSlot();
+  void linkMru(std::uint32_t slot);
+  void unlink(std::uint32_t slot);
+  void releaseSlot(std::uint32_t slot);
   void evictLru(std::vector<CacheEntry>& out);
 
   std::size_t capacityBytes_;
   std::size_t usedBytes_ = 0;
-  std::unordered_map<data::ItemId, CacheEntry> entries_;
+  core::SlotIndex index_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::uint32_t lruHead_ = kNil;  ///< least recently used
+  std::uint32_t lruTail_ = kNil;  ///< most recently used
 };
 
 }  // namespace dtncache::cache

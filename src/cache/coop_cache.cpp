@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/centrality.hpp"
+#include "obs/alloc_hook.hpp"
 #include "sim/assert.hpp"
 
 namespace dtncache::cache {
@@ -61,6 +62,10 @@ CooperativeCache::CooperativeCache(sim::Simulator& simulator, net::Network& netw
     }
     DTNCACHE_CHECK(set.size() == itemSetSize(item));
   }
+
+  handshakeHalf_ =
+      net::kHeaderBytes +
+      config_.versionVectorBytesPerItem * static_cast<std::uint64_t>(catalog_.size());
 }
 
 void CooperativeCache::setScheme(RefreshScheme* scheme) {
@@ -73,7 +78,8 @@ void CooperativeCache::setObservability(obs::Tracer* tracer, obs::Registry* regi
   if (registry == nullptr) {
     ctrHandshakeTruncated_ = ctrPushDelivered_ = ctrPushNoop_ = ctrPushDenied_ =
         ctrInstallInserted_ = ctrInstallUpgraded_ = ctrInstallEvicted_ =
-            ctrQueryLocalHit_ = ctrQuerySprayed_ = ctrReplyDelivered_ = nullptr;
+            ctrQueryLocalHit_ = ctrQuerySprayed_ = ctrReplyDelivered_ =
+                ctrHotPathAllocs_ = nullptr;
     return;
   }
   ctrHandshakeTruncated_ = &registry->counter("cache.handshake.truncated");
@@ -86,6 +92,8 @@ void CooperativeCache::setObservability(obs::Tracer* tracer, obs::Registry* regi
   ctrQueryLocalHit_ = &registry->counter("cache.query.local_hit");
   ctrQuerySprayed_ = &registry->counter("cache.query.sprayed");
   ctrReplyDelivered_ = &registry->counter("cache.reply.delivered");
+  if (obs::allocHookEnabled())
+    ctrHotPathAllocs_ = &registry->counter("cache.hot_path.allocs");
 }
 
 void CooperativeCache::start(data::SourceProcess& sources, data::QueryWorkload* workload,
@@ -194,10 +202,10 @@ double CooperativeCache::validFraction(sim::SimTime t) const {
   std::size_t total = 0;
   std::size_t valid = 0;
   for (NodeId n = 0; n < nodeCount_; ++n) {
-    for (const CacheEntry* e : stores_[n].entries()) {
+    stores_[n].forEachEntry([&](const CacheEntry& e) {
       ++total;
-      if (catalog_.clock(e->item).isValid(e->version, t)) ++valid;
-    }
+      if (catalog_.clock(e.item).isValid(e.version, t)) ++valid;
+    });
   }
   return sim::ratio(valid, total);
 }
@@ -277,22 +285,37 @@ void CooperativeCache::handleQuery(const data::Query& q) {
   buffers_[q.requester].add(m, t);
 }
 
+namespace {
+/// Accumulates the allocations a handleContact performs into the hot-path
+/// counter on scope exit (covers the truncated-handshake early return).
+/// No-op outside DTNCACHE_ALLOC_HOOK builds: the counter is never
+/// registered there and threadAllocCount() is constant 0.
+struct HotPathAllocProbe {
+  explicit HotPathAllocProbe(obs::Counter* ctr)
+      : ctr_(ctr), start_(obs::threadAllocCount()) {}
+  ~HotPathAllocProbe() {
+    if (ctr_ != nullptr) ctr_->add(obs::threadAllocCount() - start_);
+  }
+  obs::Counter* ctr_;
+  std::uint64_t start_;
+};
+}  // namespace
+
 void CooperativeCache::handleContact(NodeId a, NodeId b, sim::SimTime t,
                                      sim::SimTime duration, net::ContactChannel& channel) {
   (void)duration;
+  const HotPathAllocProbe allocProbe(ctrHotPathAllocs_);
   estimator_.recordContact(a, b, t);
 
   // Metadata handshake: both sides exchange version vectors (and piggyback
-  // rate gossip). Accounted per direction, and must fit before anything
+  // rate gossip). Accounted per direction (cost precomputed at construction
+  // — it depends only on the catalog size), and must fit before anything
   // else moves.
-  const std::uint64_t handshakeHalf =
-      net::kHeaderBytes +
-      config_.versionVectorBytesPerItem * static_cast<std::uint64_t>(catalog_.size());
-  if (!channel.transfer(net::Traffic::kControl, handshakeHalf, a) ||
-      !channel.transfer(net::Traffic::kControl, handshakeHalf, b)) {
+  if (!channel.transfer(net::Traffic::kControl, handshakeHalf_, a) ||
+      !channel.transfer(net::Traffic::kControl, handshakeHalf_, b)) {
     if (ctrHandshakeTruncated_ != nullptr) ctrHandshakeTruncated_->add();
     DTNCACHE_EVENT(tracer_, obs::EventKind::kHandshakeTruncated, t, {"a", a}, {"b", b},
-                   {"need", handshakeHalf});
+                   {"need", handshakeHalf_});
     return;
   }
 
@@ -346,7 +369,7 @@ void CooperativeCache::deliverReply(const net::Message& reply, sim::SimTime t) {
                  {"item", reply.item}, {"version", reply.version},
                  {"query", reply.queryId}, {"fresh", fresh}, {"valid", valid},
                  {"delay", t - reply.createdAt});
-  satisfied_.insert(reply.queryId);
+  satisfied_.set(reply.queryId);
   // A requester that is itself a caching node keeps the data it just got.
   if (isCachingNode(reply.requester, reply.item))
     installCopy(reply.requester, reply.item, reply.version, t);
@@ -368,21 +391,22 @@ void CooperativeCache::forwardBuffered(NodeId from, NodeId to, sim::SimTime t,
   auto& buf = buffers_[from];
   buf.purgeExpired(t);
 
-  std::vector<net::MessageId> toRemove;
-  // Iterate by index: new messages land in the *peer's* buffer, and removals
-  // are deferred, so the deque is stable during the loop.
-  auto& msgs = buf.messages();
-  for (std::size_t idx = 0; idx < msgs.size(); ++idx) {
-    net::Message& m = msgs[idx];
+  toRemoveScratch_.clear();
+  auto& toRemove = toRemoveScratch_;
+  // Walk by slot cursor: new messages land in the *peer's* buffer, and
+  // removals are deferred, so the walk is stable during the loop.
+  for (std::uint32_t slot = buf.firstSlot(); slot != net::MessageBuffer::kNil;
+       slot = buf.nextSlot(slot)) {
+    net::Message& m = buf.at(slot);
     switch (m.kind) {
       case net::MessageKind::kQuery: {
         // Note: even when the requester has already been answered, in-flight
         // query copies keep propagating — the carriers cannot know — and
         // purge at the deadline. The collector ignores duplicate answers.
-        const bool answeredHere = answeredAt_.count(answeredKey(m.queryId, to)) > 0;
+        const bool answeredHere = answeredAt_.test(answeredKey(m.queryId, to));
         if (!answeredHere && canAnswer(to, m.item, t) && to != m.requester) {
           if (!channel.transfer(net::Traffic::kQuery, m.wireBytes(), from)) break;
-          answeredAt_.insert(answeredKey(m.queryId, to));
+          answeredAt_.set(answeredKey(m.queryId, to));
           makeReply(to, m, t);
           toRemove.push_back(m.id);  // this copy's job is done
           continue;
@@ -468,8 +492,7 @@ void CooperativeCache::forwardBuffered(NodeId from, NodeId to, sim::SimTime t,
     }
   }
 
-  for (net::MessageId id : toRemove)
-    buf.removeIf([id](const net::Message& m) { return m.id == id; });
+  for (net::MessageId id : toRemove) buf.removeById(id);
 }
 
 void CooperativeCache::emitPlacement(sim::SimTime t) {

@@ -20,10 +20,10 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/cache_store.hpp"
+#include "core/dense_bitset.hpp"
 #include "cache/refresh_scheme.hpp"
 #include "data/item.hpp"
 #include "data/source.hpp"
@@ -162,6 +162,8 @@ class CooperativeCache {
   void scheduleSampling(sim::SimTime horizon);
   void emitPlacement(sim::SimTime t);
   net::MessageId nextMessageId() { return nextMessageId_++; }
+  /// Dense bit number for the (query, node) reply-dedup set: query ids are
+  /// assigned sequentially from 1, so this packs without gaps.
   std::uint64_t answeredKey(data::QueryId q, NodeId n) const {
     return q * static_cast<std::uint64_t>(nodeCount_) + n;
   }
@@ -180,8 +182,14 @@ class CooperativeCache {
   std::vector<NodeId> centralOrder_;
   std::vector<std::vector<NodeId>> cachingNodes_;  ///< per item
 
-  std::unordered_set<std::uint64_t> answeredAt_;  ///< (query, node) reply-dedup
-  std::unordered_set<data::QueryId> satisfied_;   ///< delivered to requester
+  core::DenseBitset answeredAt_;  ///< (query, node) reply-dedup, answeredKey bits
+  core::DenseBitset satisfied_;   ///< delivered to requester, query-id bits
+  /// Deferred-removal scratch for forwardBuffered: reused across contacts so
+  /// the steady-state contact path does not allocate.
+  std::vector<net::MessageId> toRemoveScratch_;
+  /// Per-direction handshake cost (header + version vector), fixed by the
+  /// catalog size; precomputed so handleContact does no arithmetic setup.
+  std::uint64_t handshakeHalf_ = 0;
   std::function<bool(NodeId)> upPredicate_;
   obs::Tracer* tracer_ = nullptr;
   obs::Counter* ctrHandshakeTruncated_ = nullptr;
@@ -194,6 +202,10 @@ class CooperativeCache {
   obs::Counter* ctrQueryLocalHit_ = nullptr;
   obs::Counter* ctrQuerySprayed_ = nullptr;
   obs::Counter* ctrReplyDelivered_ = nullptr;
+  /// Allocation-hook builds only (never registered otherwise, so counter
+  /// columns in result sinks are unchanged): global allocations observed
+  /// inside handleContact, asserted flat in steady state by tests.
+  obs::Counter* ctrHotPathAllocs_ = nullptr;
   net::MessageId nextMessageId_ = 1;
   bool started_ = false;
 };

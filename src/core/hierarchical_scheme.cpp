@@ -78,8 +78,11 @@ void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
 
   // Each member independently evaluates its own parent edge — the only
   // structural knowledge a node needs is the candidate parents' chains,
-  // which the metadata handshake carries in a deployment.
-  for (NodeId n : h.membersBelowRoot()) {
+  // which the metadata handshake carries in a deployment. Snapshot the
+  // member order: repairs re-parent mid-loop, which invalidates the
+  // hierarchy's cached BFS list.
+  const std::vector<NodeId> members = h.membersBelowRoot();
+  for (NodeId n : members) {
     const double current = chainRefreshProbability(h.chainRates(n, rate), tau);
     NodeId bestParent = kNoNode;
     double bestScore = current;
@@ -173,15 +176,15 @@ void HierarchicalRefreshScheme::onContact(cache::CooperativeCache& cache, NodeId
   }
 }
 
-std::vector<NodeId> HierarchicalRefreshScheme::targetsOf(data::ItemId item,
-                                                         NodeId refresher) const {
-  std::vector<NodeId> out;
+void HierarchicalRefreshScheme::targetsOf(data::ItemId item, NodeId refresher,
+                                          std::vector<NodeId>& out) const {
+  out.clear();
   const RefreshHierarchy& h = hierarchies_[item];
-  if (!h.isMember(refresher)) return out;
-  out = h.childrenOf(refresher);
+  if (!h.isMember(refresher)) return;
+  const auto& children = h.childrenOf(refresher);
+  out.insert(out.end(), children.begin(), children.end());
   for (NodeId n : h.membersBelowRoot())
     if (plans_[item].isHelper(refresher, n)) out.push_back(n);
-  return out;
 }
 
 void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, NodeId holder,
@@ -196,7 +199,8 @@ void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, Nod
     const auto held = cache.heldVersion(holder, item, t);
     if (!held) continue;
     const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
-    for (NodeId target : targetsOf(item, holder)) {
+    targetsOf(item, holder, targetsScratch_);
+    for (NodeId target : targetsScratch_) {
       if (target == carrier) continue;  // direct push already handled
       const auto targetHeld = cache.heldVersion(target, item, t);
       if (targetHeld && *targetHeld >= *held) continue;
@@ -212,12 +216,15 @@ void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, Nod
       const std::uint64_t key = (static_cast<std::uint64_t>(item) << 44) ^
                                 (static_cast<std::uint64_t>(target) << 32) ^
                                 (*held & 0xffffffffull);
-      std::uint32_t& used = relayBudgetUsed_[key];
+      std::uint32_t& used = relayBudgetSlot(key);
       if (used >= config_.relayCopiesPerVersion) continue;
 
       // Skip if the carrier already holds an equivalent copy in its buffer.
       bool duplicate = false;
-      for (const net::Message& m : cache.bufferOf(carrier).messages()) {
+      const net::MessageBuffer& carrierBuf = cache.bufferOf(carrier);
+      for (std::uint32_t s = carrierBuf.firstSlot(); s != net::MessageBuffer::kNil;
+           s = carrierBuf.nextSlot(s)) {
+        const net::Message& m = carrierBuf.at(s);
         if (m.kind == net::MessageKind::kDataCopy && m.item == item && m.dst == target &&
             m.version >= *held) {
           duplicate = true;

@@ -23,13 +23,13 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/coop_cache.hpp"
 #include "cache/refresh_scheme.hpp"
 #include "core/hierarchy.hpp"
 #include "core/replication.hpp"
+#include "core/slot_index.hpp"
 #include "trace/rate_matrix.hpp"
 
 namespace dtncache::core {
@@ -123,8 +123,11 @@ class HierarchicalRefreshScheme : public cache::RefreshScheme {
   void runMaintenance(cache::CooperativeCache& cache, sim::SimTime t);
   /// Is `refresher` responsible for pushing to `target` for this item?
   bool responsible(data::ItemId item, NodeId refresher, NodeId target) const;
-  /// All targets `refresher` is responsible for (children + helper targets).
-  std::vector<NodeId> targetsOf(data::ItemId item, NodeId refresher) const;
+  /// All targets `refresher` is responsible for (children + helper
+  /// targets), appended to `out` (cleared first). Out-parameter so the
+  /// per-contact relay pass can reuse one scratch vector instead of
+  /// allocating a result per (item, holder) evaluation.
+  void targetsOf(data::ItemId item, NodeId refresher, std::vector<NodeId>& out) const;
   /// Hand bounded refresh copies for absent targets to a better carrier.
   void injectRelays(cache::CooperativeCache& cache, NodeId holder, NodeId carrier,
                     sim::SimTime t, net::ContactChannel& channel);
@@ -151,8 +154,23 @@ class HierarchicalRefreshScheme : public cache::RefreshScheme {
   std::size_t churnRepairs_ = 0;
   std::function<bool(NodeId)> live_;
   std::function<double(NodeId)> nodeWeight_;
-  /// (item, target, version) → relay copies already injected.
-  std::unordered_map<std::uint64_t, std::uint32_t> relayBudgetUsed_;
+  /// (item, target, version) → relay copies already injected. Flat-store
+  /// pattern: the packed key indexes a dense count vector through the
+  /// open-addressing index (one probe per relay evaluation, no hash-map
+  /// node allocations).
+  std::uint32_t& relayBudgetSlot(std::uint64_t key) {
+    std::uint32_t slot = relayBudgetIndex_.find(key);
+    if (slot == core::SlotIndex::kNoSlot) {
+      slot = static_cast<std::uint32_t>(relayBudgetCounts_.size());
+      relayBudgetCounts_.push_back(0);
+      relayBudgetIndex_.insert(key, slot);
+    }
+    return relayBudgetCounts_[slot];
+  }
+  core::SlotIndex relayBudgetIndex_;
+  std::vector<std::uint32_t> relayBudgetCounts_;
+  /// Scratch for injectRelays' per-(item, holder) target list.
+  mutable std::vector<NodeId> targetsScratch_;
 };
 
 }  // namespace dtncache::core

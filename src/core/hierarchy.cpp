@@ -1,6 +1,7 @@
 #include "core/hierarchy.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "core/freshness.hpp"
 #include "sim/assert.hpp"
@@ -16,12 +17,12 @@ RefreshHierarchy RefreshHierarchy::build(NodeId root, const std::vector<NodeId>&
 
   RefreshHierarchy h;
   h.root_ = root;
-  h.nodes_[root] = NodeInfo{};
+  h.addNode(root, kNoNode, 0);
 
   std::vector<NodeId> remaining = members;
   for (NodeId m : remaining) {
     DTNCACHE_CHECK_MSG(m != root, "root listed among members");
-    DTNCACHE_CHECK_MSG(h.nodes_.count(m) == 0, "duplicate member " << m);
+    DTNCACHE_CHECK_MSG(!h.isMember(m), "duplicate member " << m);
   }
 
   // Track chain rates per tree node so candidate scores are O(depth).
@@ -32,7 +33,8 @@ RefreshHierarchy RefreshHierarchy::build(NodeId root, const std::vector<NodeId>&
     NodeId bestChild = kNoNode;
     NodeId bestParent = kNoNode;
     double bestScore = -1.0;
-    for (const auto& [p, infoP] : h.nodes_) {
+    for (NodeId p : h.memberIds_) {
+      const NodeInfo& infoP = h.info(p);
       if (infoP.children.size() >= config.fanoutBound) continue;
       for (NodeId c : remaining) {
         const double lambda = rate(p, c);
@@ -62,10 +64,7 @@ RefreshHierarchy RefreshHierarchy::build(NodeId root, const std::vector<NodeId>&
     DTNCACHE_CHECK_MSG(bestChild != kNoNode,
                        "fanout capacity exhausted: bound " << config.fanoutBound
                                                            << " cannot host all members");
-    NodeInfo child;
-    child.parent = bestParent;
-    child.depth = h.info(bestParent).depth + 1;
-    h.nodes_[bestChild] = child;
+    h.addNode(bestChild, bestParent, h.info(bestParent).depth + 1);
     h.info(bestParent).children.push_back(bestChild);
     auto chain = chains[bestParent];
     chain.push_back(rate(bestParent, bestChild));
@@ -75,21 +74,30 @@ RefreshHierarchy RefreshHierarchy::build(NodeId root, const std::vector<NodeId>&
   return h;
 }
 
+void RefreshHierarchy::addNode(NodeId n, NodeId parent, std::size_t depth) {
+  if (n >= infos_.size()) infos_.resize(n + 1);
+  NodeInfo& in = infos_[n];
+  in.parent = parent;
+  in.children.clear();
+  in.depth = depth;
+  in.member = true;
+  memberIds_.push_back(n);
+  ++memberCount_;
+  bfsDirty_ = true;
+}
+
 RefreshHierarchy::NodeInfo& RefreshHierarchy::info(NodeId n) {
-  const auto it = nodes_.find(n);
-  DTNCACHE_CHECK_MSG(it != nodes_.end(), "node " << n << " not in hierarchy");
-  return it->second;
+  DTNCACHE_CHECK_MSG(isMember(n), "node " << n << " not in hierarchy");
+  return infos_[n];
 }
 
 const RefreshHierarchy::NodeInfo& RefreshHierarchy::info(NodeId n) const {
-  const auto it = nodes_.find(n);
-  DTNCACHE_CHECK_MSG(it != nodes_.end(), "node " << n << " not in hierarchy");
-  return it->second;
+  DTNCACHE_CHECK_MSG(isMember(n), "node " << n << " not in hierarchy");
+  return infos_[n];
 }
 
 NodeId RefreshHierarchy::parentOf(NodeId n) const {
-  const auto it = nodes_.find(n);
-  return it == nodes_.end() ? kNoNode : it->second.parent;
+  return isMember(n) ? infos_[n].parent : kNoNode;
 }
 
 const std::vector<NodeId>& RefreshHierarchy::childrenOf(NodeId n) const {
@@ -100,7 +108,7 @@ std::size_t RefreshHierarchy::depthOf(NodeId n) const { return info(n).depth; }
 
 std::size_t RefreshHierarchy::maxDepth() const {
   std::size_t d = 0;
-  for (const auto& [id, node] : nodes_) d = std::max(d, node.depth);
+  for (NodeId n : memberIds_) d = std::max(d, infos_[n].depth);
   return d;
 }
 
@@ -117,22 +125,25 @@ std::vector<double> RefreshHierarchy::chainRates(NodeId n, const RateFn& rate) c
   return rates;
 }
 
-std::vector<NodeId> RefreshHierarchy::membersBelowRoot() const {
-  std::vector<NodeId> out;
+const std::vector<NodeId>& RefreshHierarchy::membersBelowRoot() const {
+  if (!bfsDirty_) return bfsCache_;
+  bfsCache_.clear();
   std::vector<NodeId> frontier{root_};
+  std::vector<NodeId> next;
   while (!frontier.empty()) {
-    std::vector<NodeId> next;
+    next.clear();
     for (NodeId n : frontier) {
       auto children = info(n).children;
       std::sort(children.begin(), children.end());
       for (NodeId c : children) {
-        out.push_back(c);
+        bfsCache_.push_back(c);
         next.push_back(c);
       }
     }
-    frontier = std::move(next);
+    frontier.swap(next);
   }
-  return out;
+  bfsDirty_ = false;
+  return bfsCache_;
 }
 
 bool RefreshHierarchy::isAncestor(NodeId ancestor, NodeId n) const {
@@ -164,6 +175,7 @@ void RefreshHierarchy::reparent(NodeId child, NodeId newParent, std::size_t fano
   c.parent = newParent;
   info(newParent).children.push_back(child);
   recomputeDepths(child);
+  bfsDirty_ = true;
 }
 
 void RefreshHierarchy::addMember(NodeId n, NodeId parent, std::size_t fanoutBound) {
@@ -171,10 +183,7 @@ void RefreshHierarchy::addMember(NodeId n, NodeId parent, std::size_t fanoutBoun
   DTNCACHE_CHECK_MSG(isMember(parent), "parent not in hierarchy");
   DTNCACHE_CHECK_MSG(info(parent).children.size() < fanoutBound,
                      "parent " << parent << " is at fanout capacity");
-  NodeInfo node;
-  node.parent = parent;
-  node.depth = info(parent).depth + 1;
-  nodes_[n] = node;
+  addNode(n, parent, info(parent).depth + 1);
   info(parent).children.push_back(n);
 }
 
@@ -187,7 +196,10 @@ void RefreshHierarchy::removeMember(NodeId n) {
     info(c).parent = node.parent;
     siblings.push_back(c);
   }
-  nodes_.erase(n);
+  infos_[n] = NodeInfo{};
+  memberIds_.erase(std::find(memberIds_.begin(), memberIds_.end(), n));
+  --memberCount_;
+  bfsDirty_ = true;
   for (NodeId c : node.children) recomputeDepths(c);
 }
 
@@ -201,7 +213,7 @@ void RefreshHierarchy::checkInvariants() const {
     const NodeId n = stack.back();
     stack.pop_back();
     ++reachable;
-    DTNCACHE_CHECK_MSG(reachable <= nodes_.size(), "cycle detected in hierarchy");
+    DTNCACHE_CHECK_MSG(reachable <= memberCount_, "cycle detected in hierarchy");
     const NodeInfo& in = info(n);
     for (NodeId c : in.children) {
       const NodeInfo& ci = info(c);
@@ -210,7 +222,7 @@ void RefreshHierarchy::checkInvariants() const {
       stack.push_back(c);
     }
   }
-  DTNCACHE_CHECK_MSG(reachable == nodes_.size(), "hierarchy is disconnected");
+  DTNCACHE_CHECK_MSG(reachable == memberCount_, "hierarchy is disconnected");
 }
 
 }  // namespace dtncache::core

@@ -24,7 +24,6 @@
 
 #include <cstddef>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -53,8 +52,8 @@ class RefreshHierarchy {
                                 const HierarchyConfig& config);
 
   NodeId root() const { return root_; }
-  bool isMember(NodeId n) const { return nodes_.count(n) > 0; }
-  std::size_t memberCount() const { return nodes_.size(); }  ///< includes root
+  bool isMember(NodeId n) const { return n < infos_.size() && infos_[n].member; }
+  std::size_t memberCount() const { return memberCount_; }  ///< includes root
 
   /// kNoNode for the root (and for non-members).
   NodeId parentOf(NodeId n) const;
@@ -70,8 +69,14 @@ class RefreshHierarchy {
   /// Contact rates along the path root → n (planning-time analysis input).
   std::vector<double> chainRates(NodeId n, const RateFn& rate) const;
 
-  /// All nodes except the root, in breadth-first (level) order.
-  std::vector<NodeId> membersBelowRoot() const;
+  /// All nodes except the root, in breadth-first (level) order with each
+  /// level's siblings sorted by id. Computed lazily and cached until the
+  /// next structural mutation — schemes walk this list on every contact, so
+  /// rebuilding the BFS each call dominated their planning cost. The
+  /// reference stays valid across reads; a mutation only marks the cache
+  /// stale (it is rebuilt on the *next* call), so a loop over the returned
+  /// list that ends in a repair operation is safe.
+  const std::vector<NodeId>& membersBelowRoot() const;
 
   /// True if `ancestor` lies on the path root → n (strictly above n).
   bool isAncestor(NodeId ancestor, NodeId n) const;
@@ -97,18 +102,29 @@ class RefreshHierarchy {
   void checkInvariants() const;
 
  private:
+  /// Node records live in a vector indexed directly by NodeId — ids are
+  /// dense and small (they index the trace's node table), so membership is
+  /// a flag test and parent/children lookups are one indexed load. The
+  /// schemes call parentOf/childrenOf per item per contact; the old
+  /// hash-map storage made those lookups the hottest code in planning.
   struct NodeInfo {
     NodeId parent = kNoNode;
     std::vector<NodeId> children;
     std::size_t depth = 0;
+    bool member = false;
   };
 
   void recomputeDepths(NodeId from);
+  void addNode(NodeId n, NodeId parent, std::size_t depth);
   NodeInfo& info(NodeId n);
   const NodeInfo& info(NodeId n) const;
 
   NodeId root_ = kNoNode;
-  std::unordered_map<NodeId, NodeInfo> nodes_;
+  std::vector<NodeInfo> infos_;           ///< indexed by NodeId
+  std::vector<NodeId> memberIds_;         ///< insertion order, root first
+  std::size_t memberCount_ = 0;
+  mutable std::vector<NodeId> bfsCache_;  ///< membersBelowRoot result
+  mutable bool bfsDirty_ = true;
 };
 
 }  // namespace dtncache::core

@@ -9,21 +9,10 @@ namespace dtncache::core {
 
 const std::vector<NodeId> ReplicationPlan::kEmpty{};
 
-bool ReplicationPlan::isHelper(NodeId refresher, NodeId target) const {
-  const auto it = helpers_.find(target);
-  if (it == helpers_.end()) return false;
-  return std::find(it->second.begin(), it->second.end(), refresher) != it->second.end();
-}
-
-const std::vector<NodeId>& ReplicationPlan::helpersOf(NodeId target) const {
-  const auto it = helpers_.find(target);
-  return it == helpers_.end() ? kEmpty : it->second;
-}
-
 double ReplicationPlan::predictedProbability(NodeId target) const {
-  const auto it = predicted_.find(target);
-  DTNCACHE_CHECK_MSG(it != predicted_.end(), "no prediction for node " << target);
-  return it->second;
+  DTNCACHE_CHECK_MSG(target < predicted_.size() && predicted_[target] >= 0.0,
+                     "no prediction for node " << target);
+  return predicted_[target];
 }
 
 ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn& rate,
@@ -33,7 +22,7 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
   DTNCACHE_CHECK(tau > 0.0);
 
   ReplicationPlan plan;
-  const auto members = hierarchy.membersBelowRoot();
+  const auto& members = hierarchy.membersBelowRoot();
 
   // One prepared CDF per distinct chain: every node below θ evaluates every
   // other member as a helper candidate, so without this cache the O(k²)
@@ -53,7 +42,7 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
   for (NodeId target : members) {
     const double chainP = chainOf(target).cdf(tau);
     double combined = chainP;
-    std::vector<NodeId>& assigned = plan.helpers_[target];
+    std::vector<NodeId>& assigned = plan.helperSlot(target);
 
     if (config.enabled && chainP < config.theta) {
       // Candidates: every member (root included) except the target, its
@@ -105,6 +94,7 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
       plan.totalAssignments_ += assigned.size();
     }
 
+    if (target >= plan.predicted_.size()) plan.predicted_.resize(target + 1, -1.0);
     plan.predicted_[target] = combined;
     if (combined < config.theta) plan.unmet_.push_back(target);
   }

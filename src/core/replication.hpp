@@ -19,7 +19,6 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/hierarchy.hpp"
@@ -58,13 +57,26 @@ struct ReplicationConfig {
 };
 
 /// The planned helper assignments for one item's hierarchy.
+///
+/// Storage is dense by NodeId (node ids index the trace's node table, so
+/// the vectors are small): helper lists and predictions are one indexed
+/// load, and isHelper — which the schemes evaluate for every (member,
+/// member) pair at every contact — is an indexed load plus a scan of at
+/// most maxHelpersPerNode entries, with no hashing.
 class ReplicationPlan {
  public:
   /// True if `refresher` must push fresh versions to `target` (helper edge;
   /// tree edges live in the hierarchy itself).
-  bool isHelper(NodeId refresher, NodeId target) const;
+  bool isHelper(NodeId refresher, NodeId target) const {
+    if (target >= helpers_.size()) return false;
+    for (NodeId h : helpers_[target])
+      if (h == refresher) return true;
+    return false;
+  }
 
-  const std::vector<NodeId>& helpersOf(NodeId target) const;
+  const std::vector<NodeId>& helpersOf(NodeId target) const {
+    return target < helpers_.size() ? helpers_[target] : kEmpty;
+  }
 
   /// Predicted P(refresh within τ) after replication (chain + helpers).
   double predictedProbability(NodeId target) const;
@@ -78,8 +90,12 @@ class ReplicationPlan {
   friend ReplicationPlan planReplication(const RefreshHierarchy&, const RateFn&,
                                          sim::SimTime, const ReplicationConfig&,
                                          const PlanTrace&);
-  std::unordered_map<NodeId, std::vector<NodeId>> helpers_;
-  std::unordered_map<NodeId, double> predicted_;
+  std::vector<NodeId>& helperSlot(NodeId target) {
+    if (target >= helpers_.size()) helpers_.resize(target + 1);
+    return helpers_[target];
+  }
+  std::vector<std::vector<NodeId>> helpers_;  ///< indexed by target NodeId
+  std::vector<double> predicted_;             ///< indexed by target; -1 = none
   std::vector<NodeId> unmet_;
   std::size_t totalAssignments_ = 0;
   static const std::vector<NodeId> kEmpty;

@@ -1,0 +1,152 @@
+#pragma once
+
+/// \file slot_index.hpp
+/// Open-addressing index from 64-bit keys to 32-bit slot numbers.
+///
+/// The flat-store pattern used across the hot data path: values live in a
+/// dense slot vector owned by the caller (cache entries, estimator pair
+/// states, hierarchy node infos); this index maps a key to its slot in one
+/// cache line most of the time. Linear probing over a power-of-two table,
+/// backshift deletion (no tombstones), geometric growth at 70% load. No
+/// iteration order is exposed — callers that need deterministic order
+/// iterate their own slot vector or sort their keys.
+///
+/// Keys are arbitrary except the all-ones sentinel (which no packed id
+/// pair or small dense id produces).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::core {
+
+class SlotIndex {
+ public:
+  static constexpr std::uint32_t kNoSlot = static_cast<std::uint32_t>(-1);
+
+  explicit SlotIndex(std::size_t expected = 0) {
+    std::size_t cap = 16;
+    while (cap * 7 < expected * 10) cap <<= 1;
+    table_.assign(cap, Entry{});
+    setCapacity(cap);
+  }
+
+  /// Slot stored under `key`, or kNoSlot.
+  std::uint32_t find(std::uint64_t key) const {
+    for (std::size_t i = bucketOf(key);; i = (i + 1) & mask_) {
+      const Entry& e = table_[i];
+      if (e.slot == kNoSlot) return kNoSlot;
+      if (e.key == key) return e.slot;
+    }
+  }
+
+  /// Insert `key -> slot`. The key must not be present.
+  void insert(std::uint64_t key, std::uint32_t slot) {
+    DTNCACHE_CHECK(key != kEmptyKey && slot != kNoSlot);
+    if ((size_ + 1) * 10 > (mask_ + 1) * 7) grow();
+    insertNoGrow(key, slot);
+    ++size_;
+  }
+
+  /// Re-point an existing key at a new slot (slot-vector compaction).
+  void update(std::uint64_t key, std::uint32_t slot) {
+    for (std::size_t i = bucketOf(key);; i = (i + 1) & mask_) {
+      Entry& e = table_[i];
+      DTNCACHE_CHECK_MSG(e.slot != kNoSlot, "SlotIndex::update: key not present");
+      if (e.key == key) {
+        e.slot = slot;
+        return;
+      }
+    }
+  }
+
+  /// Remove `key`; returns the slot it mapped to, or kNoSlot if absent.
+  std::uint32_t erase(std::uint64_t key) {
+    std::size_t i = bucketOf(key);
+    for (;; i = (i + 1) & mask_) {
+      const Entry& e = table_[i];
+      if (e.slot == kNoSlot) return kNoSlot;
+      if (e.key == key) break;
+    }
+    const std::uint32_t slot = table_[i].slot;
+    // Backshift: close the gap so probe chains stay unbroken.
+    std::size_t hole = i;
+    for (std::size_t j = (i + 1) & mask_;; j = (j + 1) & mask_) {
+      const Entry& e = table_[j];
+      if (e.slot == kNoSlot) break;
+      const std::size_t home = bucketOf(e.key);
+      // e may move into the hole only if the hole lies on e's probe path.
+      const bool cyclic = ((j - home) & mask_) >= ((j - hole) & mask_);
+      if (cyclic) {
+        table_[hole] = e;
+        hole = j;
+      }
+    }
+    table_[hole] = Entry{};
+    --size_;
+    return slot;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    table_.assign(table_.size(), Entry{});
+    size_ = 0;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmptyKey = static_cast<std::uint64_t>(-1);
+
+  struct Entry {
+    std::uint64_t key = kEmptyKey;
+    std::uint32_t slot = kNoSlot;
+  };
+
+  // Fibonacci hashing: one multiply, take the top bits. The golden-ratio
+  // constant spreads dense sequential ids (item ids, message ids, packed
+  // pairs) across the table, and the single-multiply dependency chain keeps
+  // a hit to ~10 cycles — this index sits under every cache find and every
+  // buffer dedup, so hash latency is the whole game.
+  std::size_t bucketOf(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9e3779b97f4a7c15ULL) >> shift_) & mask_;
+  }
+
+  void insertNoGrow(std::uint64_t key, std::uint32_t slot) {
+    for (std::size_t i = bucketOf(key);; i = (i + 1) & mask_) {
+      Entry& e = table_[i];
+      if (e.slot == kNoSlot) {
+        e.key = key;
+        e.slot = slot;
+        return;
+      }
+      DTNCACHE_CHECK_MSG(e.key != key, "SlotIndex::insert: duplicate key");
+    }
+  }
+
+  void setCapacity(std::size_t cap) {
+    mask_ = cap - 1;
+    shift_ = 64;
+    while (cap > 1) {
+      cap >>= 1;
+      --shift_;
+    }
+  }
+
+  void grow() {
+    std::vector<Entry> old = std::move(table_);
+    table_.assign((mask_ + 1) * 2, Entry{});
+    setCapacity(table_.size());
+    for (const Entry& e : old)
+      if (e.slot != kNoSlot) insertNoGrow(e.key, e.slot);
+  }
+
+  std::vector<Entry> table_;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 64;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dtncache::core

@@ -72,20 +72,22 @@ void MetricsCollector::versionBumped(data::ItemId item, sim::SimTime t) {
 
 void MetricsCollector::queryIssued(const data::Query& q) {
   ++queries_.issued;
-  pending_[q.id] = PendingQuery{q.issueTime, q.deadline, false};
+  if (q.id >= pending_.size()) pending_.resize(q.id + 1);
+  pending_[q.id] = PendingQuery{q.issueTime, q.deadline, true, false};
 }
 
 void MetricsCollector::queryAnswered(data::QueryId id, sim::SimTime answeredAt, bool fresh,
                                      bool valid, bool localHit) {
-  auto it = pending_.find(id);
-  if (it == pending_.end() || it->second.answered) return;
-  if (answeredAt > it->second.deadline) return;  // too late: counts as unanswered
-  it->second.answered = true;
+  if (id >= pending_.size()) return;
+  PendingQuery& p = pending_[id];
+  if (!p.issued || p.answered) return;
+  if (answeredAt > p.deadline) return;  // too late: counts as unanswered
+  p.answered = true;
   ++queries_.answered;
   if (valid) ++queries_.answeredValid;
   if (fresh) ++queries_.answeredFresh;
   if (localHit) ++queries_.localHits;
-  queries_.delay.add(answeredAt - it->second.issueTime);
+  queries_.delay.add(answeredAt - p.issueTime);
 }
 
 void MetricsCollector::samplePoint(sim::SimTime t, double validFraction) {

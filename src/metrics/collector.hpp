@@ -11,7 +11,6 @@
 /// a time series for the freshness-vs-time plots (experiment F2).
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "data/item.hpp"
@@ -105,9 +104,15 @@ class MetricsCollector {
   struct PendingQuery {
     sim::SimTime issueTime = 0.0;
     sim::SimTime deadline = 0.0;
+    bool issued = false;
     bool answered = false;
   };
-  std::unordered_map<data::QueryId, PendingQuery> pending_;
+  /// Indexed directly by QueryId — the workload assigns ids densely from 1,
+  /// and the first-answer-wins protocol probes this on every reply
+  /// delivery, so a flat vector (one indexed load) replaces the hash map.
+  /// Never iterated: query statistics accumulate at answer events in event
+  /// order, so the layout cannot perturb FP accumulation.
+  std::vector<PendingQuery> pending_;
   QueryStats queries_;
 };
 

@@ -6,11 +6,21 @@
 /// Bounded in bytes; when full, the oldest message is dropped (drop-head —
 /// the standard DTN buffer policy: old messages have had their chance to
 /// spread). Expired messages (past their deadline) are purged lazily.
+///
+/// Messages live in a pooled slot vector (freed slots are recycled through
+/// a free list), FIFO order is an intrusive doubly-linked list threaded
+/// through the slots, and an open-addressing index maps message id to slot.
+/// A warmed buffer adds, drops, and dedups with zero heap traffic, and
+/// `contains` — called for every forwarding candidate at every contact — is
+/// one probe instead of a scan. Forwarding logic walks the list with slot
+/// cursors (`firstSlot`/`nextSlot`/`at`), which stay valid while *other*
+/// buffers are mutated; removal during a walk is deferred by the caller and
+/// applied by id afterwards.
 
 #include <cstddef>
-#include <deque>
-#include <functional>
+#include <vector>
 
+#include "core/slot_index.hpp"
 #include "net/message.hpp"
 #include "sim/assert.hpp"
 
@@ -18,6 +28,9 @@ namespace dtncache::net {
 
 class MessageBuffer {
  public:
+  /// Cursor sentinel: end of the FIFO list.
+  static constexpr std::uint32_t kNil = static_cast<std::uint32_t>(-1);
+
   explicit MessageBuffer(std::size_t capacityBytes = 5 * 1024 * 1024)
       : capacityBytes_(capacityBytes) {}
 
@@ -28,26 +41,37 @@ class MessageBuffer {
     if (m.wireBytes() > capacityBytes_) return false;
     if (contains(m.id)) return false;
     while (usedBytes_ + m.wireBytes() > capacityBytes_) dropOldest();
-    messages_.push_back(m);
+    const std::uint32_t slot = allocSlot();
+    slots_[slot].msg = m;
+    linkTail(slot);
+    index_.insert(m.id, slot);
     usedBytes_ += m.wireBytes();
     return true;
   }
 
-  bool contains(MessageId id) const {
-    for (const auto& m : messages_)
-      if (m.id == id) return true;
-    return false;
+  bool contains(MessageId id) const { return index_.find(id) != core::SlotIndex::kNoSlot; }
+
+  /// Remove the message with `id`, if buffered. O(1).
+  void removeById(MessageId id) {
+    const std::uint32_t slot = index_.erase(id);
+    if (slot == core::SlotIndex::kNoSlot) return;
+    usedBytes_ -= slots_[slot].msg.wireBytes();
+    unlink(slot);
+    releaseSlot(slot);
   }
 
-  /// Remove every message for which `pred` holds.
-  void removeIf(const std::function<bool(const Message&)>& pred) {
-    for (auto it = messages_.begin(); it != messages_.end();) {
-      if (pred(*it)) {
-        usedBytes_ -= it->wireBytes();
-        it = messages_.erase(it);
-      } else {
-        ++it;
+  /// Remove every message for which `pred` holds, in FIFO order.
+  template <typename Pred>
+  void removeIf(Pred&& pred) {
+    for (std::uint32_t s = head_; s != kNil;) {
+      const std::uint32_t next = slots_[s].next;
+      if (pred(slots_[s].msg)) {
+        usedBytes_ -= slots_[s].msg.wireBytes();
+        index_.erase(slots_[s].msg.id);
+        unlink(s);
+        releaseSlot(s);
       }
+      s = next;
     }
   }
 
@@ -56,25 +80,83 @@ class MessageBuffer {
     removeIf([now](const Message& m) { return m.deadline > 0.0 && now > m.deadline; });
   }
 
-  /// Mutable access for forwarding logic (copy-count updates in place).
-  std::deque<Message>& messages() { return messages_; }
-  const std::deque<Message>& messages() const { return messages_; }
+  /// FIFO cursor walk: oldest message first. Cursors are invalidated by any
+  /// removal from *this* buffer, not by additions to other buffers.
+  std::uint32_t firstSlot() const { return head_; }
+  std::uint32_t nextSlot(std::uint32_t slot) const { return slots_[slot].next; }
+  Message& at(std::uint32_t slot) { return slots_[slot].msg; }
+  const Message& at(std::uint32_t slot) const { return slots_[slot].msg; }
+
+  /// Oldest buffered message.
+  const Message& front() const {
+    DTNCACHE_CHECK(head_ != kNil);
+    return slots_[head_].msg;
+  }
+
+  /// Visit every message, oldest first.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) fn(slots_[s].msg);
+  }
 
   std::size_t usedBytes() const { return usedBytes_; }
   std::size_t capacityBytes() const { return capacityBytes_; }
-  std::size_t size() const { return messages_.size(); }
-  bool empty() const { return messages_.empty(); }
+  std::size_t size() const { return index_.size(); }
+  bool empty() const { return index_.empty(); }
 
  private:
+  struct Slot {
+    Message msg;
+    std::uint32_t prev = kNil;  ///< toward the oldest message
+    std::uint32_t next = kNil;  ///< toward the newest message
+  };
+
+  std::uint32_t allocSlot() {
+    if (!freeSlots_.empty()) {
+      const std::uint32_t slot = freeSlots_.back();
+      freeSlots_.pop_back();
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void releaseSlot(std::uint32_t slot) { freeSlots_.push_back(slot); }
+
+  void linkTail(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.prev = tail_;
+    s.next = kNil;
+    if (tail_ != kNil) slots_[tail_].next = slot;
+    tail_ = slot;
+    if (head_ == kNil) head_ = slot;
+  }
+
+  void unlink(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    if (s.prev != kNil) slots_[s.prev].next = s.next;
+    else head_ = s.next;
+    if (s.next != kNil) slots_[s.next].prev = s.prev;
+    else tail_ = s.prev;
+    s.prev = s.next = kNil;
+  }
+
   void dropOldest() {
-    DTNCACHE_CHECK(!messages_.empty());
-    usedBytes_ -= messages_.front().wireBytes();
-    messages_.pop_front();
+    DTNCACHE_CHECK(head_ != kNil);
+    const std::uint32_t slot = head_;
+    usedBytes_ -= slots_[slot].msg.wireBytes();
+    index_.erase(slots_[slot].msg.id);
+    unlink(slot);
+    releaseSlot(slot);
   }
 
   std::size_t capacityBytes_;
   std::size_t usedBytes_ = 0;
-  std::deque<Message> messages_;
+  core::SlotIndex index_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::uint32_t head_ = kNil;  ///< oldest
+  std::uint32_t tail_ = kNil;  ///< newest
 };
 
 }  // namespace dtncache::net

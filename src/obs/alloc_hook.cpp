@@ -1,0 +1,68 @@
+#include "obs/alloc_hook.hpp"
+
+#ifdef DTNCACHE_ALLOC_HOOK
+
+#include <cstdlib>
+#include <new>
+
+namespace {
+// Not zero-initialized lazily: thread_local of scalar type has constant
+// initialization, so the hook is safe even for allocations before main().
+thread_local std::uint64_t g_threadAllocCount = 0;
+
+void* countedAlloc(std::size_t n) {
+  ++g_threadAllocCount;
+  void* p = std::malloc(n != 0 ? n : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* countedAlignedAlloc(std::size_t n, std::size_t align) {
+  ++g_threadAllocCount;
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     n != 0 ? n : 1) != 0)
+    throw std::bad_alloc();
+  return p;
+}
+}  // namespace
+
+namespace dtncache::obs {
+std::uint64_t threadAllocCount() { return g_threadAllocCount; }
+}  // namespace dtncache::obs
+
+void* operator new(std::size_t n) { return countedAlloc(n); }
+void* operator new[](std::size_t n) { return countedAlloc(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_threadAllocCount;
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t&) noexcept {
+  ++g_threadAllocCount;
+  return std::malloc(n != 0 ? n : 1);
+}
+void* operator new(std::size_t n, std::align_val_t a) {
+  return countedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return countedAlignedAlloc(n, static_cast<std::size_t>(a));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+#else
+
+namespace dtncache::obs {
+std::uint64_t threadAllocCount() { return 0; }
+}  // namespace dtncache::obs
+
+#endif  // DTNCACHE_ALLOC_HOOK

@@ -1,0 +1,37 @@
+#pragma once
+
+/// \file alloc_hook.hpp
+/// Debug-only global allocation counting for zero-allocation assertions.
+///
+/// The contact data path promises zero heap allocations in steady state
+/// (scratch buffers, pooled message slots, flat stores). That contract is
+/// asserted, not just claimed: when the build enables DTNCACHE_ALLOC_HOOK
+/// (cmake -DDTNCACHE_ALLOC_HOOK=ON), global operator new/delete are
+/// replaced with counting versions, the cache layer registers a
+/// `cache.hot_path.allocs` counter that accumulates allocations observed
+/// inside handleContact, and tests assert the counter stays flat across
+/// steady-state contacts.
+///
+/// In normal builds everything here compiles to nothing: threadAllocCount()
+/// returns 0 and the counter is never registered, so result-sink counter
+/// columns are identical to builds without the hook.
+
+#include <cstdint>
+
+namespace dtncache::obs {
+
+/// True when the build replaces global new/delete with counting versions.
+constexpr bool allocHookEnabled() {
+#ifdef DTNCACHE_ALLOC_HOOK
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Monotone count of global allocations performed by this thread since it
+/// started (hook builds; always 0 otherwise). Snapshot before and after a
+/// region to count its allocations.
+std::uint64_t threadAllocCount();
+
+}  // namespace dtncache::obs

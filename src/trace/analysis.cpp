@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "core/pair_key.hpp"
 #include "sim/assert.hpp"
 
 namespace dtncache::trace {
@@ -24,11 +25,12 @@ std::vector<double> interContactTimes(const ContactTrace& trace, NodeId i, NodeI
 std::vector<double> allInterContactTimes(const ContactTrace& trace,
                                          std::size_t minContactsPerPair) {
   // One pass into a flat-keyed hash map (no per-insert tree rebalancing),
-  // then drain in sorted-key order — packed keys sort like (a, b) pairs,
-  // so the gap order (and any downstream floating-point accumulation) is
-  // identical to the old std::map<pair> traversal.
+  // then drain in sorted-key order — packed keys (core/pair_key.hpp) sort
+  // like (a, b) pairs, so the gap order (and any downstream floating-point
+  // accumulation) is identical to the old std::map<pair> traversal.
   std::unordered_map<std::uint64_t, std::vector<double>> perPairStarts;
-  for (const auto& c : trace.contacts()) perPairStarts[pairKey(c.a, c.b)].push_back(c.start);
+  for (const auto& c : trace.contacts())
+    perPairStarts[core::packSymmetricPair(c.a, c.b)].push_back(c.start);
   std::vector<std::uint64_t> keys;
   keys.reserve(perPairStarts.size());
   for (const auto& [key, starts] : perPairStarts) keys.push_back(key);

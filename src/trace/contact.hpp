@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pair_key.hpp"
 #include "sim/time.hpp"
 
 namespace dtncache {
@@ -32,15 +33,12 @@ namespace dtncache::trace {
 /// Packed symmetric pair key: min(a,b) in the high word. Hashes in one op
 /// and sorts exactly like the (min, max) tuple, so open-addressed maps
 /// keyed by it can be drained in deterministic pair order by sorting the
-/// keys — the same flat-keying trick RateMatrix uses for its triangular
-/// index, for the cases where pairs are sparse.
-inline std::uint64_t pairKey(NodeId a, NodeId b) {
-  const NodeId lo = a < b ? a : b;
-  const NodeId hi = a < b ? b : a;
-  return (static_cast<std::uint64_t>(lo) << 32) | hi;
-}
-inline NodeId pairKeyLo(std::uint64_t key) { return static_cast<NodeId>(key >> 32); }
-inline NodeId pairKeyHi(std::uint64_t key) { return static_cast<NodeId>(key); }
+/// keys. The packing itself lives in core/pair_key.hpp, shared with every
+/// other layer that flat-keys id pairs (estimator pair table, cooperative
+/// cache reply dedup).
+inline std::uint64_t pairKey(NodeId a, NodeId b) { return core::packSymmetricPair(a, b); }
+inline NodeId pairKeyLo(std::uint64_t key) { return core::pairHigh(key); }
+inline NodeId pairKeyHi(std::uint64_t key) { return core::pairLow(key); }
 
 /// One pairwise encounter. `a < b` is normalized on insertion.
 struct Contact {

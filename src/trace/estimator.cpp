@@ -13,21 +13,19 @@ ContactRateEstimator::ContactRateEstimator(std::size_t nodeCount, EstimatorConfi
   DTNCACHE_CHECK(config.window > 0.0);
   DTNCACHE_CHECK(config.ewmaAlpha > 0.0 && config.ewmaAlpha <= 1.0);
   DTNCACHE_CHECK(config.priorRate >= 0.0);
+  pairs_.resize(nodeCount * (nodeCount - 1) / 2);
+  if (config.mode == EstimatorMode::kSlidingWindow) recent_.resize(pairs_.size());
 }
 
-std::uint64_t ContactRateEstimator::key(NodeId i, NodeId j) const {
+std::size_t ContactRateEstimator::pairIndex(NodeId i, NodeId j) const {
   DTNCACHE_CHECK(i != j && i < nodeCount_ && j < nodeCount_);
   if (i > j) std::swap(i, j);
-  return (static_cast<std::uint64_t>(i) << 32) | j;
-}
-
-const ContactRateEstimator::PairState* ContactRateEstimator::find(NodeId i, NodeId j) const {
-  const auto it = pairs_.find(key(i, j));
-  return it == pairs_.end() ? nullptr : &it->second;
+  return static_cast<std::size_t>(i) * (2 * nodeCount_ - i - 1) / 2 + (j - i - 1);
 }
 
 void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
-  PairState& s = pairs_[key(a, b)];
+  const std::size_t idx = pairIndex(a, b);
+  PairState& s = pairs_[idx];
   ++s.totalCount;
   if (s.lastContact != sim::kNever) {
     const double interval = t - s.lastContact;
@@ -40,15 +38,23 @@ void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
   }
   s.lastContact = t;
   if (config_.mode == EstimatorMode::kSlidingWindow) {
-    s.recent.push_back(t);
-    while (!s.recent.empty() && s.recent.front() < t - config_.window) s.recent.pop_front();
+    auto& recent = recent_[idx];
+    recent.push_back(t);
+    while (s.recentStart < recent.size() && recent[s.recentStart] < t - config_.window)
+      ++s.recentStart;
+    // Compact once the dead prefix dominates, keeping appends amortized O(1).
+    if (s.recentStart > recent.size() / 2 && s.recentStart > 16) {
+      recent.erase(recent.begin(), recent.begin() + s.recentStart);
+      s.recentStart = 0;
+    }
   }
 }
 
 double ContactRateEstimator::rate(NodeId i, NodeId j, sim::SimTime now) const {
   if (i == j) return 0.0;
-  const PairState* s = find(i, j);
-  if (s == nullptr || s->totalCount == 0) return config_.priorRate;
+  const std::size_t idx = pairIndex(i, j);
+  const PairState* s = &pairs_[idx];
+  if (s->totalCount == 0) return config_.priorRate;
 
   switch (config_.mode) {
     case EstimatorMode::kCumulative: {
@@ -57,12 +63,14 @@ double ContactRateEstimator::rate(NodeId i, NodeId j, sim::SimTime now) const {
       return static_cast<double>(s->totalCount) / elapsed;
     }
     case EstimatorMode::kSlidingWindow: {
-      // Count contacts inside the window ending at `now`; the deque is
+      // Count contacts inside the window ending at `now`; the row is
       // pruned relative to the *recording* times, so prune again here.
+      const auto& recent = recent_[idx];
       std::size_t inWindow = 0;
-      for (auto it = s->recent.rbegin(); it != s->recent.rend(); ++it) {
-        if (*it < now - config_.window) break;
-        if (*it <= now) ++inWindow;
+      for (std::size_t k = recent.size(); k > s->recentStart; --k) {
+        const sim::SimTime at = recent[k - 1];
+        if (at < now - config_.window) break;
+        if (at <= now) ++inWindow;
       }
       const double span = std::min(config_.window, now - startTime_);
       if (span <= 0.0) return config_.priorRate;

@@ -19,8 +19,7 @@
 ///    rate = 1 / ewma. Reacts fastest, noisiest.
 
 #include <cstdint>
-#include <deque>
-#include <unordered_map>
+#include <vector>
 
 #include "sim/time.hpp"
 #include "trace/contact.hpp"
@@ -64,20 +63,28 @@ class ContactRateEstimator {
   const EstimatorConfig& config() const { return config_; }
 
  private:
+  /// Pair states live in a dense upper-triangular array — the estimator is
+  /// probed for every forwarding decision at every contact (rate() is by
+  /// far its hottest entry point), and with a few hundred nodes the full
+  /// triangle is smaller than the hash map it replaces, with one indexed
+  /// load per lookup instead of a hash probe.
   struct PairState {
     std::size_t totalCount = 0;
     sim::SimTime lastContact = sim::kNever;
-    double ewmaInterval = 0.0;  ///< 0 = uninitialized
-    std::deque<sim::SimTime> recent;  ///< kSlidingWindow only
+    double ewmaInterval = 0.0;   ///< 0 = uninitialized
+    std::uint32_t recentStart = 0;  ///< live prefix offset into recent_ row
   };
 
-  std::uint64_t key(NodeId i, NodeId j) const;
-  const PairState* find(NodeId i, NodeId j) const;
+  /// Triangular index of the normalized pair (i < j after swap).
+  std::size_t pairIndex(NodeId i, NodeId j) const;
 
   std::size_t nodeCount_;
   EstimatorConfig config_;
   sim::SimTime startTime_;
-  std::unordered_map<std::uint64_t, PairState> pairs_;
+  std::vector<PairState> pairs_;  ///< n(n-1)/2 entries, triangular
+  /// Per-pair recent contact times (kSlidingWindow only; rows are pruned
+  /// via PairState::recentStart and compacted amortized-O(1)).
+  std::vector<std::vector<sim::SimTime>> recent_;
 };
 
 }  // namespace dtncache::trace

@@ -1,0 +1,98 @@
+#include "trace/trace_cache.hpp"
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace dtncache::trace {
+
+namespace {
+
+bool sameConfig(const SyntheticTraceConfig& a, const SyntheticTraceConfig& b) {
+  return a.nodeCount == b.nodeCount && a.duration == b.duration && a.model == b.model &&
+         a.meanContactsPerPairPerDay == b.meanContactsPerPairPerDay &&
+         a.paretoShape == b.paretoShape && a.rateSpread == b.rateSpread &&
+         a.communities == b.communities && a.intraCommunityBoost == b.intraCommunityBoost &&
+         a.diurnal == b.diurnal && a.nightActivity == b.nightActivity &&
+         a.meanContactDuration == b.meanContactDuration && a.seed == b.seed;
+}
+
+struct Entry {
+  SyntheticTraceConfig config;
+  std::shared_ptr<const SyntheticTrace> trace;
+  std::uint64_t lastUse = 0;
+};
+
+struct Cache {
+  std::mutex mu;
+  std::vector<Entry> entries;
+  std::uint64_t clock = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+};
+
+Cache& cache() {
+  static Cache c;
+  return c;
+}
+
+/// A sweep holds at most (world + warm-up) traces per live seed; eight seeds
+/// of headroom covers the distance between one scheme arm's use of a seed
+/// and the next arm's reuse for typical grids, while bounding memory.
+constexpr std::size_t kMaxEntries = 16;
+
+}  // namespace
+
+std::shared_ptr<const SyntheticTrace> generateShared(const SyntheticTraceConfig& config) {
+  Cache& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    for (Entry& e : c.entries) {
+      if (sameConfig(e.config, config)) {
+        e.lastUse = ++c.clock;
+        ++c.hits;
+        return e.trace;
+      }
+    }
+    ++c.misses;
+  }
+
+  // Generate outside the lock so concurrent sweep workers are not
+  // serialized behind one another's generation. Two workers racing on the
+  // same config may both generate; the results are identical, so the
+  // duplicate insert below is harmless (the loser's copy is dropped).
+  auto fresh = std::make_shared<const SyntheticTrace>(generate(config));
+
+  std::lock_guard<std::mutex> lock(c.mu);
+  for (Entry& e : c.entries) {
+    if (sameConfig(e.config, config)) {
+      e.lastUse = ++c.clock;
+      return e.trace;
+    }
+  }
+  if (c.entries.size() >= kMaxEntries) {
+    std::size_t victim = 0;
+    for (std::size_t i = 1; i < c.entries.size(); ++i)
+      if (c.entries[i].lastUse < c.entries[victim].lastUse) victim = i;
+    c.entries.erase(c.entries.begin() + static_cast<std::ptrdiff_t>(victim));
+  }
+  c.entries.push_back(Entry{config, fresh, ++c.clock});
+  return fresh;
+}
+
+TraceCacheStats traceCacheStats() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  return TraceCacheStats{c.hits, c.misses, c.entries.size()};
+}
+
+void clearTraceCache() {
+  Cache& c = cache();
+  std::lock_guard<std::mutex> lock(c.mu);
+  c.entries.clear();
+  c.clock = 0;
+  c.hits = 0;
+  c.misses = 0;
+}
+
+}  // namespace dtncache::trace

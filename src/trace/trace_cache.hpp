@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file trace_cache.hpp
+/// Process-wide memoization of synthetic-trace generation.
+///
+/// `generate()` is deterministic in its config, and the workloads that
+/// dominate wall-clock reuse the same config many times over: a sweep grid
+/// enumerates scheme × seed, so every scheme arm replays the exact trace the
+/// previous arm generated, and benchmark reps re-run one config back to
+/// back. Generation is RNG-bound (hundreds of thousands of exponential
+/// draws), so replaying a cached trace instead is a large constant saving
+/// with byte-identical results — callers receive the same contacts, rates
+/// and community vectors a fresh generate() would produce.
+///
+/// The cache is a small LRU keyed by the full config (every field, not just
+/// the seed) and is safe to call from concurrent sweep workers.
+
+#include <cstddef>
+#include <memory>
+
+#include "trace/generators.hpp"
+
+namespace dtncache::trace {
+
+/// Like generate(), but memoized: returns a shared immutable trace, reusing
+/// a previous generation when one with an identical config is still cached.
+std::shared_ptr<const SyntheticTrace> generateShared(const SyntheticTraceConfig& config);
+
+struct TraceCacheStats {
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t entries = 0;
+};
+
+/// Counters since process start (or the last clearTraceCache()).
+TraceCacheStats traceCacheStats();
+
+/// Drop all cached traces and reset the stats (tests).
+void clearTraceCache();
+
+}  // namespace dtncache::trace

@@ -1,0 +1,219 @@
+/// Randomized equivalence suite: the flat slot-vector CacheStore against a
+/// naive reference built on std::unordered_map plus an explicit recency
+/// list. The reference encodes the documented contract directly — insert
+/// links most-recently-used, upgrades never touch recency, eviction pops
+/// the least-recently-used end, byte accounting follows entry sizes — so
+/// any divergence in result kinds, eviction victims (including their
+/// order), entry fields, or occupancy is a bug in the flat store's index,
+/// free list, or intrusive LRU threading.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+
+namespace dtncache::cache {
+namespace {
+
+/// The naive model: hash map for storage, vector of ids in recency order
+/// (front = least recently used, back = most recently used).
+class ReferenceStore {
+ public:
+  explicit ReferenceStore(std::size_t capacityBytes) : capacity_(capacityBytes) {}
+
+  InsertResult insert(data::ItemId item, data::Version version, std::uint32_t sizeBytes,
+                      sim::SimTime now) {
+    InsertResult result;
+    if (sizeBytes > capacity_) {
+      result.kind = InsertResult::Kind::kRejected;
+      return result;
+    }
+    if (auto it = map_.find(item); it != map_.end()) {
+      CacheEntry& e = it->second;
+      if (e.version >= version) {
+        result.kind = InsertResult::Kind::kAlreadyCurrent;
+        return result;
+      }
+      result.kind = InsertResult::Kind::kUpgraded;
+      result.previousVersion = e.version;
+      used_ -= e.sizeBytes;
+      used_ += sizeBytes;
+      e.version = version;
+      e.sizeBytes = sizeBytes;
+      e.receivedAt = now;
+      while (used_ > capacity_) evictLru(result.evicted);
+      return result;
+    }
+    while (used_ + sizeBytes > capacity_) evictLru(result.evicted);
+    CacheEntry e;
+    e.item = item;
+    e.version = version;
+    e.sizeBytes = sizeBytes;
+    e.receivedAt = now;
+    e.lastAccess = now;
+    map_[item] = e;
+    order_.push_back(item);
+    used_ += sizeBytes;
+    result.kind = InsertResult::Kind::kInserted;
+    return result;
+  }
+
+  const CacheEntry* find(data::ItemId item) const {
+    const auto it = map_.find(item);
+    return it == map_.end() ? nullptr : &it->second;
+  }
+
+  void recordAccess(data::ItemId item, sim::SimTime now) {
+    const auto it = map_.find(item);
+    if (it == map_.end()) return;
+    it->second.lastAccess = now;
+    ++it->second.accessCount;
+    moveToBack(item);
+  }
+
+  std::optional<CacheEntry> remove(data::ItemId item) {
+    const auto it = map_.find(item);
+    if (it == map_.end()) return std::nullopt;
+    const CacheEntry e = it->second;
+    used_ -= e.sizeBytes;
+    map_.erase(it);
+    order_.erase(std::find(order_.begin(), order_.end(), item));
+    return e;
+  }
+
+  std::size_t usedBytes() const { return used_; }
+  std::size_t size() const { return map_.size(); }
+
+  std::vector<CacheEntry> entriesByItem() const {
+    std::vector<CacheEntry> out;
+    for (const auto& [id, e] : map_) out.push_back(e);
+    std::sort(out.begin(), out.end(),
+              [](const CacheEntry& a, const CacheEntry& b) { return a.item < b.item; });
+    return out;
+  }
+
+ private:
+  void moveToBack(data::ItemId item) {
+    if (!order_.empty() && order_.back() == item) return;
+    order_.erase(std::find(order_.begin(), order_.end(), item));
+    order_.push_back(item);
+  }
+
+  void evictLru(std::vector<CacheEntry>& out) {
+    ASSERT_FALSE(order_.empty());
+    const data::ItemId victim = order_.front();
+    order_.erase(order_.begin());
+    out.push_back(map_.at(victim));
+    used_ -= map_.at(victim).sizeBytes;
+    map_.erase(victim);
+  }
+
+  std::size_t capacity_;
+  std::size_t used_ = 0;
+  std::unordered_map<data::ItemId, CacheEntry> map_;
+  std::vector<data::ItemId> order_;
+};
+
+void expectSameEntry(const CacheEntry& a, const CacheEntry& b) {
+  EXPECT_EQ(a.item, b.item);
+  EXPECT_EQ(a.version, b.version);
+  EXPECT_EQ(a.sizeBytes, b.sizeBytes);
+  EXPECT_DOUBLE_EQ(a.receivedAt, b.receivedAt);
+  EXPECT_DOUBLE_EQ(a.lastAccess, b.lastAccess);
+  EXPECT_EQ(a.accessCount, b.accessCount);
+}
+
+void expectSameState(const CacheStore& store, const ReferenceStore& ref) {
+  ASSERT_EQ(store.size(), ref.size());
+  ASSERT_EQ(store.usedBytes(), ref.usedBytes());
+  const auto entries = store.entries();
+  const auto refEntries = ref.entriesByItem();
+  ASSERT_EQ(entries.size(), refEntries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    expectSameEntry(*entries[i], refEntries[i]);
+}
+
+/// Drive both stores through the same randomized op stream and compare
+/// after every operation. Small capacity and item universe force constant
+/// collisions, upgrades, evictions and slot reuse.
+void runEquivalence(std::uint64_t seed, std::size_t ops) {
+  constexpr std::size_t kCapacity = 1200;
+  constexpr std::uint64_t kItems = 16;
+  CacheStore store(kCapacity);
+  ReferenceStore ref(kCapacity);
+  std::mt19937_64 rng(seed);
+  sim::SimTime now = 0.0;
+
+  for (std::size_t op = 0; op < ops; ++op) {
+    now += static_cast<double>(rng() % 3);  // nondecreasing, with ties
+    const auto item = static_cast<data::ItemId>(rng() % kItems);
+    switch (rng() % 10) {
+      case 0: case 1: case 2: case 3: {  // insert / upgrade
+        const auto version = static_cast<data::Version>(rng() % 6);
+        // Occasionally oversized to exercise rejection.
+        const auto size = static_cast<std::uint32_t>(
+            rng() % 100 == 0 ? kCapacity + 1 : 50 + rng() % 350);
+        const InsertResult got = store.insert(item, version, size, now);
+        const InsertResult want = ref.insert(item, version, size, now);
+        ASSERT_EQ(got.kind, want.kind);
+        ASSERT_EQ(got.previousVersion, want.previousVersion);
+        ASSERT_EQ(got.evicted.size(), want.evicted.size());
+        for (std::size_t i = 0; i < got.evicted.size(); ++i)
+          expectSameEntry(got.evicted[i], want.evicted[i]);
+        break;
+      }
+      case 4: case 5: case 6: {  // find
+        const CacheEntry* got = store.find(item);
+        const CacheEntry* want = ref.find(item);
+        ASSERT_EQ(got == nullptr, want == nullptr);
+        if (got != nullptr) expectSameEntry(*got, *want);
+        break;
+      }
+      case 7: case 8: {  // recordAccess
+        store.recordAccess(item, now);
+        ref.recordAccess(item, now);
+        break;
+      }
+      case 9: {  // remove
+        const auto got = store.remove(item);
+        const auto want = ref.remove(item);
+        ASSERT_EQ(got.has_value(), want.has_value());
+        if (got.has_value()) expectSameEntry(*got, *want);
+        break;
+      }
+    }
+    expectSameState(store, ref);
+  }
+}
+
+TEST(CacheStoreEquivalence, RandomizedOpsSeed1) { runEquivalence(1, 4000); }
+TEST(CacheStoreEquivalence, RandomizedOpsSeed2) { runEquivalence(2, 4000); }
+TEST(CacheStoreEquivalence, RandomizedOpsSeed3) { runEquivalence(3, 4000); }
+
+TEST(CacheStoreEquivalence, TinyCapacityChurn) {
+  // Capacity of ~2 entries: every insert evicts; free-list recycling and
+  // head/tail maintenance run continuously.
+  CacheStore store(300);
+  ReferenceStore ref(300);
+  std::mt19937_64 rng(99);
+  sim::SimTime now = 0.0;
+  for (std::size_t op = 0; op < 2000; ++op) {
+    now += 1.0;
+    const auto item = static_cast<data::ItemId>(rng() % 8);
+    const auto got = store.insert(item, static_cast<data::Version>(op), 140, now);
+    const auto want = ref.insert(item, static_cast<data::Version>(op), 140, now);
+    ASSERT_EQ(got.kind, want.kind);
+    ASSERT_EQ(got.evicted.size(), want.evicted.size());
+    for (std::size_t i = 0; i < got.evicted.size(); ++i)
+      expectSameEntry(got.evicted[i], want.evicted[i]);
+    expectSameState(store, ref);
+  }
+}
+
+}  // namespace
+}  // namespace dtncache::cache

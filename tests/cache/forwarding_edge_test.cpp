@@ -152,11 +152,11 @@ TEST(ForwardingEdge, CopyBudgetSplitsAcrossRelays) {
   // t=50: hand ceil(4/2)=2 to node 2 (keep 2). t=60: node 1 is even better
   // than node 3; hand ceil(2/2)=1 (keep 1).
   ASSERT_EQ(rig.coop.bufferOf(2).size(), 1u);
-  EXPECT_EQ(rig.coop.bufferOf(2).messages().front().copiesLeft, 2u);
+  EXPECT_EQ(rig.coop.bufferOf(2).front().copiesLeft, 2u);
   ASSERT_EQ(rig.coop.bufferOf(1).size(), 1u);
-  EXPECT_EQ(rig.coop.bufferOf(1).messages().front().copiesLeft, 1u);
+  EXPECT_EQ(rig.coop.bufferOf(1).front().copiesLeft, 1u);
   ASSERT_EQ(rig.coop.bufferOf(3).size(), 1u);
-  EXPECT_EQ(rig.coop.bufferOf(3).messages().front().copiesLeft, 1u);
+  EXPECT_EQ(rig.coop.bufferOf(3).front().copiesLeft, 1u);
 }
 
 TEST(ForwardingEdge, DuplicateCopyNotReacquired) {
@@ -172,8 +172,9 @@ TEST(ForwardingEdge, DuplicateCopyNotReacquired) {
   rig.simulator.runUntil(100.0);
   std::size_t copies = 0;
   for (NodeId n = 0; n < 5; ++n)
-    for (const auto& m : rig.coop.bufferOf(n).messages())
+    rig.coop.bufferOf(n).forEach([&](const net::Message& m) {
       if (m.id == 777) ++copies;
+    });
   EXPECT_LE(copies, 2u);  // carrier + the single relay, never re-handed
 }
 

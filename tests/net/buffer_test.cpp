@@ -84,5 +84,42 @@ TEST(MessageBuffer, UsedBytesTracksPayloads) {
   EXPECT_EQ(b.usedBytes(), 2 * kHeaderBytes + 1200u);
 }
 
+std::vector<MessageId> walkOrder(const MessageBuffer& b) {
+  std::vector<MessageId> ids;
+  for (std::uint32_t s = b.firstSlot(); s != MessageBuffer::kNil; s = b.nextSlot(s))
+    ids.push_back(b.at(s).id);
+  return ids;
+}
+
+TEST(MessageBuffer, CursorWalksFifoOrderAcrossSlotRecycling) {
+  // Pooled slots recycle in LIFO order, but the cursor must always walk
+  // insertion (FIFO) order — forwarding fairness and drop-oldest both
+  // depend on it.
+  MessageBuffer b(1 << 20);
+  for (MessageId id = 1; id <= 5; ++id) EXPECT_TRUE(b.add(msg(id), 0.0));
+  EXPECT_EQ(walkOrder(b), (std::vector<MessageId>{1, 2, 3, 4, 5}));
+
+  // Remove from the middle and the ends, then refill: freed slots are
+  // reused out of order while the walk stays FIFO.
+  b.removeById(3);
+  b.removeById(1);
+  b.removeById(5);
+  EXPECT_EQ(walkOrder(b), (std::vector<MessageId>{2, 4}));
+  for (MessageId id = 6; id <= 9; ++id) EXPECT_TRUE(b.add(msg(id), 0.0));
+  EXPECT_EQ(walkOrder(b), (std::vector<MessageId>{2, 4, 6, 7, 8, 9}));
+
+  // forEach visits the same sequence as the cursor.
+  std::vector<MessageId> seen;
+  b.forEach([&seen](const Message& m) { seen.push_back(m.id); });
+  EXPECT_EQ(seen, walkOrder(b));
+
+  // Overflow drops the oldest in that same order.
+  MessageBuffer tiny(2 * kHeaderBytes);
+  EXPECT_TRUE(tiny.add(msg(11), 0.0));
+  EXPECT_TRUE(tiny.add(msg(12), 0.0));
+  EXPECT_TRUE(tiny.add(msg(13), 0.0));
+  EXPECT_EQ(walkOrder(tiny), (std::vector<MessageId>{12, 13}));
+}
+
 }  // namespace
 }  // namespace dtncache::net
