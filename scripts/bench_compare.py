@@ -3,6 +3,7 @@
 
 Usage:
     scripts/bench_compare.py BASE[:LABEL] CAND[:LABEL] [--threshold PCT]
+    scripts/bench_compare.py --before BASE[:LABEL] --after CAND[:LABEL]
 
 Each argument is a JSON file written by `bench_kernel --json=...` (a single
 snapshot) or a committed BENCH_kernel.json (a `snapshots` list — append
@@ -19,6 +20,14 @@ regex participate in the exit code; everything else is printed for context
 but cannot fail the run. CI uses this to hard-gate the end-to-end
 experiment throughput (`--gate 'sim_experiment_.*\\.events_per_sec'`) while
 leaving the noisier micro-metrics informational on shared runners.
+
+With --before/--after the tool instead prints a report-only per-bench
+speedup table (one row per benchmark, ratio of its primary throughput
+metric) and always exits 0 — the format used to document optimization PRs,
+e.g. the incremental-maintenance before/after pair:
+
+    scripts/bench_compare.py --before BENCH_kernel.json:pr4-maint-before \\
+                             --after BENCH_kernel.json:pr5-maint-after
 """
 
 import argparse
@@ -32,6 +41,8 @@ DIRECTIONS = {
     "ns_per_event": "down",
     "ns_per_op": "down",
     "us_per_plan": "down",
+    "us_per_tick": "down",
+    "us_per_snapshot": "down",
     "wall_ms": "down",
     "peak_pending": "down",
 }
@@ -67,17 +78,54 @@ def load_snapshot(spec: str):
     return snap.get("label", path), snap["results"]
 
 
+def speedup_table(before_spec: str, after_spec: str):
+    """Report-only per-bench speedup table: ratio of each benchmark's
+    primary throughput metric (first `*_per_sec` in name order)."""
+    before_label, before = load_snapshot(before_spec)
+    after_label, after = load_snapshot(after_spec)
+    print(f"before: {before_label}")
+    print(f"after:  {after_label}")
+    print(f"{'bench':<28} {'metric':>18} {'before':>14} {'after':>14} {'speedup':>9}")
+    for bench in sorted(set(before) & set(after)):
+        throughputs = sorted(
+            m for m in set(before[bench]) & set(after[bench])
+            if m.endswith("per_sec")
+            and isinstance(before[bench][m], (int, float))
+            and isinstance(after[bench][m], (int, float)))
+        if not throughputs:
+            continue
+        metric = throughputs[0]
+        b, a = before[bench][metric], after[bench][metric]
+        ratio = f"x{a / b:.2f}" if b > 0 else "n/a"
+        print(f"{bench:<28} {metric:>18} {b:>14.6g} {a:>14.6g} {ratio:>9}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("base", help="baseline snapshot: FILE[:LABEL]")
-    ap.add_argument("candidate", help="candidate snapshot: FILE[:LABEL]")
+    ap.add_argument("base", nargs="?", help="baseline snapshot: FILE[:LABEL]")
+    ap.add_argument("candidate", nargs="?", help="candidate snapshot: FILE[:LABEL]")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="max tolerated regression on gating metrics, in percent")
     ap.add_argument("--gate", metavar="REGEX", default=None,
                     help="restrict the exit-code gate to bench.metric names "
                          "matching this regex (default: gate every "
                          "throughput/latency metric)")
+    ap.add_argument("--before", metavar="FILE[:LABEL]", default=None,
+                    help="report-only mode: print a per-bench speedup table "
+                         "from this snapshot to --after (exit 0 always)")
+    ap.add_argument("--after", metavar="FILE[:LABEL]", default=None,
+                    help="the 'after' snapshot for --before")
     args = ap.parse_args()
+
+    if (args.before is None) != (args.after is None):
+        ap.error("--before and --after must be used together")
+    if args.before is not None:
+        if args.base or args.candidate:
+            ap.error("--before/--after replaces the positional snapshots")
+        speedup_table(args.before, args.after)
+        return
+    if args.base is None or args.candidate is None:
+        ap.error("need BASE and CANDIDATE snapshots (or --before/--after)")
 
     base_label, base = load_snapshot(args.base)
     cand_label, cand = load_snapshot(args.candidate)

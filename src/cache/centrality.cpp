@@ -69,4 +69,107 @@ std::vector<NodeId> selectNcls(const trace::RateMatrix& rates, sim::SimTime wind
   return chosen;
 }
 
+double& CentralityState::prob(NodeId i, NodeId j) {
+  if (i > j) std::swap(i, j);
+  return probs_[static_cast<std::size_t>(i) * (2 * n_ - i - 1) / 2 + (j - i - 1)];
+}
+
+double CentralityState::prob(NodeId i, NodeId j) const {
+  if (i > j) std::swap(i, j);
+  return probs_[static_cast<std::size_t>(i) * (2 * n_ - i - 1) / 2 + (j - i - 1)];
+}
+
+void CentralityState::refresh(const trace::RateMatrix& rates, sim::SimTime window,
+                              const std::vector<NodeId>& changedNodes) {
+  DTNCACHE_CHECK(window > 0.0);
+  const std::size_t n = rates.nodeCount();
+  const bool reprime = !primed_ || n_ != n || window_ != window;
+  if (reprime) {
+    n_ = n;
+    window_ = window;
+    probs_.assign(n >= 2 ? n * (n - 1) / 2 : 0, 0.0);
+    capability_.assign(n, 0.0);
+    for (NodeId i = 0; i < n; ++i)
+      for (NodeId j = i + 1; j < n; ++j)
+        prob(i, j) = rates.meetingProbability(i, j, window);
+    for (NodeId i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (NodeId j = 0; j < n; ++j)
+        if (j != i) sum += prob(i, j);
+      capability_[i] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+    }
+    return;
+  }
+  if (changedNodes.empty()) return;
+  // A changed pair reports both endpoints, so refreshing every (i, *) row
+  // for i in changedNodes rewrites every stale probability (shared pairs
+  // twice, to the same value) and every stale capability.
+  for (const NodeId i : changedNodes)
+    for (NodeId j = 0; j < n; ++j)
+      if (j != i) prob(i, j) = rates.meetingProbability(i, j, window);
+  for (const NodeId i : changedNodes) {
+    double sum = 0.0;
+    for (NodeId j = 0; j < n; ++j)
+      if (j != i) sum += prob(i, j);
+    capability_[i] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+  }
+}
+
+const std::vector<double>& contactCapability(CentralityState& state,
+                                             const trace::RateMatrix& rates,
+                                             sim::SimTime window,
+                                             const std::vector<NodeId>& changedNodes) {
+  state.refresh(rates, window, changedNodes);
+  state.primed_ = true;
+  return state.capability_;
+}
+
+bool selectNcls(CentralityState& state, const trace::RateMatrix& rates,
+                sim::SimTime window, std::size_t k,
+                const std::vector<NodeId>& changedNodes) {
+  const std::size_t n = rates.nodeCount();
+  const bool sameShape =
+      state.primed_ && state.n_ == n && state.window_ == window && state.k_ == k;
+  if (sameShape && changedNodes.empty()) return false;  // short-circuit
+
+  state.refresh(rates, window, changedNodes);
+  state.k_ = k;
+  k = std::min(k, n);
+
+  // The batch greedy pass, verbatim, over the cached probabilities (same
+  // doubles, same iteration order => identical picks and tie-breaks).
+  auto& chosen = state.scratchNcls_;
+  chosen.clear();
+  state.notCovered_.assign(n, 1.0);
+  state.isChosen_.assign(n, 0);
+  for (std::size_t pick = 0; pick < k; ++pick) {
+    NodeId best = kNoNode;
+    double bestGain = -1.0;
+    for (NodeId cand = 0; cand < n; ++cand) {
+      if (state.isChosen_[cand]) continue;
+      double gain = 0.0;
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == cand || state.isChosen_[j]) continue;
+        gain += state.notCovered_[j] * state.prob(cand, j);
+      }
+      if (gain > bestGain) {
+        bestGain = gain;
+        best = cand;
+      }
+    }
+    DTNCACHE_CHECK(best != kNoNode);
+    state.isChosen_[best] = 1;
+    chosen.push_back(best);
+    for (NodeId j = 0; j < n; ++j) {
+      if (j == best) continue;
+      state.notCovered_[j] *= 1.0 - state.prob(best, j);
+    }
+  }
+
+  const bool changed = !state.primed_ || chosen != state.ncls_;
+  state.ncls_.swap(chosen);
+  state.primed_ = true;
+  return changed;
+}
+
 }  // namespace dtncache::cache

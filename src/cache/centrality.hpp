@@ -33,4 +33,65 @@ std::vector<NodeId> selectTopCapability(const trace::RateMatrix& rates, sim::Sim
 std::vector<NodeId> selectNcls(const trace::RateMatrix& rates, sim::SimTime window,
                                std::size_t k);
 
+/// Incrementally-maintained centrality inputs: the triangular
+/// meeting-probability cache, per-node capability, and the last NCL set.
+/// The incremental contactCapability/selectNcls overloads update it from a
+/// list of changed nodes (every node with at least one changed rate-matrix
+/// row entry — ContactRateEstimator::snapshotInto emits exactly that), so a
+/// maintenance tick re-derives only what its dirty rows can affect and
+/// short-circuits entirely when nothing changed. Results are bit-identical
+/// to the batch functions: probabilities are cached from the same
+/// meetingProbability calls and every sum runs in the same j-order.
+class CentralityState {
+ public:
+  bool primed() const { return primed_; }
+  const std::vector<double>& capability() const { return capability_; }
+  const std::vector<NodeId>& ncls() const { return ncls_; }
+  /// Force a full re-derivation on the next incremental call.
+  void invalidate() { primed_ = false; }
+
+ private:
+  friend const std::vector<double>& contactCapability(
+      CentralityState& state, const trace::RateMatrix& rates, sim::SimTime window,
+      const std::vector<NodeId>& changedNodes);
+  friend bool selectNcls(CentralityState& state, const trace::RateMatrix& rates,
+                         sim::SimTime window, std::size_t k,
+                         const std::vector<NodeId>& changedNodes);
+
+  double& prob(NodeId i, NodeId j);
+  double prob(NodeId i, NodeId j) const;
+  void refresh(const trace::RateMatrix& rates, sim::SimTime window,
+               const std::vector<NodeId>& changedNodes);
+
+  std::size_t n_ = 0;
+  sim::SimTime window_ = 0.0;
+  std::size_t k_ = 0;
+  bool primed_ = false;
+  std::vector<double> probs_;       ///< upper-triangular P(i meets j in T)
+  std::vector<double> capability_;  ///< C_i(T), kept current per refresh
+  std::vector<NodeId> ncls_;        ///< NCL set from the last selectNcls
+  std::vector<double> notCovered_;  ///< greedy scratch
+  std::vector<char> isChosen_;      ///< greedy scratch
+  std::vector<NodeId> scratchNcls_;
+};
+
+/// Incremental C_i(T): refresh the cached probabilities/capabilities for
+/// `changedNodes` only (full derivation when unprimed or the matrix size /
+/// window differ) and return the capability vector. Bit-identical to the
+/// batch overload.
+const std::vector<double>& contactCapability(CentralityState& state,
+                                             const trace::RateMatrix& rates,
+                                             sim::SimTime window,
+                                             const std::vector<NodeId>& changedNodes);
+
+/// Incremental NCL selection: when the state is primed and `changedNodes`
+/// is empty (and n/window/k are unchanged) the greedy pass is skipped
+/// outright; otherwise the cached probabilities are refreshed and the
+/// greedy selection re-runs over them. Returns true when the resulting NCL
+/// set differs from the previous call (the first call on an unprimed state
+/// reports true). The set itself is `state.ncls()`.
+bool selectNcls(CentralityState& state, const trace::RateMatrix& rates,
+                sim::SimTime window, std::size_t k,
+                const std::vector<NodeId>& changedNodes);
+
 }  // namespace dtncache::cache

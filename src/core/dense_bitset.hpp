@@ -40,6 +40,12 @@ class DenseBitset {
     return fresh;
   }
 
+  /// Clear `bit` without growing; clearing past the end is a no-op.
+  void reset(std::uint64_t bit) {
+    const std::size_t w = bit >> 6;
+    if (w < words_.size()) words_[w] &= ~(1ull << (bit & 63));
+  }
+
   void clear() { words_.assign(words_.size(), 0); }
 
   /// Words currently allocated (capacity introspection for tests).

@@ -1,17 +1,42 @@
 #include "core/hierarchical_scheme.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "core/freshness.hpp"
 #include "sim/assert.hpp"
 
 namespace dtncache::core {
 
+namespace {
+
+/// Structural equality of two hierarchies: same root, same node set (BFS
+/// order compares it canonically) and same parent/children links including
+/// child order. Used by rebuilds to keep the old object — and its revision —
+/// when a reconstruction lands on the identical tree, so plan keys and event
+/// streams do not churn on no-op rebuilds.
+bool sameStructure(const RefreshHierarchy& a, const RefreshHierarchy& b) {
+  if (a.root() != b.root() || a.memberCount() != b.memberCount()) return false;
+  const auto& below = a.membersBelowRoot();
+  if (below != b.membersBelowRoot()) return false;
+  if (a.childrenOf(a.root()) != b.childrenOf(b.root())) return false;
+  for (const NodeId n : below)
+    if (a.parentOf(n) != b.parentOf(n) || a.childrenOf(n) != b.childrenOf(n))
+      return false;
+  return true;
+}
+
+}  // namespace
+
 HierarchicalRefreshScheme::HierarchicalRefreshScheme(HierarchicalConfig config,
                                                      const trace::RateMatrix* oracleRates)
     : config_(config), oracleRates_(oracleRates) {
   DTNCACHE_CHECK_MSG(!config_.useOracleRates || oracleRates_ != nullptr,
                      "useOracleRates requires an oracle rate matrix");
+  fullMaintenance_ = config_.fullMaintenance;
+  if (const char* env = std::getenv("DTNCACHE_FULL_MAINTENANCE");
+      env != nullptr && env[0] != '\0')
+    fullMaintenance_ = true;
 }
 
 void HierarchicalRefreshScheme::setObservability(obs::Tracer* tracer,
@@ -24,6 +49,9 @@ void HierarchicalRefreshScheme::setObservability(obs::Tracer* tracer,
     ctrChurnRepairs_ = nullptr;
     ctrPlanHelpers_ = nullptr;
     ctrPlanUnmet_ = nullptr;
+    ctrDirtyPairs_ = nullptr;
+    ctrSkipped_ = nullptr;
+    ctrPlanCacheHits_ = nullptr;
     maintenanceTimer_ = nullptr;
     return;
   }
@@ -33,22 +61,54 @@ void HierarchicalRefreshScheme::setObservability(obs::Tracer* tracer,
   ctrChurnRepairs_ = &registry->counter("core.churn.repairs");
   ctrPlanHelpers_ = &registry->counter("core.plan.helpers");
   ctrPlanUnmet_ = &registry->counter("core.plan.unmet");
+  ctrDirtyPairs_ = &registry->counter("core.maintenance.dirty_pairs");
+  ctrSkipped_ = &registry->counter("core.maintenance.skipped");
+  ctrPlanCacheHits_ = &registry->counter("core.plan.cache_hits");
   maintenanceTimer_ = &registry->timer("core.maintenance");
 }
 
-void HierarchicalRefreshScheme::replan(cache::CooperativeCache& cache, data::ItemId item,
-                                       sim::SimTime t, const RateFn& rate) {
-  const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
-  plans_[item] = planReplication(hierarchies_[item], rate, tau, config_.replication,
-                                 PlanTrace{tracer_, item, t});
-  const ReplicationPlan& plan = plans_[item];
+void HierarchicalRefreshScheme::emitPlanOutcome(data::ItemId item, sim::SimTime t,
+                                                const ReplicationPlan& plan) {
   if (ctrPlanHelpers_ != nullptr) ctrPlanHelpers_->add(plan.totalAssignments());
   if (ctrPlanUnmet_ != nullptr) ctrPlanUnmet_->add(plan.unmetNodes().size());
   DTNCACHE_EVENT(tracer_, obs::EventKind::kPlan, t, {"item", item},
                  {"helpers", plan.totalAssignments()}, {"unmet", plan.unmetNodes().size()});
 }
 
-RateFn HierarchicalRefreshScheme::makeRateFn(cache::CooperativeCache& cache,
+void HierarchicalRefreshScheme::replayPlan(data::ItemId item, sim::SimTime t,
+                                           const ReplicationPlan& plan) {
+  for (const ReplicationPlan::Assignment& a : plan.assignmentLog())
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kHelperAssign, t, {"item", item},
+                   {"target", a.target}, {"helper", a.helper},
+                   {"p", a.probabilityAfter});
+  emitPlanOutcome(item, t, plan);
+}
+
+void HierarchicalRefreshScheme::replan(cache::CooperativeCache& cache, data::ItemId item,
+                                       sim::SimTime t, const RateFn& rate,
+                                       bool cacheable) {
+  const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+  ReplicationPlan plan = planReplication(hierarchies_[item], rate, tau,
+                                         config_.replication, PlanTrace{tracer_, item, t});
+  const ReplicationPlan& stored =
+      cacheable && planCacheEnabled()
+          ? planCache_.store(item,
+                             PlanCache::Key{depVersion(item), hierarchyRev_[item], tau},
+                             std::move(plan))
+          : planCache_.storeUncached(item, std::move(plan));
+  emitPlanOutcome(item, t, stored);
+}
+
+RateFn HierarchicalRefreshScheme::planningRateFn() const {
+  if (config_.useOracleRates) {
+    const trace::RateMatrix* m = oracleRates_;
+    return [m](NodeId i, NodeId j) { return m->rate(i, j); };
+  }
+  const trace::RateMatrix* m = &rateSnapshot_;
+  return [m](NodeId i, NodeId j) { return i == j ? 0.0 : m->rate(i, j); };
+}
+
+RateFn HierarchicalRefreshScheme::liveRateFn(cache::CooperativeCache& cache,
                                              sim::SimTime t) const {
   if (config_.useOracleRates) {
     const trace::RateMatrix* m = oracleRates_;
@@ -58,21 +118,90 @@ RateFn HierarchicalRefreshScheme::makeRateFn(cache::CooperativeCache& cache,
   return [est, t](NodeId i, NodeId j) { return est->rate(i, j, t); };
 }
 
+std::uint64_t HierarchicalRefreshScheme::depVersion(data::ItemId item) const {
+  if (config_.useOracleRates) return 0;  // oracle rates never move
+  std::uint64_t v = 0;
+  for (const NodeId n : itemDeps_[item]) v = std::max(v, rowVersion_[n]);
+  return v;
+}
+
+void HierarchicalRefreshScheme::touchHierarchy(data::ItemId item) {
+  ++hierarchyRev_[item];
+  repairSettled_[item] = 0;
+}
+
+void HierarchicalRefreshScheme::refreshRateState(cache::CooperativeCache& cache,
+                                                 sim::SimTime t, bool* nclChanged,
+                                                 trace::SnapshotStats* stats) {
+  *nclChanged = false;
+  *stats = trace::SnapshotStats{};
+  if (config_.useOracleRates) {
+    planningLive_ = false;  // the oracle matrix is the planning source
+    return;                 // constant inputs: nothing to version
+  }
+  trace::ContactRateEstimator& est = cache.estimator();
+  const std::size_t n = cache.nodeCount();
+  // Incremental bookkeeping only pays for itself when skips are possible.
+  // A cumulative-mode estimator moves every seen pair's rate every tick
+  // (rate = count / elapsed), so every item's dependency version changes
+  // anyway — don't materialize the matrix or re-select NCLs at all: plan
+  // straight from the live estimator exactly as the pre-incremental scheme
+  // did, and pessimistically version every row (over-approximating change
+  // can only suppress skips, never corrupt one). Plan reuse being disabled
+  // (energy weights) degenerates the same way. The branch depends only on
+  // the estimator's configuration, so the full-maintenance path takes it
+  // identically and outputs cannot differ.
+  if (est.config().mode == trace::EstimatorMode::kCumulative || !planCacheEnabled()) {
+    stats->dirtyPairs = est.dirtyPairCount() + est.timeVaryingPairCount();
+    ++rateVersion_;
+    for (auto& v : rowVersion_) v = rateVersion_;
+    planningLive_ = true;
+    centrality_.invalidate();
+    *nclChanged = true;
+    return;
+  }
+  planningLive_ = false;
+  // Under the escape hatch, force the full matrix rewrite: values, stats
+  // and changed-row reporting are identical by construction, so the
+  // sweep-identity CI diff cross-checks the estimator's incremental path.
+  *stats = est.snapshotInto(rateSnapshot_, t, &changedNodes_,
+                            /*force=*/fullMaintenance_);
+  if (stats->changedPairs > 0) {
+    ++rateVersion_;
+    for (const NodeId nd : changedNodes_) rowVersion_[nd] = rateVersion_;
+  }
+  // NCL tracking has the same economics post-snapshot: a mostly-changed
+  // row set (e.g. the priming snapshot) would refresh nearly every
+  // capability, and reporting "changed" merely disables skips this tick.
+  if (changedNodes_.size() * 2 >= n) {
+    centrality_.invalidate();
+    *nclChanged = true;
+    return;
+  }
+  *nclChanged = cache::selectNcls(centrality_, rateSnapshot_,
+                                  cache.config().centralityWindow, nclCount_,
+                                  changedNodes_);
+}
+
 void HierarchicalRefreshScheme::rebuildItem(cache::CooperativeCache& cache,
                                             data::ItemId item, sim::SimTime t) {
-  const auto rate = makeRateFn(cache, t);
+  const auto rate = planningLive_ ? liveRateFn(cache, t) : planningRateFn();
   const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
   std::vector<NodeId> members;
   for (NodeId n : cache.cachingNodesOf(item))
     if (!live_ || live_(n)) members.push_back(n);
-  hierarchies_[item] =
+  RefreshHierarchy rebuilt =
       RefreshHierarchy::build(cache.sourceOf(item), members, rate, tau, config_.hierarchy);
-  replan(cache, item, t, rate);
+  if (!sameStructure(rebuilt, hierarchies_[item])) {
+    hierarchies_[item] = std::move(rebuilt);
+    touchHierarchy(item);
+  }
+  replan(cache, item, t, rate, /*cacheable=*/true);
 }
 
 void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
                                                 data::ItemId item, sim::SimTime t) {
-  const auto rate = makeRateFn(cache, t);
+  const auto rate = planningLive_ ? liveRateFn(cache, t) : planningRateFn();
   const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
   RefreshHierarchy& h = hierarchies_[item];
 
@@ -82,6 +211,7 @@ void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
   // member order: repairs re-parent mid-loop, which invalidates the
   // hierarchy's cached BFS list.
   const std::vector<NodeId> members = h.membersBelowRoot();
+  const std::size_t reparentsBefore = reparentCount_;
   for (NodeId n : members) {
     const double current = chainRefreshProbability(h.chainRates(n, rate), tau);
     NodeId bestParent = kNoNode;
@@ -104,13 +234,70 @@ void HierarchicalRefreshScheme::localRepairItem(cache::CooperativeCache& cache,
     if (bestParent != kNoNode &&
         bestScore >= current * (1.0 + config_.repairImprovement)) {
       h.reparent(n, bestParent, config_.hierarchy.fanoutBound);
+      touchHierarchy(item);
       ++reparentCount_;
       if (ctrReparents_ != nullptr) ctrReparents_->add();
       DTNCACHE_EVENT(tracer_, obs::EventKind::kReparent, t, {"item", item}, {"node", n},
                      {"parent", bestParent});
     }
   }
-  replan(cache, item, t, rate);
+  // A pass that moved nothing is a fixed point of this (structure, rates)
+  // input: until either moves again, repeating the pass is provably a no-op
+  // and the maintenance tick may skip it.
+  repairSettled_[item] = reparentsBefore == reparentCount_ ? 1 : 0;
+  replan(cache, item, t, rate, /*cacheable=*/true);
+}
+
+void HierarchicalRefreshScheme::maintainItem(cache::CooperativeCache& cache,
+                                             data::ItemId item, sim::SimTime t,
+                                             bool allowSkip, std::size_t& skipped) {
+  const std::uint64_t dep = depVersion(item);
+  const sim::SimTime tau = cache.catalog().spec(item).refreshPeriod;
+  // Reuse is sound only when every maintenance input is provably unchanged
+  // since this item's last evaluation: its dependency rows (dep version),
+  // its tree (revision — churn repairs bump it), the NCL set (allowSkip),
+  // and — for local repair — the pass being at a fixed point already.
+  const bool mayReuse =
+      allowSkip && planCacheEnabled() && haveMaintState_[item] != 0 &&
+      dep == lastMaintDep_[item] && hierarchyRev_[item] == lastMaintRev_[item] &&
+      (config_.maintenance != MaintenanceMode::kLocalRepair || repairSettled_[item] != 0);
+  const ReplicationPlan* hit =
+      mayReuse ? planCache_.find(item, PlanCache::Key{dep, hierarchyRev_[item], tau})
+               : nullptr;
+  if (hit != nullptr) {
+    ++planCacheHits_;
+    if (ctrPlanCacheHits_ != nullptr) ctrPlanCacheHits_->add();
+    ++skipped;
+    if (!fullMaintenance_) {
+      // Incremental fast path: the tree is untouched and the cached plan is
+      // replayed — events and counters exactly as a recompute would emit.
+      replayPlan(item, t, *hit);
+      return;
+    }
+  }
+
+  // Recompute: an incremental miss, or the full-maintenance escape hatch
+  // (which recomputes even on a hit, then verifies the cache was right).
+  ReplicationPlan cachedCopy;
+  const bool verify = fullMaintenance_ && hit != nullptr;
+  if (verify) cachedCopy = *hit;  // `hit` dangles once replan restores
+  switch (config_.maintenance) {
+    case MaintenanceMode::kRebuild:
+      rebuildItem(cache, item, t);
+      break;
+    case MaintenanceMode::kLocalRepair:
+      localRepairItem(cache, item, t);
+      break;
+    case MaintenanceMode::kStatic:
+      break;  // unreachable: kStatic schedules no maintenance
+  }
+  hierarchies_[item].checkInvariants();
+  lastMaintDep_[item] = dep;
+  lastMaintRev_[item] = hierarchyRev_[item];
+  haveMaintState_[item] = 1;
+  if (verify)
+    DTNCACHE_CHECK_MSG(planCache_.planOf(item).sameAs(cachedCopy),
+                       "full-maintenance check: cached plan diverged for item " << item);
 }
 
 void HierarchicalRefreshScheme::runMaintenance(cache::CooperativeCache& cache,
@@ -119,19 +306,23 @@ void HierarchicalRefreshScheme::runMaintenance(cache::CooperativeCache& cache,
   if (ctrMaintenanceRuns_ != nullptr) ctrMaintenanceRuns_->add();
   obs::ScopedTimer timed(maintenanceTimer_);
   const std::size_t reparentsBefore = reparentCount_;
-  for (data::ItemId item = 0; item < cache.catalog().size(); ++item) {
-    switch (config_.maintenance) {
-      case MaintenanceMode::kRebuild:
-        rebuildItem(cache, item, t);
-        break;
-      case MaintenanceMode::kLocalRepair:
-        localRepairItem(cache, item, t);
-        break;
-      case MaintenanceMode::kStatic:
-        break;
-    }
-    hierarchies_[item].checkInvariants();
-  }
+
+  bool nclChanged = false;
+  trace::SnapshotStats stats;
+  refreshRateState(cache, t, &nclChanged, &stats);
+  if (ctrDirtyPairs_ != nullptr) ctrDirtyPairs_->add(stats.dirtyPairs);
+
+  // An NCL-set move is a global invalidation: caching sets were derived
+  // from it, so no item may reuse state across it. (The caching sets
+  // themselves are fixed per run; this mirrors a deployment re-checking its
+  // placement inputs before trusting incremental state.)
+  const bool allowSkip = !nclChanged;
+  std::size_t skipped = 0;
+  for (data::ItemId item = 0; item < cache.catalog().size(); ++item)
+    maintainItem(cache, item, t, allowSkip, skipped);
+  skippedItems_ += skipped;
+  if (ctrSkipped_ != nullptr) ctrSkipped_->add(skipped);
+
   DTNCACHE_EVENT(tracer_, obs::EventKind::kMaintenance, t,
                  {"items", cache.catalog().size()},
                  {"reparented", reparentCount_ - reparentsBefore});
@@ -139,10 +330,50 @@ void HierarchicalRefreshScheme::runMaintenance(cache::CooperativeCache& cache,
 
 void HierarchicalRefreshScheme::onStart(cache::CooperativeCache& cache) {
   const sim::SimTime now = cache.simulator().now();
-  hierarchies_.resize(cache.catalog().size());
-  plans_.resize(cache.catalog().size());
-  for (data::ItemId item = 0; item < cache.catalog().size(); ++item)
+  const std::size_t items = cache.catalog().size();
+  hierarchies_.clear();
+  hierarchies_.resize(items);
+  planCache_.resize(items);
+  hierarchyRev_.assign(items, 0);
+  repairSettled_.assign(items, 0);
+  lastMaintDep_.assign(items, 0);
+  lastMaintRev_.assign(items, 0);
+  haveMaintState_.assign(items, 0);
+  rowVersion_.assign(cache.nodeCount(), 0);
+  rateVersion_ = 0;
+  centrality_.invalidate();
+
+  // Dependency rows per item: the caching set plus the source. Fixed for
+  // the run (the cooperative cache pins caching sets at start), so equal
+  // row versions across these nodes prove an item's planning inputs —
+  // member rates and every chain/candidate rate between them — unchanged.
+  itemDeps_.assign(items, {});
+  const cache::CoopCacheConfig& ccfg = cache.config();
+  std::size_t maxSetSize = 0;
+  for (data::ItemId item = 0; item < items; ++item) {
+    auto& deps = itemDeps_[item];
+    const auto& cachingNodes = cache.cachingNodesOf(item);
+    deps.assign(cachingNodes.begin(), cachingNodes.end());
+    const NodeId source = cache.sourceOf(item);
+    if (std::find(deps.begin(), deps.end(), source) == deps.end())
+      deps.push_back(source);
+    maxSetSize = std::max(maxSetSize, ccfg.cachingNodesPerItemOverride.empty()
+                                          ? ccfg.cachingNodesPerItem
+                                          : ccfg.cachingNodesPerItemOverride[item]);
+  }
+  // NCL change detection watches the same selection the cooperative cache
+  // derived the caching sets from at construction.
+  nclCount_ = std::min(cache.nodeCount(), maxSetSize + 1);
+
+  bool nclChanged = false;
+  trace::SnapshotStats stats;
+  refreshRateState(cache, now, &nclChanged, &stats);
+  for (data::ItemId item = 0; item < items; ++item) {
     rebuildItem(cache, item, now);
+    lastMaintDep_[item] = depVersion(item);
+    lastMaintRev_[item] = hierarchyRev_[item];
+    haveMaintState_[item] = config_.maintenance == MaintenanceMode::kRebuild ? 1 : 0;
+  }
 
   if (config_.maintenance != MaintenanceMode::kStatic) {
     cache.simulator().schedulePeriodic(
@@ -156,7 +387,8 @@ bool HierarchicalRefreshScheme::responsible(data::ItemId item, NodeId refresher,
                                             NodeId target) const {
   const RefreshHierarchy& h = hierarchies_[item];
   if (!h.isMember(refresher) || !h.isMember(target)) return false;
-  return h.isResponsible(refresher, target) || plans_[item].isHelper(refresher, target);
+  return h.isResponsible(refresher, target) ||
+         planCache_.planOf(item).isHelper(refresher, target);
 }
 
 void HierarchicalRefreshScheme::onContact(cache::CooperativeCache& cache, NodeId a, NodeId b,
@@ -183,8 +415,9 @@ void HierarchicalRefreshScheme::targetsOf(data::ItemId item, NodeId refresher,
   if (!h.isMember(refresher)) return;
   const auto& children = h.childrenOf(refresher);
   out.insert(out.end(), children.begin(), children.end());
+  const ReplicationPlan& plan = planCache_.planOf(item);
   for (NodeId n : h.membersBelowRoot())
-    if (plans_[item].isHelper(refresher, n)) out.push_back(n);
+    if (plan.isHelper(refresher, n)) out.push_back(n);
 }
 
 void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, NodeId holder,
@@ -258,7 +491,10 @@ void HierarchicalRefreshScheme::injectRelays(cache::CooperativeCache& cache, Nod
 
 void HierarchicalRefreshScheme::onNodeStateChanged(cache::CooperativeCache& cache,
                                                    NodeId node, bool up, sim::SimTime t) {
-  const auto rate = makeRateFn(cache, t);
+  // Event-driven repairs run between ticks, so they plan from the live
+  // estimator (not the tick snapshot) exactly as before incremental
+  // maintenance; the revision bump forces the next tick to re-evaluate.
+  const auto rate = liveRateFn(cache, t);
   for (data::ItemId item = 0; item < cache.catalog().size(); ++item) {
     if (!cache.isCachingNode(node, item)) continue;
     RefreshHierarchy& h = hierarchies_[item];
@@ -267,6 +503,7 @@ void HierarchicalRefreshScheme::onNodeStateChanged(cache::CooperativeCache& cach
     if (!up) {
       if (!h.isMember(node)) continue;
       h.removeMember(node);  // children adopted by the grandparent
+      touchHierarchy(item);
       ++churnRepairs_;
       if (ctrChurnRepairs_ != nullptr) ctrChurnRepairs_->add();
       DTNCACHE_EVENT(tracer_, obs::EventKind::kChurnRepair, t, {"item", item},
@@ -291,12 +528,13 @@ void HierarchicalRefreshScheme::onNodeStateChanged(cache::CooperativeCache& cach
       for (NodeId p : h.membersBelowRoot()) consider(p);
       DTNCACHE_CHECK_MSG(bestParent != kNoNode, "no free slot to re-attach node");
       h.addMember(node, bestParent, config_.hierarchy.fanoutBound);
+      touchHierarchy(item);
       ++churnRepairs_;
       if (ctrChurnRepairs_ != nullptr) ctrChurnRepairs_->add();
       DTNCACHE_EVENT(tracer_, obs::EventKind::kChurnRepair, t, {"item", item},
                      {"node", node}, {"up", true});
     }
-    replan(cache, item, t, rate);
+    replan(cache, item, t, rate, /*cacheable=*/false);
     h.checkInvariants();
   }
 }
@@ -307,8 +545,7 @@ const RefreshHierarchy& HierarchicalRefreshScheme::hierarchyOf(data::ItemId item
 }
 
 const ReplicationPlan& HierarchicalRefreshScheme::planOf(data::ItemId item) const {
-  DTNCACHE_CHECK(item < plans_.size());
-  return plans_[item];
+  return planCache_.planOf(item);
 }
 
 }  // namespace dtncache::core

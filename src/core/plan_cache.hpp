@@ -1,0 +1,139 @@
+#pragma once
+
+/// \file plan_cache.hpp
+/// Keyed per-item cache of replication plans.
+///
+/// Maintenance recomputes an item's ReplicationPlan only when something it
+/// depends on moved: the rate state of the item's member rows (captured as
+/// the versioned-rate `rateVersion`), the structure of its hierarchy
+/// (`hierarchyRev`), or the item's freshness period τ. This cache stores the
+/// current plan of every item in a dense pooled slot (one plan per item —
+/// the per-contact hot path reads `planOf(item)` as a single indexed load,
+/// exactly like the plans vector it replaces) plus a SlotIndex from a packed
+/// (item, key-hash) word to the slot, following the PR 4 flat-store pattern.
+/// A probe is one hash lookup plus a full-key validation in the slot, so a
+/// maintenance tick whose dependencies are unchanged costs a lookup instead
+/// of a replan; hash collisions in the mixed low word can only cause a miss
+/// (the full key is re-checked), never a false hit.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/pair_key.hpp"
+#include "core/replication.hpp"
+#include "core/slot_index.hpp"
+#include "sim/assert.hpp"
+#include "sim/time.hpp"
+
+namespace dtncache::core {
+
+class PlanCache {
+ public:
+  /// Everything a stored plan depends on. Two equal keys for one item imply
+  /// the recomputed plan would be identical (same member rates, same tree,
+  /// same τ), so the cached plan can be replayed verbatim.
+  struct Key {
+    std::uint64_t rateVersion = 0;   ///< max row version over the item's dep set
+    std::uint64_t hierarchyRev = 0;  ///< structural revision of the item's tree
+    sim::SimTime tau = 0.0;          ///< item freshness period
+
+    bool operator==(const Key& o) const {
+      return rateVersion == o.rateVersion && hierarchyRev == o.hierarchyRev &&
+             tau == o.tau;
+    }
+  };
+
+  /// Size the slot pool (one slot per item) and drop any existing entries.
+  void resize(std::size_t items) {
+    slots_.assign(items, Slot{});
+    index_.clear();
+  }
+
+  std::size_t itemCount() const { return slots_.size(); }
+
+  /// The cached plan for `item` under `key`, or nullptr on a miss (no keyed
+  /// entry, or the dependencies moved since it was stored). Allocation-free.
+  const ReplicationPlan* find(std::uint32_t item, const Key& key) const {
+    if (item >= slots_.size()) return nullptr;
+    const std::uint32_t slot = index_.find(packedKey(item, key));
+    if (slot == SlotIndex::kNoSlot) return nullptr;
+    DTNCACHE_CHECK(slot == item);  // item occupies the high word of the key
+    const Slot& s = slots_[slot];
+    return s.keyed && s.key == key ? &s.plan : nullptr;
+  }
+
+  /// Store `plan` as the current plan of `item`, keyed for later lookup.
+  /// Replaces (and unindexes) whatever the slot held. Returns the stored
+  /// plan (stable address until the next store to this item).
+  ReplicationPlan& store(std::uint32_t item, const Key& key, ReplicationPlan&& plan) {
+    Slot& s = slotOf(item);
+    s.plan = std::move(plan);
+    s.key = key;
+    s.packedKey = packedKey(item, key);
+    index_.insert(s.packedKey, item);
+    s.keyed = true;
+    return s.plan;
+  }
+
+  /// Store `plan` without a key — used for plans produced outside the
+  /// versioned maintenance path (churn repairs), which must not be reused
+  /// until the next full evaluation re-keys the item.
+  ReplicationPlan& storeUncached(std::uint32_t item, ReplicationPlan&& plan) {
+    Slot& s = slotOf(item);
+    s.plan = std::move(plan);
+    return s.plan;
+  }
+
+  /// The item's current plan, keyed or not — the per-contact read path.
+  const ReplicationPlan& planOf(std::uint32_t item) const {
+    DTNCACHE_CHECK(item < slots_.size());
+    return slots_[item].plan;
+  }
+
+  /// Whether the item's current plan is keyed (reusable on a key match).
+  bool isKeyed(std::uint32_t item) const {
+    return item < slots_.size() && slots_[item].keyed;
+  }
+
+ private:
+  struct Slot {
+    bool keyed = false;
+    std::uint64_t packedKey = 0;
+    Key key;
+    ReplicationPlan plan;
+  };
+
+  Slot& slotOf(std::uint32_t item) {
+    DTNCACHE_CHECK(item < slots_.size());
+    Slot& s = slots_[item];
+    if (s.keyed) {
+      index_.erase(s.packedKey);
+      s.keyed = false;
+    }
+    return s;
+  }
+
+  /// Item id in the high word (items can never collide with each other), a
+  /// mixed hash of the key fields in the low word. The SlotIndex reserves
+  /// the all-ones word as its empty sentinel, so steer clear of it.
+  static std::uint64_t packedKey(std::uint32_t item, const Key& k) {
+    std::uint64_t h = k.rateVersion * 0x9e3779b97f4a7c15ULL;
+    h ^= (k.hierarchyRev + 0x9e3779b9ULL) * 0xbf58476d1ce4e5b9ULL;
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t tauBits = 0;
+    std::memcpy(&tauBits, &k.tau, sizeof(tauBits));
+    h ^= tauBits * 0x94d049bb133111ebULL;
+    h ^= h >> 32;
+    std::uint64_t packed = packPair(item, static_cast<std::uint32_t>(h));
+    if (packed == static_cast<std::uint64_t>(-1)) --packed;
+    return packed;
+  }
+
+  SlotIndex index_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace dtncache::core

@@ -1,6 +1,7 @@
 #include "core/replication.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/freshness.hpp"
 #include "sim/assert.hpp"
@@ -13,6 +14,21 @@ double ReplicationPlan::predictedProbability(NodeId target) const {
   DTNCACHE_CHECK_MSG(target < predicted_.size() && predicted_[target] >= 0.0,
                      "no prediction for node " << target);
   return predicted_[target];
+}
+
+bool ReplicationPlan::sameAs(const ReplicationPlan& other) const {
+  if (helpers_ != other.helpers_ || predicted_ != other.predicted_ ||
+      unmet_ != other.unmet_ || totalAssignments_ != other.totalAssignments_ ||
+      log_.size() != other.log_.size())
+    return false;
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    const Assignment& a = log_[i];
+    const Assignment& b = other.log_[i];
+    if (a.target != b.target || a.helper != b.helper ||
+        a.probabilityAfter != b.probabilityAfter)
+      return false;
+  }
+  return true;
 }
 
 ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn& rate,
@@ -29,14 +45,16 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
   // survival-weight products behind hypoexponentialCdf are recomputed for
   // each (target, candidate) pairing. Prepared once per node, the τ and τ/2
   // evaluations reuse the partial products. Bit-identical to the uncached
-  // closed form (HypoexpCdf performs the exact same operations).
-  std::unordered_map<NodeId, HypoexpCdf> chainCdf;
-  chainCdf.reserve(members.size() + 1);
+  // closed form (HypoexpCdf performs the exact same operations). Node ids
+  // are dense (they index the trace's node table), so a flat vector beats
+  // the hash map this used to be: one indexed load per chain lookup.
+  NodeId maxId = hierarchy.root();
+  for (NodeId m : members) maxId = std::max(maxId, m);
+  std::vector<std::optional<HypoexpCdf>> chainCdf(static_cast<std::size_t>(maxId) + 1);
   const auto chainOf = [&](NodeId n) -> const HypoexpCdf& {
-    auto it = chainCdf.find(n);
-    if (it == chainCdf.end())
-      it = chainCdf.emplace(n, HypoexpCdf(hierarchy.chainRates(n, rate))).first;
-    return it->second;
+    auto& slot = chainCdf[n];
+    if (!slot) slot.emplace(hierarchy.chainRates(n, rate));
+    return *slot;
   };
 
   for (NodeId target : members) {
@@ -87,6 +105,7 @@ ReplicationPlan planReplication(const RefreshHierarchy& hierarchy, const RateFn&
         assigned.push_back(c.node);
         contributions.push_back(c.contribution);
         combined = combinedRefreshProbability(chainP, contributions);
+        plan.log_.push_back({target, c.node, combined});
         DTNCACHE_EVENT(trace.tracer, obs::EventKind::kHelperAssign, trace.now,
                        {"item", trace.item}, {"target", target}, {"helper", c.node},
                        {"p", combined});

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/pair_key.hpp"
 #include "sim/assert.hpp"
 
 namespace dtncache::trace {
@@ -15,6 +16,9 @@ ContactRateEstimator::ContactRateEstimator(std::size_t nodeCount, EstimatorConfi
   DTNCACHE_CHECK(config.priorRate >= 0.0);
   pairs_.resize(nodeCount * (nodeCount - 1) / 2);
   if (config.mode == EstimatorMode::kSlidingWindow) recent_.resize(pairs_.size());
+  dirtyBits_ = core::DenseBitset(pairs_.size());
+  varyingBits_ = core::DenseBitset(pairs_.size());
+  changedRowBits_ = core::DenseBitset(nodeCount);
 }
 
 std::size_t ContactRateEstimator::pairIndex(NodeId i, NodeId j) const {
@@ -25,6 +29,7 @@ std::size_t ContactRateEstimator::pairIndex(NodeId i, NodeId j) const {
 
 void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
   const std::size_t idx = pairIndex(a, b);
+  if (dirtyBits_.set(idx)) dirtyKeys_.push_back(core::packSymmetricPair(a, b));
   PairState& s = pairs_[idx];
   ++s.totalCount;
   if (s.lastContact != sim::kNever) {
@@ -107,6 +112,97 @@ RateMatrix ContactRateEstimator::snapshot(sim::SimTime now) const {
   for (NodeId i = 0; i < nodeCount_; ++i)
     for (NodeId j = i + 1; j < nodeCount_; ++j) m.setRate(i, j, rate(i, j, now));
   return m;
+}
+
+bool ContactRateEstimator::rateStable(const PairState& s, sim::SimTime now) const {
+  if (s.totalCount == 0) return true;  // priorRate forever until a contact
+  switch (config_.mode) {
+    case EstimatorMode::kCumulative:
+      return false;  // count / elapsed shrinks as `now` advances
+    case EstimatorMode::kSlidingWindow:
+      // Once the last contact has left the window the estimate is priorRate
+      // at every later time; while anything is in the window the count (and
+      // possibly the span) still depends on `now`.
+      return s.lastContact < now - config_.window;
+    case EstimatorMode::kEwma:
+      // 1 / ewma is time-free; the single-contact fallback is cumulative.
+      return s.ewmaInterval > 0.0;
+  }
+  return false;
+}
+
+SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime now,
+                                                 std::vector<NodeId>* changedNodes,
+                                                 bool force) {
+  if (out.nodeCount() != nodeCount_) {
+    out = RateMatrix(nodeCount_);
+    snapshotPrimed_ = false;
+  }
+  SnapshotStats stats;
+  if (!snapshotPrimed_) {
+    stats.dirtyPairs = pairs_.size();
+  } else {
+    stats.dirtyPairs = dirtyKeys_.size();
+    for (const std::uint64_t key : varyingKeys_)
+      if (!dirtyBits_.test(pairIndex(core::pairHigh(key), core::pairLow(key))))
+        ++stats.dirtyPairs;
+  }
+
+  changedRowBits_.clear();
+  const auto updatePair = [&](NodeId i, NodeId j) {
+    const double v = rate(i, j, now);
+    if (v != out.rate(i, j)) {
+      out.setRate(i, j, v);
+      ++stats.changedPairs;
+      changedRowBits_.set(i);
+      changedRowBits_.set(j);
+    }
+  };
+
+  if (force || !snapshotPrimed_) {
+    // Full rewrite, in the canonical row-major order. Entries outside the
+    // dirty/varying lists compare equal to their stored value, so stats and
+    // changedNodes match what the incremental pass would have produced.
+    for (NodeId i = 0; i < nodeCount_; ++i)
+      for (NodeId j = i + 1; j < nodeCount_; ++j) updatePair(i, j);
+  } else {
+    for (const std::uint64_t key : dirtyKeys_)
+      updatePair(core::pairHigh(key), core::pairLow(key));
+    for (const std::uint64_t key : varyingKeys_) {
+      const NodeId i = core::pairHigh(key);
+      const NodeId j = core::pairLow(key);
+      if (!dirtyBits_.test(pairIndex(i, j))) updatePair(i, j);
+    }
+  }
+
+  // Advance the bookkeeping: compact the time-varying list in place, then
+  // fold in dirty pairs that are still time-dependent. Both loops reuse the
+  // existing vectors — steady-state snapshots allocate nothing.
+  std::size_t kept = 0;
+  for (const std::uint64_t key : varyingKeys_) {
+    const std::size_t idx = pairIndex(core::pairHigh(key), core::pairLow(key));
+    if (rateStable(pairs_[idx], now))
+      varyingBits_.reset(idx);
+    else
+      varyingKeys_[kept++] = key;
+  }
+  varyingKeys_.resize(kept);
+  for (const std::uint64_t key : dirtyKeys_) {
+    const std::size_t idx = pairIndex(core::pairHigh(key), core::pairLow(key));
+    dirtyBits_.reset(idx);
+    if (!rateStable(pairs_[idx], now) && varyingBits_.set(idx))
+      varyingKeys_.push_back(key);
+  }
+  dirtyKeys_.clear();
+  snapshotPrimed_ = true;
+
+  if (changedNodes != nullptr) {
+    changedNodes->clear();
+    if (stats.changedPairs > 0)
+      for (NodeId n = 0; n < nodeCount_; ++n)
+        if (changedRowBits_.test(n)) changedNodes->push_back(n);
+  }
+  return stats;
 }
 
 }  // namespace dtncache::trace

@@ -21,11 +21,24 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/dense_bitset.hpp"
 #include "sim/time.hpp"
 #include "trace/contact.hpp"
 #include "trace/rate_matrix.hpp"
 
 namespace dtncache::trace {
+
+/// What an in-place snapshot actually did (see
+/// ContactRateEstimator::snapshotInto).
+struct SnapshotStats {
+  /// Pairs the incremental path re-evaluated this snapshot: the dirty list
+  /// (touched by recordContact since the last snapshot) plus the
+  /// time-varying list (pairs whose estimate depends on `now` even without
+  /// new contacts). A full/first snapshot reports the whole triangle.
+  std::size_t dirtyPairs = 0;
+  /// Pairs whose written value actually differs from the previous snapshot.
+  std::size_t changedPairs = 0;
+};
 
 enum class EstimatorMode { kCumulative, kSlidingWindow, kEwma };
 
@@ -59,6 +72,36 @@ class ContactRateEstimator {
   /// Snapshot all estimates into a RateMatrix (for centrality computation).
   RateMatrix snapshot(sim::SimTime now) const;
 
+  /// Incrementally refresh `out` in place so it equals `snapshot(now)`
+  /// bit-for-bit, rewriting only pairs that can have changed since the last
+  /// snapshotInto call: pairs touched by recordContact (the dirty list) and
+  /// pairs whose estimate is a function of `now` (the time-varying list —
+  /// e.g. every seen pair under kCumulative, single-contact pairs under
+  /// kEwma, pairs with live window contents under kSlidingWindow). Each
+  /// rewritten entry is recomputed by the exact same rate() evaluation a
+  /// full snapshot performs, so incremental and full snapshots are
+  /// bit-identical; untouched entries are provably stable in `now`.
+  ///
+  /// `changedNodes`, when non-null, receives the ascending list of node ids
+  /// with at least one changed row entry. With `force` every pair is
+  /// rewritten (same values, same stats, same changedNodes — the
+  /// full-recompute escape hatch), and the dirty/time-varying bookkeeping
+  /// advances identically.
+  ///
+  /// The first call (or a call after a node-count mismatch) resizes `out`
+  /// and performs a full rewrite. The dirty list is consumed by the call,
+  /// so the incremental contract holds for a single target matrix only.
+  /// Steady-state calls allocate nothing once the bookkeeping is warm.
+  SnapshotStats snapshotInto(RateMatrix& out, sim::SimTime now,
+                             std::vector<NodeId>* changedNodes = nullptr,
+                             bool force = false);
+
+  /// Pairs currently on the dirty list (touched since the last snapshotInto).
+  std::size_t dirtyPairCount() const { return dirtyKeys_.size(); }
+
+  /// Pairs currently tracked as time-varying (re-evaluated every snapshot).
+  std::size_t timeVaryingPairCount() const { return varyingKeys_.size(); }
+
   std::size_t nodeCount() const { return nodeCount_; }
   const EstimatorConfig& config() const { return config_; }
 
@@ -78,6 +121,15 @@ class ContactRateEstimator {
   /// Triangular index of the normalized pair (i < j after swap).
   std::size_t pairIndex(NodeId i, NodeId j) const;
 
+  /// True when this pair's estimate no longer depends on `now` — it will
+  /// return the same value at every later time until a new contact arrives.
+  /// Per mode: kCumulative is never stable once seen (count / elapsed);
+  /// kSlidingWindow is stable once the last contact has left the window
+  /// (priorRate from then on); kEwma is stable once an inter-contact
+  /// interval exists (1 / ewma), unstable on the single-contact cumulative
+  /// fallback.
+  bool rateStable(const PairState& s, sim::SimTime now) const;
+
   std::size_t nodeCount_;
   EstimatorConfig config_;
   sim::SimTime startTime_;
@@ -85,6 +137,18 @@ class ContactRateEstimator {
   /// Per-pair recent contact times (kSlidingWindow only; rows are pruned
   /// via PairState::recentStart and compacted amortized-O(1)).
   std::vector<std::vector<sim::SimTime>> recent_;
+
+  /// Incremental-snapshot bookkeeping: dedup'd packed-pair lists over the
+  /// triangular index space. `dirty` = touched by recordContact since the
+  /// last snapshotInto (one bit test + rare push on the contact hot path);
+  /// `varying` = seen pairs whose estimate still depends on `now`,
+  /// recompacted at each snapshot.
+  core::DenseBitset dirtyBits_;
+  std::vector<std::uint64_t> dirtyKeys_;
+  core::DenseBitset varyingBits_;
+  std::vector<std::uint64_t> varyingKeys_;
+  core::DenseBitset changedRowBits_;  ///< per-snapshot scratch, node ids
+  bool snapshotPrimed_ = false;
 };
 
 }  // namespace dtncache::trace

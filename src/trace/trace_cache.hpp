@@ -38,4 +38,23 @@ TraceCacheStats traceCacheStats();
 /// Drop all cached traces and reset the stats (tests).
 void clearTraceCache();
 
+/// Memoized adoption of a caller-owned external (replayed) trace: copies
+/// the trace and fits its MLE rate matrix once, then reuses the result for
+/// subsequent calls over the same trace. The external-trace experiment path
+/// bypasses generateShared(), so without this every job of a sweep arm
+/// re-copied the contact list and refit the full O(N² + contacts) rate
+/// matrix even though all jobs replay one loaded trace. Keyed by the
+/// trace's address plus a content fingerprint (node count, contact count,
+/// duration bits, and a strided sample of contact records), so a reloaded
+/// or mutated trace at a recycled address misses and is refit. Thread-safe;
+/// results are byte-identical to an unmemoized fit.
+std::shared_ptr<const SyntheticTrace> externalShared(const ContactTrace& trace);
+
+/// Counters for the external-trace memo (shared clock with the generator
+/// cache but tracked separately).
+TraceCacheStats externalTraceCacheStats();
+
+/// Drop all adopted external traces and reset the stats (tests).
+void clearExternalTraceCache();
+
 }  // namespace dtncache::trace

@@ -1,0 +1,130 @@
+#include "core/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/rate_matrix.hpp"
+
+namespace dtncache::core {
+namespace {
+
+RateFn fromMatrix(const trace::RateMatrix& m) {
+  return [&m](NodeId i, NodeId j) { return m.rate(i, j); };
+}
+
+/// A small plan with real content (one weak member forces a helper), so
+/// cache round-trips are checked against a non-trivial payload.
+ReplicationPlan makePlan(double weakRate = 0.1) {
+  trace::RateMatrix m(4);
+  m.setRate(0, 1, 10.0);
+  m.setRate(0, 2, 10.0);
+  m.setRate(0, 3, weakRate);
+  m.setRate(1, 3, 5.0);
+  HierarchyConfig hcfg;
+  hcfg.fanoutBound = 3;
+  auto h = RefreshHierarchy::build(0, {}, fromMatrix(m), 1.0, hcfg);
+  for (NodeId i = 1; i <= 3; ++i) h.addMember(i, 0, 3);
+  ReplicationConfig cfg;
+  cfg.theta = 0.9;
+  return planReplication(h, fromMatrix(m), 1.0, cfg);
+}
+
+TEST(PlanCache, StoreThenFindRoundTrips) {
+  PlanCache cache;
+  cache.resize(4);
+  const PlanCache::Key key{7, 3, sim::hours(6)};
+  auto plan = makePlan();
+  ASSERT_GT(plan.totalAssignments(), 0u);
+  const ReplicationPlan reference = plan;
+  cache.store(2, key, std::move(plan));
+  const ReplicationPlan* hit = cache.find(2, key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->sameAs(reference));
+  EXPECT_TRUE(cache.isKeyed(2));
+  // Other items are unaffected.
+  EXPECT_EQ(cache.find(0, key), nullptr);
+  EXPECT_FALSE(cache.isKeyed(0));
+}
+
+TEST(PlanCache, AnyKeyFieldMismatchMisses) {
+  PlanCache cache;
+  cache.resize(2);
+  const PlanCache::Key key{7, 3, sim::hours(6)};
+  cache.store(1, key, makePlan());
+  EXPECT_NE(cache.find(1, key), nullptr);
+  EXPECT_EQ(cache.find(1, PlanCache::Key{8, 3, sim::hours(6)}), nullptr);
+  EXPECT_EQ(cache.find(1, PlanCache::Key{7, 4, sim::hours(6)}), nullptr);
+  EXPECT_EQ(cache.find(1, PlanCache::Key{7, 3, sim::hours(7)}), nullptr);
+  // A miss never disturbs the stored entry.
+  EXPECT_NE(cache.find(1, key), nullptr);
+}
+
+TEST(PlanCache, StoreUncachedServesReadsButNeverHits) {
+  // Churn repairs store plans outside the versioned tick path: the plan
+  // must be live for the per-contact read path but must not be replayable.
+  PlanCache cache;
+  cache.resize(3);
+  const PlanCache::Key key{1, 1, 1.0};
+  cache.store(0, key, makePlan());
+  ASSERT_TRUE(cache.isKeyed(0));
+  const ReplicationPlan repair = makePlan(0.05);
+  cache.storeUncached(0, makePlan(0.05));
+  EXPECT_FALSE(cache.isKeyed(0));
+  EXPECT_EQ(cache.find(0, key), nullptr);  // old key must not resurrect
+  EXPECT_TRUE(cache.planOf(0).sameAs(repair));
+}
+
+TEST(PlanCache, StoreReplacesAndRekeysTheSlot) {
+  PlanCache cache;
+  cache.resize(2);
+  const PlanCache::Key oldKey{1, 1, 1.0};
+  const PlanCache::Key newKey{2, 1, 1.0};
+  cache.store(0, oldKey, makePlan());
+  const ReplicationPlan updated = makePlan(0.05);
+  cache.store(0, newKey, makePlan(0.05));
+  EXPECT_EQ(cache.find(0, oldKey), nullptr);
+  const ReplicationPlan* hit = cache.find(0, newKey);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->sameAs(updated));
+}
+
+TEST(PlanCache, ResizeDropsAllEntries) {
+  PlanCache cache;
+  cache.resize(2);
+  const PlanCache::Key key{1, 1, 1.0};
+  cache.store(1, key, makePlan());
+  cache.resize(2);
+  EXPECT_EQ(cache.itemCount(), 2u);
+  EXPECT_EQ(cache.find(1, key), nullptr);
+  EXPECT_FALSE(cache.isKeyed(1));
+}
+
+TEST(PlanCache, OutOfRangeItemIsAMiss) {
+  PlanCache cache;
+  cache.resize(2);
+  EXPECT_EQ(cache.find(9, PlanCache::Key{}), nullptr);
+  EXPECT_FALSE(cache.isKeyed(9));
+}
+
+TEST(PlanCache, ManyKeysStayDisambiguatedByFullValidation) {
+  // Hash collisions in the packed low word can only cause misses, never
+  // false hits: sweep many (version, revision, tau) keys through one slot
+  // and check only the latest key ever hits.
+  PlanCache cache;
+  cache.resize(1);
+  const ReplicationPlan reference = makePlan();
+  PlanCache::Key last{};
+  for (std::uint64_t v = 1; v <= 64; ++v) {
+    last = PlanCache::Key{v, v * 3 + 1, static_cast<sim::SimTime>(v) * 0.5};
+    cache.store(0, last, makePlan());
+    for (std::uint64_t w = 1; w < v; ++w)
+      EXPECT_EQ(cache.find(0, PlanCache::Key{w, w * 3 + 1,
+                                             static_cast<sim::SimTime>(w) * 0.5}),
+                nullptr);
+  }
+  const ReplicationPlan* hit = cache.find(0, last);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_TRUE(hit->sameAs(reference));
+}
+
+}  // namespace
+}  // namespace dtncache::core
