@@ -82,6 +82,16 @@ def freshness_timelines(events, only_item=None):
 
 
 def summarize(run, events, args):
+    # Live peer-daemon traces end with `"kind": "counters"` snapshot lines
+    # carrying the registry's ctr.* values; split them out of the event
+    # stream (they have no timestamp) and report them separately.
+    counters = collections.Counter()
+    for event in events:
+        if event["kind"] == "counters":
+            for key, value in event.items():
+                if key.startswith("ctr."):
+                    counters[key] += value
+    events = [e for e in events if e["kind"] != "counters"]
     print(f"run {run}: {len(events)} event(s)")
 
     histogram = collections.Counter(e["kind"] for e in events)
@@ -132,6 +142,11 @@ def summarize(run, events, args):
             if reply_delays:
                 print(f"  reply delay: median {hours(median(reply_delays)):.2f}h, "
                       f"max {hours(max(reply_delays)):.2f}h")
+
+    if counters:
+        print("\n  counters:")
+        for key in sorted(counters):
+            print(f"    {key:<32} {counters[key]}")
 
 
 def main():

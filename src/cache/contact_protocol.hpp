@@ -1,0 +1,64 @@
+#pragma once
+
+/// \file contact_protocol.hpp
+/// Transport-agnostic contact decisions: the handshake/push/install rules
+/// two peers apply when they meet, factored out of the simulator substrate
+/// so the live daemon (src/peer) runs the *same* logic over real sockets.
+///
+/// `cache::CooperativeCache` drives these rules through a simulated
+/// `net::ContactChannel`; `peer::Peerd` drives them through TCP sessions.
+/// Everything transport-specific (byte budgets, frame encoding, timers)
+/// stays with the caller — this header is pure decision logic, and the
+/// regression bar for refactors here is byte-identical simulator output.
+
+#include <cstdint>
+#include <optional>
+
+#include "data/item.hpp"
+#include "net/message.hpp"
+
+namespace dtncache::cache {
+
+/// Outcome of the "should `from` push version v of `item` to `to`?"
+/// decision, taken after a metadata handshake told both sides what the
+/// other holds (pushes are exact, never speculative).
+enum class PushVerdict : std::uint8_t {
+  kSend,            ///< receiver is a caching node and strictly behind
+  kReceiverCurrent, ///< receiver already holds this version or newer
+  kNotCachingNode,  ///< receiver does not cache this item at all
+};
+
+struct ContactProtocol {
+  /// Per-direction metadata-handshake cost: one message header plus a
+  /// version-vector entry per catalog item. Both directions must fit
+  /// before anything else moves in a contact.
+  static constexpr std::uint64_t handshakeBytes(std::size_t catalogSize,
+                                                std::uint32_t vvBytesPerItem) {
+    return net::kHeaderBytes +
+           static_cast<std::uint64_t>(vvBytesPerItem) * catalogSize;
+  }
+
+  /// Does a holder of `offered` improve on `held` (nullopt = no copy)?
+  /// The single freshness-comparison rule shared by the push decision and
+  /// the receiving store's install decision.
+  static constexpr bool wantsVersion(std::optional<data::Version> held,
+                                     data::Version offered) {
+    return !held.has_value() || *held < offered;
+  }
+
+  /// Full push decision from handshake knowledge.
+  static constexpr PushVerdict decidePush(std::optional<data::Version> receiverHeld,
+                                          data::Version offered,
+                                          bool receiverIsCachingNode) {
+    if (!receiverIsCachingNode) return PushVerdict::kNotCachingNode;
+    return wantsVersion(receiverHeld, offered) ? PushVerdict::kSend
+                                               : PushVerdict::kReceiverCurrent;
+  }
+
+  /// Wire cost of one version push: header plus the item payload.
+  static constexpr std::uint32_t pushWireBytes(std::uint32_t itemSizeBytes) {
+    return net::kHeaderBytes + itemSizeBytes;
+  }
+};
+
+}  // namespace dtncache::cache

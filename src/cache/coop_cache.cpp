@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "cache/centrality.hpp"
+#include "cache/contact_protocol.hpp"
 #include "obs/alloc_hook.hpp"
 #include "sim/assert.hpp"
 
@@ -63,9 +64,8 @@ CooperativeCache::CooperativeCache(sim::Simulator& simulator, net::Network& netw
     DTNCACHE_CHECK(set.size() == itemSetSize(item));
   }
 
-  handshakeHalf_ =
-      net::kHeaderBytes +
-      config_.versionVectorBytesPerItem * static_cast<std::uint64_t>(catalog_.size());
+  handshakeHalf_ = ContactProtocol::handshakeBytes(catalog_.size(),
+                                                   config_.versionVectorBytesPerItem);
 }
 
 void CooperativeCache::setScheme(RefreshScheme* scheme) {
@@ -156,13 +156,17 @@ bool CooperativeCache::pushSpecificVersion(NodeId from, NodeId to, data::ItemId 
                                            net::Traffic category) {
   DTNCACHE_CHECK_MSG(version <= catalog_.clock(item).currentVersion(t),
                      "scheme pushed a version from the future");
-  if (!isCachingNode(to, item)) return false;
-  const auto held = heldVersion(to, item, t);
-  if (held && *held >= version) {  // handshake told us: no-op
-    if (ctrPushNoop_ != nullptr) ctrPushNoop_->add();
-    return false;
+  switch (ContactProtocol::decidePush(heldVersion(to, item, t), version,
+                                      isCachingNode(to, item))) {
+    case PushVerdict::kNotCachingNode:
+      return false;
+    case PushVerdict::kReceiverCurrent:  // handshake told us: no-op
+      if (ctrPushNoop_ != nullptr) ctrPushNoop_->add();
+      return false;
+    case PushVerdict::kSend:
+      break;
   }
-  const std::uint32_t bytes = net::kHeaderBytes + catalog_.spec(item).sizeBytes;
+  const std::uint32_t bytes = ContactProtocol::pushWireBytes(catalog_.spec(item).sizeBytes);
   if (!channel.transfer(category, bytes, from)) {
     if (ctrPushDenied_ != nullptr) ctrPushDenied_->add();
     DTNCACHE_EVENT(tracer_, obs::EventKind::kPushDenied, t, {"from", from}, {"to", to},

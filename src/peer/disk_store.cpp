@@ -1,0 +1,288 @@
+#include "peer/disk_store.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "sim/assert.hpp"
+
+namespace dtncache::peer {
+
+namespace {
+
+constexpr std::uint8_t kRecordPut = 1;
+constexpr std::uint8_t kRecordRemove = 2;
+constexpr std::size_t kRecordHeaderBytes = 8;           // length + crc
+constexpr std::size_t kBodyFixedBytes = 1 + 4 + 8 + 4;  // kind|item|version|payloadLen
+
+// CRC-32 (IEEE 802.3 polynomial, reflected). Table built once at startup;
+// no zlib dependency so the store works in any build configuration.
+const std::array<std::uint32_t, 256>& crcTable() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = crcTable();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+std::uint32_t readU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t readU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool writeAll(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> encodeBody(std::uint8_t kind, data::ItemId item,
+                                     data::Version version,
+                                     const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> body;
+  body.reserve(kBodyFixedBytes + payload.size());
+  body.push_back(kind);
+  putU32(body, item);
+  putU64(body, version);
+  putU32(body, static_cast<std::uint32_t>(payload.size()));
+  body.insert(body.end(), payload.begin(), payload.end());
+  return body;
+}
+
+}  // namespace
+
+DiskStore::~DiskStore() { close(); }
+
+bool DiskStore::open(Config config) {
+  DTNCACHE_CHECK_MSG(fd_ < 0, "DiskStore::open: already open");
+  config_ = std::move(config);
+  fd_ = ::open(config_.path.c_str(), O_RDWR | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  if (!replay()) {
+    close();
+    return false;
+  }
+  return true;
+}
+
+void DiskStore::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  index_ = core::SlotIndex();
+  items_.clear();
+  live_.clear();
+  freeSlots_.clear();
+  logBytes_ = liveBytes_ = 0;
+}
+
+bool DiskStore::replay() {
+  struct stat st{};
+  if (::fstat(fd_, &st) != 0) return false;
+  const std::size_t fileBytes = static_cast<std::size_t>(st.st_size);
+
+  std::vector<std::uint8_t> raw(fileBytes);
+  std::size_t got = 0;
+  while (got < fileBytes) {
+    const ssize_t n = ::pread(fd_, raw.data() + got, fileBytes - got,
+                              static_cast<off_t>(got));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) break;
+    got += static_cast<std::size_t>(n);
+  }
+
+  std::size_t offset = 0;
+  while (offset + kRecordHeaderBytes <= got) {
+    const std::uint32_t length = readU32(raw.data() + offset);
+    const std::uint32_t crc = readU32(raw.data() + offset + 4);
+    if (length < kBodyFixedBytes || offset + kRecordHeaderBytes + length > got)
+      break;  // torn tail: length field half-written or body incomplete
+    const std::uint8_t* body = raw.data() + offset + kRecordHeaderBytes;
+    if (crc32(body, length) != crc) break;  // torn tail: body half-written
+
+    const std::uint8_t kind = body[0];
+    const data::ItemId item = readU32(body + 1);
+    const data::Version version = readU64(body + 5);
+    const std::uint32_t payloadLen = readU32(body + 13);
+    if (kBodyFixedBytes + payloadLen != length) break;
+
+    if (kind == kRecordPut) {
+      applyPut(item, version,
+               std::vector<std::uint8_t>(body + kBodyFixedBytes,
+                                         body + kBodyFixedBytes + payloadLen));
+    } else if (kind == kRecordRemove) {
+      applyRemove(item);
+    } else {
+      break;  // unknown kind: treat as corruption boundary
+    }
+    offset += kRecordHeaderBytes + length;
+  }
+
+  if (offset < got) {
+    // Drop the torn tail so the next append starts on a clean boundary.
+    ++truncatedOnReplay_;
+    if (::ftruncate(fd_, static_cast<off_t>(offset)) != 0) return false;
+  }
+  logBytes_ = offset;
+  return true;
+}
+
+void DiskStore::applyPut(data::ItemId item, data::Version version,
+                         std::vector<std::uint8_t> payload) {
+  const std::uint32_t existing = index_.find(item);
+  if (existing != core::SlotIndex::kNoSlot) {
+    StoredItem& s = items_[existing];
+    if (s.version >= version) return;
+    liveBytes_ -= s.payload.size();
+    s.version = version;
+    s.payload = std::move(payload);
+    liveBytes_ += s.payload.size();
+    return;
+  }
+  std::uint32_t slot;
+  if (!freeSlots_.empty()) {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(items_.size());
+    items_.emplace_back();
+    live_.push_back(false);
+  }
+  items_[slot] = StoredItem{item, version, std::move(payload)};
+  live_[slot] = true;
+  liveBytes_ += items_[slot].payload.size();
+  index_.insert(item, slot);
+}
+
+void DiskStore::applyRemove(data::ItemId item) {
+  const std::uint32_t slot = index_.erase(item);
+  if (slot == core::SlotIndex::kNoSlot) return;
+  liveBytes_ -= items_[slot].payload.size();
+  items_[slot] = StoredItem{};
+  live_[slot] = false;
+  freeSlots_.push_back(slot);
+}
+
+bool DiskStore::appendRecord(std::uint8_t kind, data::ItemId item, data::Version version,
+                             const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> body = encodeBody(kind, item, version, payload);
+  std::vector<std::uint8_t> record;
+  record.reserve(kRecordHeaderBytes + body.size());
+  putU32(record, static_cast<std::uint32_t>(body.size()));
+  putU32(record, crc32(body.data(), body.size()));
+  record.insert(record.end(), body.begin(), body.end());
+  if (!writeAll(fd_, record.data(), record.size())) return false;
+  logBytes_ += record.size();
+  return true;
+}
+
+bool DiskStore::put(data::ItemId item, data::Version version,
+                    const std::vector<std::uint8_t>& payload) {
+  DTNCACHE_CHECK_MSG(fd_ >= 0, "DiskStore::put: store not open");
+  const std::uint32_t slot = index_.find(item);
+  if (slot != core::SlotIndex::kNoSlot && items_[slot].version >= version) return false;
+  if (!appendRecord(kRecordPut, item, version, payload)) return false;
+  applyPut(item, version, payload);
+  maybeCompact();
+  return true;
+}
+
+const DiskStore::StoredItem* DiskStore::get(data::ItemId item) const {
+  const std::uint32_t slot = index_.find(item);
+  return slot == core::SlotIndex::kNoSlot ? nullptr : &items_[slot];
+}
+
+bool DiskStore::remove(data::ItemId item) {
+  DTNCACHE_CHECK_MSG(fd_ >= 0, "DiskStore::remove: store not open");
+  if (index_.find(item) == core::SlotIndex::kNoSlot) return false;
+  if (!appendRecord(kRecordRemove, item, 0, {})) return false;
+  applyRemove(item);
+  maybeCompact();
+  return true;
+}
+
+void DiskStore::sync() {
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+void DiskStore::maybeCompact() {
+  if (logBytes_ < config_.compactThresholdBytes) return;
+  // Only worth rewriting when at least half the file is dead bytes.
+  const std::size_t liveRecordBytes =
+      liveBytes_ + size() * (kRecordHeaderBytes + kBodyFixedBytes);
+  if (liveRecordBytes * 2 > logBytes_) return;
+
+  const std::string tmpPath = config_.path + ".compact";
+  const int tmpFd = ::open(tmpPath.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmpFd < 0) return;  // compaction is an optimization; skip on failure
+
+  std::size_t written = 0;
+  bool ok = true;
+  for (std::size_t i = 0; i < items_.size() && ok; ++i) {
+    if (!live_[i]) continue;
+    const StoredItem& s = items_[i];
+    const std::vector<std::uint8_t> body =
+        encodeBody(kRecordPut, s.item, s.version, s.payload);
+    std::vector<std::uint8_t> record;
+    putU32(record, static_cast<std::uint32_t>(body.size()));
+    putU32(record, crc32(body.data(), body.size()));
+    record.insert(record.end(), body.begin(), body.end());
+    ok = writeAll(tmpFd, record.data(), record.size());
+    written += record.size();
+  }
+  if (!ok || ::fsync(tmpFd) != 0 ||
+      ::rename(tmpPath.c_str(), config_.path.c_str()) != 0) {
+    ::close(tmpFd);
+    ::unlink(tmpPath.c_str());
+    return;
+  }
+  ::close(fd_);
+  fd_ = tmpFd;  // tmpFd now refers to config_.path (rename kept the inode)
+  logBytes_ = written;
+  ++compactions_;
+}
+
+}  // namespace dtncache::peer

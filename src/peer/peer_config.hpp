@@ -1,0 +1,80 @@
+#pragma once
+
+/// \file peer_config.hpp
+/// Configuration for one `dtncache_peerd` daemon instance, bound to the
+/// same flat-JSON machinery as the experiment config (`peer.*` namespace,
+/// same dump/load symmetry, same unknown-key-with-suggestion diagnostics).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/contact.hpp"
+
+namespace dtncache::peer {
+
+/// Who a daemon pushes fresher versions to.
+enum class PushPolicy : std::uint8_t {
+  kHierarchy,  ///< only to nodes this daemon is responsible for (tree edges)
+  kAny,        ///< to any connected stale peer (flooding baseline)
+};
+
+struct PeerAddr {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct PeerdConfig {
+  // -- identity and topology ------------------------------------------------
+  NodeId node = 0;                 ///< this daemon's node id
+  std::uint32_t nodeCount = 1;     ///< agreed network size (hello-validated)
+  std::uint32_t itemCount = 1;     ///< agreed catalog size (hello-validated)
+  std::uint32_t listenPort = 0;    ///< TCP listen port (0 = kernel-assigned)
+  /// Comma-separated "host:port" list of peers this daemon dials.
+  std::string peers;
+
+  // -- storage ---------------------------------------------------------------
+  /// Append-only log path; empty disables the disk tier (memory only).
+  std::string storePath;
+  std::uint64_t memoryCapacityBytes = 16 * 1024 * 1024;
+  std::uint64_t compactThresholdBytes = 4 * 1024 * 1024;
+
+  // -- protocol cadence (wall-clock seconds) --------------------------------
+  double vvIntervalSeconds = 1.0;           ///< version-vector exchange period
+  double maintenanceIntervalSeconds = 5.0;  ///< hierarchy rebuild + fsync period
+  double bumpIntervalSeconds = 1.0;         ///< source version production period
+  std::uint32_t bumpLimit = 0;              ///< stop bumping after K (0 = never)
+  std::uint32_t payloadBytes = 64;          ///< generated item payload size
+  double queryIntervalSeconds = 0.0;        ///< periodic query probe (0 = off)
+
+  // -- freshness scheme ------------------------------------------------------
+  double tauSeconds = 10.0;       ///< freshness window for hierarchy quality
+  std::uint32_t fanoutBound = 3;  ///< responsibility-set bound
+  double priorRate = 0.05;        ///< estimator prior for unseen pairs
+  PushPolicy pushPolicy = PushPolicy::kHierarchy;
+
+  // -- transport tuning ------------------------------------------------------
+  double helloTimeoutSeconds = 5.0;
+  double idleTimeoutSeconds = 30.0;
+  double reconnectBaseSeconds = 0.5;  ///< exponential backoff base
+  double reconnectMaxSeconds = 15.0;  ///< backoff cap
+
+  // -- run control -----------------------------------------------------------
+  double runSeconds = 0.0;   ///< stop after this long (0 = until signal)
+  std::string tracePath;     ///< JSONL trace output (empty = no trace file)
+};
+
+/// Render the full config as one flat JSON object (every key present).
+std::string dumpPeerConfigJson(const PeerdConfig& config);
+
+/// Apply a flat JSON object over `config`. Unknown keys throw with a
+/// nearest-key suggestion; missing keys keep their current values.
+void applyPeerConfigJson(PeerdConfig& config, const std::string& text);
+
+/// Cross-field sanity; throws InvariantViolation with a message.
+void validatePeerConfig(const PeerdConfig& config);
+
+/// Parse the comma-separated "host:port" peer list. Throws on bad entries.
+std::vector<PeerAddr> parsePeerList(const std::string& spec);
+
+}  // namespace dtncache::peer

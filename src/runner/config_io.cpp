@@ -1,200 +1,13 @@
 #include "runner/config_io.hpp"
 
-#include <cmath>
 #include <fstream>
-#include <map>
 #include <sstream>
-#include <variant>
 
+#include "runner/flat_json.hpp"
 #include "sim/assert.hpp"
 
 namespace dtncache::runner {
 namespace {
-
-using JsonValue = std::variant<double, bool, std::string>;
-
-// ---- flat-JSON reader --------------------------------------------------------
-
-class FlatJsonParser {
- public:
-  explicit FlatJsonParser(const std::string& text) : text_(text) {}
-
-  std::map<std::string, JsonValue> parse() {
-    std::map<std::string, JsonValue> out;
-    skipWs();
-    expect('{');
-    skipWs();
-    if (peek() == '}') {
-      ++pos_;
-      return out;
-    }
-    while (true) {
-      skipWs();
-      const std::string key = parseString();
-      skipWs();
-      expect(':');
-      skipWs();
-      out[key] = parseValue();
-      skipWs();
-      if (peek() == ',') {
-        ++pos_;
-        continue;
-      }
-      expect('}');
-      break;
-    }
-    skipWs();
-    DTNCACHE_CHECK_MSG(pos_ >= text_.size(), "trailing characters after JSON object");
-    return out;
-  }
-
- private:
-  char peek() const {
-    DTNCACHE_CHECK_MSG(pos_ < text_.size(), "unexpected end of JSON");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    DTNCACHE_CHECK_MSG(peek() == c, "expected '" << c << "' at offset " << pos_);
-    ++pos_;
-  }
-  void skipWs() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                                   text_[pos_] == '\t' || text_[pos_] == '\r'))
-      ++pos_;
-  }
-  std::string parseString() {
-    expect('"');
-    std::string s;
-    while (peek() != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        const char esc = peek();
-        ++pos_;
-        switch (esc) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          default:
-            DTNCACHE_CHECK_MSG(false, "unsupported escape \\" << esc);
-        }
-      }
-      s += c;
-    }
-    ++pos_;
-    return s;
-  }
-  JsonValue parseValue() {
-    const char c = peek();
-    if (c == '"') return parseString();
-    if (text_.compare(pos_, 4, "true") == 0) {
-      pos_ += 4;
-      return true;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      pos_ += 5;
-      return false;
-    }
-    // Number.
-    std::size_t end = pos_;
-    while (end < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[end])) || text_[end] == '-' ||
-            text_[end] == '+' || text_[end] == '.' || text_[end] == 'e' ||
-            text_[end] == 'E'))
-      ++end;
-    DTNCACHE_CHECK_MSG(end > pos_, "expected a JSON value at offset " << pos_);
-    const std::string num = text_.substr(pos_, end - pos_);
-    std::size_t used = 0;
-    const double v = std::stod(num, &used);
-    DTNCACHE_CHECK_MSG(used == num.size(), "malformed number '" << num << "'");
-    pos_ = end;
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-// ---- field registry ----------------------------------------------------------
-
-/// One registration pass drives dump, load, and key validation.
-struct FieldBinder {
-  enum class Mode { kDump, kLoad } mode;
-  ExperimentConfig* config = nullptr;
-  std::ostringstream* out = nullptr;
-  const std::map<std::string, JsonValue>* values = nullptr;
-  mutable std::size_t consumed = 0;
-  mutable bool first = true;
-
-  template <typename T>
-  void numeric(const std::string& key, T& field) const {
-    if (mode == Mode::kDump) {
-      emit(key, static_cast<double>(field));
-      return;
-    }
-    if (const auto it = values->find(key); it != values->end()) {
-      DTNCACHE_CHECK_MSG(std::holds_alternative<double>(it->second),
-                         "key '" << key << "' must be a number");
-      const double v = std::get<double>(it->second);
-      if constexpr (std::is_integral_v<T>) {
-        DTNCACHE_CHECK_MSG(std::nearbyint(v) == v, "key '" << key << "' must be integral");
-      }
-      field = static_cast<T>(v);
-      ++consumed;
-    }
-  }
-
-  void boolean(const std::string& key, bool& field) const {
-    if (mode == Mode::kDump) {
-      emitRaw(key, field ? "true" : "false");
-      return;
-    }
-    if (const auto it = values->find(key); it != values->end()) {
-      DTNCACHE_CHECK_MSG(std::holds_alternative<bool>(it->second),
-                         "key '" << key << "' must be a boolean");
-      field = std::get<bool>(it->second);
-      ++consumed;
-    }
-  }
-
-  template <typename Enum>
-  void enumeration(const std::string& key, Enum& field,
-                   const std::vector<std::pair<Enum, std::string>>& names) const {
-    if (mode == Mode::kDump) {
-      for (const auto& [value, name] : names)
-        if (value == field) {
-          emitRaw(key, '"' + name + '"');
-          return;
-        }
-      DTNCACHE_CHECK_MSG(false, "unnamed enum value for key '" << key << "'");
-    }
-    if (const auto it = values->find(key); it != values->end()) {
-      DTNCACHE_CHECK_MSG(std::holds_alternative<std::string>(it->second),
-                         "key '" << key << "' must be a string");
-      const std::string& s = std::get<std::string>(it->second);
-      for (const auto& [value, name] : names)
-        if (name == s) {
-          field = value;
-          ++consumed;
-          return;
-        }
-      DTNCACHE_CHECK_MSG(false, "unknown value '" << s << "' for key '" << key << "'");
-    }
-  }
-
- private:
-  void emit(const std::string& key, double v) const {
-    std::ostringstream num;
-    num.precision(17);
-    num << v;
-    emitRaw(key, num.str());
-  }
-  void emitRaw(const std::string& key, const std::string& v) const {
-    if (!first) *out << ",\n";
-    first = false;
-    *out << "  \"" << key << "\": " << v;
-  }
-};
 
 const std::vector<std::pair<SchemeKind, std::string>>& schemeNames() {
   static const std::vector<std::pair<SchemeKind, std::string>> names = {
@@ -310,16 +123,13 @@ ExperimentConfig loadConfig(const std::string& json) {
 }
 
 void applyConfigJson(ExperimentConfig& config, const std::string& json) {
-  FlatJsonParser parser(json);
-  const auto values = parser.parse();
+  const auto values = parseFlatJson(json);
 
   FieldBinder b;
   b.mode = FieldBinder::Mode::kLoad;
   b.values = &values;
   bindAll(b, config);
-  DTNCACHE_CHECK_MSG(b.consumed == values.size(),
-                     "config contains " << values.size() - b.consumed
-                                        << " unknown key(s)");
+  b.requireAllKnown();
 }
 
 ExperimentConfig loadConfigFile(const std::string& path) {

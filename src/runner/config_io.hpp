@@ -6,13 +6,13 @@
 /// `dumpConfig` writes every tunable of an ExperimentConfig as a flat JSON
 /// object with dotted keys ("trace.nodeCount": 97, "hierarchical.theta":
 /// 0.9); `loadConfig` parses the same format back, rejecting unknown keys
-/// (a typo silently running the defaults would fabricate results). The
-/// CLI exposes these as `--dump-config` / `--config=<file>`, so any run
-/// can be archived and replayed exactly.
+/// with a nearest-valid-key suggestion (a typo silently running the
+/// defaults would fabricate results). The CLI exposes these as
+/// `--dump-config` / `--config=<file>`, so any run can be archived and
+/// replayed exactly.
 ///
-/// The parser is a deliberately minimal flat-JSON reader (strings,
-/// numbers, booleans; no nesting or arrays) — the format is ours, and a
-/// third-party JSON dependency would be heavier than the feature.
+/// The parser and the field-binder machinery live in flat_json.hpp, shared
+/// with the peer daemon's `peer.*` config namespace (src/peer/peer_config).
 
 #include <string>
 

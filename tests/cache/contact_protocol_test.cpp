@@ -1,0 +1,46 @@
+#include "cache/contact_protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dtncache::cache {
+namespace {
+
+TEST(ContactProtocol, WantsVersionIsStrictFreshnessImprovement) {
+  EXPECT_TRUE(ContactProtocol::wantsVersion(std::nullopt, 1));
+  EXPECT_TRUE(ContactProtocol::wantsVersion(2, 3));
+  EXPECT_FALSE(ContactProtocol::wantsVersion(3, 3));  // equal is not news
+  EXPECT_FALSE(ContactProtocol::wantsVersion(4, 3));
+}
+
+TEST(ContactProtocol, DecidePushOrdersItsChecks) {
+  // Non-caching wins over staleness: no speculative pushes to nodes that
+  // will not store the item.
+  EXPECT_EQ(ContactProtocol::decidePush(std::nullopt, 5, false),
+            PushVerdict::kNotCachingNode);
+  EXPECT_EQ(ContactProtocol::decidePush(1, 5, false), PushVerdict::kNotCachingNode);
+
+  EXPECT_EQ(ContactProtocol::decidePush(std::nullopt, 1, true), PushVerdict::kSend);
+  EXPECT_EQ(ContactProtocol::decidePush(4, 5, true), PushVerdict::kSend);
+  EXPECT_EQ(ContactProtocol::decidePush(5, 5, true), PushVerdict::kReceiverCurrent);
+  EXPECT_EQ(ContactProtocol::decidePush(6, 5, true), PushVerdict::kReceiverCurrent);
+}
+
+TEST(ContactProtocol, HandshakeBytesScaleWithCatalog) {
+  EXPECT_EQ(ContactProtocol::handshakeBytes(0, 12), net::kHeaderBytes);
+  EXPECT_EQ(ContactProtocol::handshakeBytes(10, 12), net::kHeaderBytes + 120u);
+  // Large catalogs must not overflow 32-bit arithmetic.
+  EXPECT_EQ(ContactProtocol::handshakeBytes(1u << 28, 16),
+            net::kHeaderBytes + (static_cast<std::uint64_t>(1) << 32));
+}
+
+TEST(ContactProtocol, PushWireBytesAddHeaderToPayload) {
+  EXPECT_EQ(ContactProtocol::pushWireBytes(0), net::kHeaderBytes);
+  EXPECT_EQ(ContactProtocol::pushWireBytes(500), net::kHeaderBytes + 500u);
+}
+
+// The rules are constexpr so the simulator can fold them; keep that true.
+static_assert(ContactProtocol::decidePush(std::nullopt, 1, true) == PushVerdict::kSend);
+static_assert(!ContactProtocol::wantsVersion(2, 2));
+
+}  // namespace
+}  // namespace dtncache::cache

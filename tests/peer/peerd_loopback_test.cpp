@@ -1,0 +1,148 @@
+#include "peer/peerd.hpp"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace dtncache::peer {
+namespace {
+
+PeerdConfig fastConfig(NodeId node, std::uint32_t nodeCount, std::uint32_t itemCount) {
+  PeerdConfig config;
+  config.node = node;
+  config.nodeCount = nodeCount;
+  config.itemCount = itemCount;
+  config.listenPort = 0;  // kernel-assigned; tests never collide
+  config.vvIntervalSeconds = 0.02;
+  config.bumpIntervalSeconds = 0.02;
+  config.maintenanceIntervalSeconds = 0.1;
+  config.bumpLimit = 3;
+  config.payloadBytes = 16;
+  config.reconnectBaseSeconds = 0.02;
+  config.reconnectMaxSeconds = 0.2;
+  return config;
+}
+
+std::string loopbackPeer(const Peerd& daemon) {
+  return "127.0.0.1:" + std::to_string(daemon.boundPort());
+}
+
+// Poll `done` on the shared loop until it holds or the deadline passes.
+void runUntil(EventLoop& loop, const std::function<bool()>& done,
+              double deadlineSeconds = 20.0) {
+  const double start = loop.now();
+  std::function<void()> poll = [&] {
+    if (done() || loop.now() - start > deadlineSeconds) {
+      loop.stop();
+      return;
+    }
+    loop.runAfter(0.01, poll);
+  };
+  loop.runAfter(0.01, poll);
+  loop.run();
+}
+
+TEST(PeerdLoopback, TwoPeersConvergeOverTcp) {
+  EventLoop loop;
+  obs::Tracer tracerA("loop-a");
+  obs::Tracer tracerB("loop-b");
+  obs::Registry registry;
+
+  // Item 0 is sourced by node 0, item 1 by node 1; each side must learn
+  // the other's bumps over the real socket path to converge.
+  Peerd a(fastConfig(0, 2, 2), &tracerA, &registry, &loop);
+  ASSERT_TRUE(a.start());
+
+  PeerdConfig configB = fastConfig(1, 2, 2);
+  configB.peers = loopbackPeer(a);
+  Peerd b(std::move(configB), &tracerB, &registry, &loop);
+  ASSERT_TRUE(b.start());
+
+  const auto converged = [&] {
+    for (data::ItemId item = 0; item < 2; ++item) {
+      if (a.heldVersion(item).value_or(0) != 3) return false;
+      if (b.heldVersion(item).value_or(0) != 3) return false;
+    }
+    return true;
+  };
+  runUntil(loop, converged);
+
+  EXPECT_TRUE(converged()) << "freshness did not converge within the deadline";
+  EXPECT_EQ(a.establishedCount(), 1u);
+  EXPECT_EQ(b.establishedCount(), 1u);
+  EXPECT_GE(registry.counter("peer.push.installed").value(), 2u);
+
+  // Both traces carry the same install schema a simulation trace uses.
+  std::ostringstream traceText;
+  tracerB.flushTo(traceText);
+  EXPECT_NE(traceText.str().find("\"kind\": \"install\""), std::string::npos);
+  EXPECT_NE(traceText.str().find("\"kind\": \"contact\""), std::string::npos);
+}
+
+TEST(PeerdLoopback, DiskBackedPeerResumesAfterRestart) {
+  const std::string storePath = std::string(::testing::TempDir()) +
+                                "dtncache_loopback_store_" +
+                                std::to_string(::getpid()) + ".log";
+  std::remove(storePath.c_str());
+
+  std::uint16_t firstPort = 0;
+  {
+    EventLoop loop;
+    PeerdConfig config = fastConfig(0, 2, 1);
+    config.storePath = storePath;
+    Peerd daemon(std::move(config), nullptr, nullptr, &loop);
+    ASSERT_TRUE(daemon.start());
+    firstPort = daemon.boundPort();
+    runUntil(loop, [&] { return daemon.heldVersion(0).value_or(0) >= 3; }, 10.0);
+    EXPECT_EQ(daemon.heldVersion(0).value_or(0), 3u);
+    // No graceful shutdown on purpose: the log must carry the state alone.
+  }
+  {
+    EventLoop loop;
+    PeerdConfig config = fastConfig(0, 2, 1);
+    config.storePath = storePath;
+    config.bumpLimit = 5;
+    Peerd daemon(std::move(config), nullptr, nullptr, &loop);
+    ASSERT_TRUE(daemon.start());
+    // The restarted source resumed from v3 and kept counting — it must
+    // reach 5 without ever re-issuing versions 1..3.
+    EXPECT_EQ(daemon.heldVersion(0).value_or(0), 3u);
+    runUntil(loop, [&] { return daemon.heldVersion(0).value_or(0) >= 5; }, 10.0);
+    EXPECT_EQ(daemon.heldVersion(0).value_or(0), 5u);
+  }
+  (void)firstPort;
+  std::remove(storePath.c_str());
+}
+
+TEST(PeerdLoopback, GarbageBytesAreRejectedNotFatal) {
+  EventLoop loop;
+  obs::Registry registry;
+  Peerd daemon(fastConfig(0, 2, 1), nullptr, &registry, &loop);
+  ASSERT_TRUE(daemon.start());
+
+  const int client = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.boundPort());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(client, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  const char garbage[] = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::send(client, garbage, sizeof garbage, 0),
+            static_cast<ssize_t>(sizeof garbage));
+
+  obs::Counter& rejected = registry.counter("peer.net.frames_rejected");
+  runUntil(loop, [&] { return rejected.value() >= 1; }, 10.0);
+  EXPECT_GE(rejected.value(), 1u);
+  EXPECT_EQ(daemon.establishedCount(), 0u);
+  ::close(client);
+}
+
+}  // namespace
+}  // namespace dtncache::peer

@@ -1,0 +1,233 @@
+#include "peer/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+namespace dtncache::peer {
+namespace {
+
+DecodeResult decodeAll(const std::vector<std::uint8_t>& bytes) {
+  return decodeFrame(bytes.data(), bytes.size());
+}
+
+TEST(Wire, HeaderLayoutIsExplicitLittleEndian) {
+  const std::vector<std::uint8_t> bytes = encodeFrame(Bye{});
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  // "DTNC" on the wire, little-endian magic.
+  EXPECT_EQ(bytes[0], 'D');
+  EXPECT_EQ(bytes[1], 'T');
+  EXPECT_EQ(bytes[2], 'N');
+  EXPECT_EQ(bytes[3], 'C');
+  EXPECT_EQ(bytes[4], kWireVersion);
+  EXPECT_EQ(bytes[5], static_cast<std::uint8_t>(FrameType::kBye));
+  EXPECT_EQ(bytes[6], 0);  // reserved
+  EXPECT_EQ(bytes[7], 0);
+  EXPECT_EQ(bytes[8], 0);  // zero-length payload
+  EXPECT_EQ(bytes[11], 0);
+}
+
+TEST(Wire, HelloRoundTrip) {
+  const Hello in{7, 40, 100};
+  const auto r = decodeAll(encodeFrame(in));
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  const auto& out = std::get<Hello>(*r.frame);
+  EXPECT_EQ(out.node, 7u);
+  EXPECT_EQ(out.nodeCount, 40u);
+  EXPECT_EQ(out.itemCount, 100u);
+}
+
+TEST(Wire, VersionVectorRoundTrip) {
+  VersionVector in;
+  in.entries = {{0, 1}, {3, 0xDEADBEEFCAFEull}, {0xFFFFFFFEu, 42}};
+  const auto r = decodeAll(encodeFrame(in));
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  const auto& out = std::get<VersionVector>(*r.frame);
+  ASSERT_EQ(out.entries.size(), 3u);
+  EXPECT_EQ(out.entries[1].item, 3u);
+  EXPECT_EQ(out.entries[1].version, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(out.entries[2].item, 0xFFFFFFFEu);
+}
+
+TEST(Wire, EmptyVersionVectorRoundTrip) {
+  const auto r = decodeAll(encodeFrame(VersionVector{}));
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  EXPECT_TRUE(std::get<VersionVector>(*r.frame).entries.empty());
+}
+
+TEST(Wire, RefreshPushRoundTrip) {
+  RefreshPush in;
+  in.item = 9;
+  in.version = 12345;
+  in.payload = {0x00, 0xFF, 0x42, 0x13};
+  const auto r = decodeAll(encodeFrame(in));
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  const auto& out = std::get<RefreshPush>(*r.frame);
+  EXPECT_EQ(out.item, 9u);
+  EXPECT_EQ(out.version, 12345u);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(Wire, QueryReplyReparentByeRoundTrip) {
+  {
+    const auto r = decodeAll(encodeFrame(Query{77, 5}));
+    ASSERT_EQ(r.status, DecodeStatus::kFrame);
+    EXPECT_EQ(std::get<Query>(*r.frame).queryId, 77u);
+  }
+  {
+    const auto r = decodeAll(encodeFrame(Reply{77, 5, 3, true}));
+    ASSERT_EQ(r.status, DecodeStatus::kFrame);
+    const auto& reply = std::get<Reply>(*r.frame);
+    EXPECT_EQ(reply.version, 3u);
+    EXPECT_TRUE(reply.hasCopy);
+  }
+  {
+    const auto r = decodeAll(encodeFrame(Reparent{2, 8, 1}));
+    ASSERT_EQ(r.status, DecodeStatus::kFrame);
+    EXPECT_EQ(std::get<Reparent>(*r.frame).newParent, 1u);
+  }
+  {
+    const auto r = decodeAll(encodeFrame(Bye{}));
+    ASSERT_EQ(r.status, DecodeStatus::kFrame);
+    EXPECT_TRUE(std::holds_alternative<Bye>(*r.frame));
+  }
+}
+
+TEST(Wire, EveryProperPrefixNeedsMore) {
+  RefreshPush push;
+  push.item = 1;
+  push.version = 2;
+  push.payload = {1, 2, 3, 4, 5};
+  const std::vector<std::uint8_t> bytes = encodeFrame(push);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    const DecodeResult r = decodeFrame(bytes.data(), len);
+    EXPECT_EQ(r.status, DecodeStatus::kNeedMore) << "prefix length " << len;
+  }
+}
+
+TEST(Wire, StreamDecodesFirstFrameAndLeavesTail) {
+  std::vector<std::uint8_t> stream = encodeFrame(Query{1, 2});
+  const std::vector<std::uint8_t> second = encodeFrame(Bye{});
+  stream.insert(stream.end(), second.begin(), second.end());
+  const DecodeResult r = decodeFrame(stream.data(), stream.size());
+  ASSERT_EQ(r.status, DecodeStatus::kFrame);
+  EXPECT_TRUE(std::holds_alternative<Query>(*r.frame));
+  EXPECT_EQ(r.consumed, stream.size() - second.size());
+  const DecodeResult r2 = decodeFrame(stream.data() + r.consumed, second.size());
+  ASSERT_EQ(r2.status, DecodeStatus::kFrame);
+  EXPECT_TRUE(std::holds_alternative<Bye>(*r2.frame));
+}
+
+TEST(Wire, RejectsBadMagic) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Bye{});
+  bytes[0] ^= 0x01;
+  const auto r = decodeAll(bytes);
+  EXPECT_EQ(r.status, DecodeStatus::kReject);
+  EXPECT_STREQ(r.error, "bad magic");
+}
+
+TEST(Wire, RejectsWrongVersion) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Bye{});
+  bytes[4] = kWireVersion + 1;
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+}
+
+TEST(Wire, RejectsNonzeroReserved) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Bye{});
+  bytes[6] = 1;
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+}
+
+TEST(Wire, RejectsUnknownType) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Bye{});
+  bytes[5] = 0;
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+  bytes[5] = 200;
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+}
+
+TEST(Wire, RejectsOversizedLength) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Bye{});
+  // Patch in a length just above the cap; no payload needs to follow — the
+  // header alone must be rejected (not kNeedMore, which would make a peer
+  // wait for 16 MiB that never arrives).
+  const std::uint32_t huge = kMaxPayloadBytes + 1;
+  std::memcpy(bytes.data() + 8, &huge, 4);
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+}
+
+TEST(Wire, RejectsVersionVectorCountMismatch) {
+  VersionVector vv;
+  vv.entries = {{1, 2}, {3, 4}};
+  std::vector<std::uint8_t> bytes = encodeFrame(vv);
+  bytes[kFrameHeaderBytes] = 200;  // count claims 200, payload holds 2
+  const auto r = decodeAll(bytes);
+  ASSERT_EQ(r.status, DecodeStatus::kReject);
+  EXPECT_NE(std::strstr(r.error, "count"), nullptr);
+}
+
+TEST(Wire, RejectsPushPayloadLengthMismatch) {
+  RefreshPush push;
+  push.item = 1;
+  push.version = 1;
+  push.payload = {9, 9, 9};
+  std::vector<std::uint8_t> bytes = encodeFrame(push);
+  bytes[kFrameHeaderBytes + 12] += 1;  // inner payloadLen now disagrees
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+}
+
+TEST(Wire, RejectsNonBooleanReplyFlag) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Reply{1, 2, 3, true});
+  bytes[bytes.size() - 1] = 2;
+  EXPECT_EQ(decodeAll(bytes).status, DecodeStatus::kReject);
+}
+
+TEST(Wire, RejectsTrailingPayloadBytes) {
+  std::vector<std::uint8_t> bytes = encodeFrame(Query{1, 2});
+  bytes.push_back(0);  // extra payload byte...
+  bytes[8] += 1;       // ...accounted in the header length
+  const auto r = decodeAll(bytes);
+  ASSERT_EQ(r.status, DecodeStatus::kReject);
+  EXPECT_NE(std::strstr(r.error, "trailing"), nullptr);
+}
+
+// Deterministic mutation fuzz: flip bytes all over valid frames and check
+// the decoder's contract — it must classify every input without crashing,
+// throwing, or over-reading (ASan covers the latter in CI).
+TEST(Wire, MutationFuzzNeverThrows) {
+  std::uint64_t rng = 0x9E3779B97F4A7C15ull;
+  const auto next = [&rng] {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+
+  VersionVector vv;
+  for (std::uint32_t i = 0; i < 16; ++i) vv.entries.push_back({i, i * 977u});
+  RefreshPush push;
+  push.payload.assign(64, 0xAB);
+  const std::vector<FrameBody> corpus = {Hello{1, 8, 4}, vv, push, Query{5, 1},
+                                         Reply{5, 1, 9, true}, Reparent{1, 2, 3}, Bye{}};
+
+  for (const FrameBody& seed : corpus) {
+    const std::vector<std::uint8_t> original = encodeFrame(seed);
+    for (int round = 0; round < 500; ++round) {
+      std::vector<std::uint8_t> bytes = original;
+      const std::size_t flips = 1 + next() % 4;
+      for (std::size_t f = 0; f < flips; ++f)
+        bytes[next() % bytes.size()] ^= static_cast<std::uint8_t>(1 + next() % 255);
+      if (next() % 4 == 0) bytes.resize(next() % (bytes.size() + 1));
+      const DecodeResult r = decodeFrame(bytes.data(), bytes.size());
+      if (r.status == DecodeStatus::kFrame) {
+        EXPECT_LE(r.consumed, bytes.size());
+        EXPECT_TRUE(r.frame.has_value());
+      } else if (r.status == DecodeStatus::kReject) {
+        EXPECT_NE(r.error, nullptr);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dtncache::peer

@@ -83,6 +83,30 @@ TEST(ConfigIo, UnknownKeyRejected) {
   EXPECT_THROW(loadConfig(R"({"catalogg.itemCount": 4})"), InvariantViolation);
 }
 
+TEST(ConfigIo, UnknownKeySuggestsNearestValidKey) {
+  try {
+    loadConfig(R"({"cache.warmStarts": true})");
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown config key 'cache.warmStarts'"), std::string::npos)
+        << message;
+    EXPECT_NE(message.find("did you mean 'cache.warmStart'"), std::string::npos)
+        << message;
+  }
+}
+
+TEST(ConfigIo, UnknownKeyFarFromEverythingGetsNoSuggestion) {
+  try {
+    loadConfig(R"({"zzz.qqq": 1})");
+    FAIL() << "expected InvariantViolation";
+  } catch (const InvariantViolation& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("unknown config key 'zzz.qqq'"), std::string::npos) << message;
+    EXPECT_EQ(message.find("did you mean"), std::string::npos) << message;
+  }
+}
+
 TEST(ConfigIo, TypeMismatchRejected) {
   EXPECT_THROW(loadConfig(R"({"catalog.itemCount": "four"})"), InvariantViolation);
   EXPECT_THROW(loadConfig(R"({"cache.warmStart": 1})"), InvariantViolation);
