@@ -25,6 +25,7 @@
 #include "runner/config_io.hpp"
 #include "runner/experiment.hpp"
 #include "sweep/sweep_engine.hpp"
+#include "trace/mobility.hpp"
 #include "trace/one_format.hpp"
 
 using namespace dtncache;
@@ -45,8 +46,10 @@ std::optional<runner::SchemeKind> parseScheme(const std::string& name) {
 int main(int argc, char** argv) {
   runner::ArgParser args(argc, argv);
 
-  const std::string traceName =
-      args.getString("--trace", "infocom", "trace preset: reality | infocom");
+  const std::string traceName = args.getString(
+      "--trace", "infocom", "trace preset: reality | infocom | mobility");
+  const auto nodesFlag =
+      args.getInt("--nodes", 0, "node count for the mobility preset (0 = preset default)");
   const std::string traceFile =
       args.getString("--trace-file", "", "CSV contact trace to run instead of a preset");
   const std::string traceOne =
@@ -122,11 +125,17 @@ int main(int argc, char** argv) {
       config.trace = trace::realityLikeConfig(static_cast<std::uint64_t>(seed));
     } else if (traceName == "infocom") {
       config.trace = trace::infocomLikeConfig(static_cast<std::uint64_t>(seed));
+    } else if (traceName == "mobility") {
+      config.trace = trace::mobilityConfig(
+          nodesFlag > 0 ? static_cast<std::size_t>(nodesFlag) : 1000,
+          static_cast<std::uint64_t>(seed));
     } else {
       std::cerr << "error: unknown trace preset '" << traceName << "'\n";
       return 2;
     }
   }
+  if (nodesFlag > 0 && traceName != "mobility" && !external)
+    config.trace.nodeCount = static_cast<std::size_t>(nodesFlag);
   if (external) config.externalTrace = &*external;
   if (days > 0.0) config.trace.duration = sim::days(days);
 

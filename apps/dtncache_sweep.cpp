@@ -27,6 +27,7 @@
 #include "runner/args.hpp"
 #include "runner/config_io.hpp"
 #include "sweep/result_sink.hpp"
+#include "trace/mobility.hpp"
 #include "sweep/sweep_engine.hpp"
 #include "sweep/thread_pool.hpp"
 
@@ -102,7 +103,10 @@ int runSweep(int argc, char** argv) {
   const std::string configFile =
       args.getString("--config", "", "base config JSON (config_io format)");
   const std::string traceName = args.getString(
-      "--trace", "infocom", "preset base when no --config: reality | infocom");
+      "--trace", "infocom",
+      "preset base when no --config: reality | infocom | mobility");
+  const auto nodesFlag = args.getInt(
+      "--nodes", 0, "node count for the mobility preset (0 = preset default)");
   const double days =
       args.getDouble("--days", 0.0, "override trace duration in days (0 = preset)");
   const std::string schemeSpec = args.getString(
@@ -146,6 +150,12 @@ int runSweep(int argc, char** argv) {
     grid.base.catalog.refreshPeriod = sim::hours(6);
     grid.base.workload.queriesPerNodePerDay = 2.0;
     grid.base.workload.queryDeadline = sim::hours(3);
+  } else if (traceName == "mobility") {
+    grid.base.trace = trace::mobilityConfig(
+        nodesFlag > 0 ? static_cast<std::size_t>(nodesFlag) : 1000);
+    grid.base.catalog.refreshPeriod = sim::days(2);
+    grid.base.workload.queriesPerNodePerDay = 1.0;
+    grid.base.workload.queryDeadline = sim::days(1);
   } else {
     errors.push_back("unknown trace preset '" + traceName + "'");
   }

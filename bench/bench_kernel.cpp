@@ -28,6 +28,7 @@
 
 #include "bench/common.hpp"
 #include "cache/cache_store.hpp"
+#include "cache/centrality.hpp"
 #include "core/freshness.hpp"
 #include "core/hierarchical_scheme.hpp"
 #include "core/hierarchy.hpp"
@@ -390,6 +391,92 @@ Metrics benchMaintenanceTick(bool quick, int reps) {
   return m;
 }
 
+/// Streamed mobility generation at large N: contact throughput of the
+/// heap-driven SyntheticMobility stream. This is the generation cost a
+/// 10^5-node scenario pays — O(edges) memory, no O(N^2) pass anywhere.
+Metrics benchMobilityStream(std::size_t nodes, sim::SimTime duration) {
+  auto cfg = trace::mobilityConfig(nodes, 1);
+  cfg.duration = duration;
+  const auto t0 = Clock::now();
+  trace::SyntheticMobility stream(cfg);
+  const double buildSecs = secondsSince(t0);
+  std::size_t contacts = 0;
+  trace::Contact c;
+  const auto t1 = Clock::now();
+  while (stream.next(c)) ++contacts;
+  const double streamSecs = secondsSince(t1);
+  Metrics m;
+  m.set("edges", static_cast<double>(stream.edgeCount()));
+  m.set("contacts", static_cast<double>(contacts));
+  m.set("contacts_per_sec", static_cast<double>(contacts) / streamSecs);
+  m.set("build_ms", buildSecs * 1e3);
+  m.set("wall_ms", (buildSecs + streamSecs) * 1e3);
+  DTNCACHE_CHECK(contacts > 0);
+  return m;
+}
+
+/// Sparse estimator at large N: feed a mobility stream's contacts, then
+/// measure incremental snapshots (the maintenance-tick shape) where pair
+/// state, dirty tracking, and the output matrix are all observed-pair
+/// sized. A dense estimator at this node count would need a multi-GB
+/// triangle before the first contact.
+Metrics benchSparseEstimator(std::size_t nodes, std::size_t snapshots) {
+  auto cfg = trace::mobilityConfig(nodes, 2);
+  cfg.duration = sim::days(1);
+  trace::SyntheticMobility stream(cfg);
+  trace::EstimatorConfig ecfg;
+  ecfg.mode = trace::EstimatorMode::kEwma;
+  ecfg.backend = trace::PairBackend::kSparse;
+  trace::ContactRateEstimator est(nodes, ecfg, 0.0);
+  trace::Contact c;
+  sim::SimTime now = 0.0;
+  while (stream.next(c)) {
+    est.recordContact(c.a, c.b, c.start);
+    now = c.start;
+  }
+  trace::RateMatrix m;
+  est.snapshotInto(m, now);  // prime
+  std::uint64_t s = 23;
+  std::size_t changed = 0;
+  const auto t0 = Clock::now();
+  for (std::size_t k = 0; k < snapshots; ++k) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      const NodeId a = static_cast<NodeId>(mix64(s) % nodes);
+      NodeId b = static_cast<NodeId>(mix64(s) % nodes);
+      if (a == b) b = static_cast<NodeId>((b + 1) % nodes);
+      est.recordContact(a, b, now);
+    }
+    now += sim::minutes(10);
+    changed += est.snapshotInto(m, now).changedPairs;
+  }
+  const double secs = secondsSince(t0);
+  Metrics out;
+  out.set("observed_pairs", static_cast<double>(est.observedPairCount()));
+  out.set("snapshots_per_sec", static_cast<double>(snapshots) / secs);
+  out.set("us_per_snapshot", secs * 1e6 / static_cast<double>(snapshots));
+  DTNCACHE_CHECK(changed > 0);
+  return out;
+}
+
+/// Sparse centrality at large N: capability + greedy NCL selection over a
+/// 10^5-node sparse rate matrix — O(edges · k) instead of O(N^2 · k).
+Metrics benchSparseCentrality(std::size_t nodes, std::size_t k, int reps) {
+  auto cfg = trace::mobilityConfig(nodes, 3);
+  const trace::RateMatrix rates = trace::SyntheticMobility(cfg).groundTruthRates();
+  std::vector<NodeId> ncls;
+  const double secs = bestSeconds(reps, [&] {
+    const auto cap = cache::contactCapability(rates, sim::hours(6));
+    DTNCACHE_CHECK(!cap.empty());
+    ncls = cache::selectNcls(rates, sim::hours(6), k);
+  });
+  Metrics m;
+  m.set("edges", static_cast<double>(rates.observedPairCount()));
+  m.set("selects_per_sec", 1.0 / secs);
+  m.set("ms_per_select", secs * 1e3);
+  DTNCACHE_CHECK(ncls.size() == k);
+  return m;
+}
+
 void writeJson(const std::string& path, const std::string& label, bool quick,
                const std::vector<std::pair<std::string, Metrics>>& results) {
   std::ofstream out(path);
@@ -487,6 +574,21 @@ int main(int argc, char** argv) {
 
   run("estimator_snapshot", benchEstimatorSnapshot(200, 16, quick ? 500 : 2000));
   run("maintenance_tick", benchMaintenanceTick(quick, quick ? 2 : 3));
+
+  // Large-N suite: the sparse pair-state backend and the streamed mobility
+  // generator at scales the dense paths cannot reach (docs/scaling.md).
+  // Node counts stay at 10^5 even in quick mode — sparse costs scale with
+  // observed pairs, so only durations/iterations shrink.
+  run("mobility_stream_100k",
+      benchMobilityStream(100'000, quick ? sim::days(1) : sim::days(7)));
+  run("sparse_estimator_100k", benchSparseEstimator(100'000, quick ? 100 : 400));
+  run("sparse_centrality_100k", benchSparseCentrality(100'000, 8, quick ? 1 : 2));
+  {
+    auto cfg = mobilityExperimentConfig(quick ? 20'000 : 50'000, 1);
+    if (quick) cfg.trace.duration = sim::days(1);
+    run(quick ? "sim_experiment_mobility_20k" : "sim_experiment_mobility_50k",
+        benchExperiment(cfg, quick ? 1 : 2));
+  }
 
   if (!jsonPath.empty()) {
     writeJson(jsonPath, label, quick, results);

@@ -6,6 +6,10 @@ Reads the output of `dtncache --trace-out=...` or `dtncache_sweep
 per run fingerprint:
 
   - an event-kind histogram;
+  - pair-sparsity stats over contact events: distinct node pairs observed
+    vs the n*(n-1)/2 possible, and the degree distribution — the numbers
+    that decide whether the sparse pair-state backend pays off (see
+    docs/scaling.md);
   - a per-item freshness timeline: for every version_bump, how the new
     version propagated through the caching set (pushes over time, time to
     first/median/last delivery before the next bump);
@@ -50,6 +54,31 @@ def load_events(stream):
             raise SystemExit(f"line {lineno}: not JSON: {err}")
         runs[event.get("run", "?")].append(event)
     return runs
+
+
+def pair_sparsity(events):
+    """Distinct contact pairs, node footprint, and degree spread.
+
+    Counts every event kind that names a node pair (`a`, `b`): delivered,
+    suppressed, and lost contacts all witness that the pair can meet, which
+    is what sizes the sparse backend's state (docs/scaling.md).
+    """
+    pairs = set()
+    contacts = 0
+    degree = collections.Counter()
+    max_node = -1
+    for event in events:
+        a, b = event.get("a"), event.get("b")
+        if a is None or b is None:
+            continue
+        contacts += 1
+        max_node = max(max_node, a, b)
+        pair = (a, b) if a < b else (b, a)
+        if pair not in pairs:
+            pairs.add(pair)
+            degree[a] += 1
+            degree[b] += 1
+    return contacts, pairs, degree, max_node + 1
 
 
 def freshness_timelines(events, only_item=None):
@@ -97,6 +126,18 @@ def summarize(run, events, args):
     histogram = collections.Counter(e["kind"] for e in events)
     for kind, count in histogram.most_common():
         print(f"  {kind:<22} {count}")
+
+    contacts, pairs, degree, nodes = pair_sparsity(events)
+    if pairs:
+        possible = nodes * (nodes - 1) // 2
+        degrees = sorted(degree.values())
+        print(f"\n  pair sparsity: {len(pairs)} distinct pair(s) over "
+              f"{contacts} contact(s), >= {nodes} node(s)")
+        if possible:
+            print(f"    observed/possible: {len(pairs)}/{possible} "
+                  f"({len(pairs) / possible:.3g})")
+        print(f"    degree (nodes with contacts): median {median(degrees):.0f}, "
+              f"max {degrees[-1]}, mean {2 * len(pairs) / len(degrees):.1f}")
 
     order, delays = freshness_timelines(events, args.item)
     if order:

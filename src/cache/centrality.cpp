@@ -1,6 +1,7 @@
 #include "cache/centrality.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 
 #include "sim/assert.hpp"
@@ -11,10 +12,27 @@ std::vector<double> contactCapability(const trace::RateMatrix& rates, sim::SimTi
   DTNCACHE_CHECK(window > 0.0);
   const std::size_t n = rates.nodeCount();
   std::vector<double> cap(n, 0.0);
+  if (!rates.isSparse()) {
+    for (NodeId i = 0; i < n; ++i) {
+      double sum = 0.0;
+      for (NodeId j = 0; j < n; ++j)
+        if (j != i) sum += rates.meetingProbability(i, j, window);
+      cap[i] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
+    }
+    return cap;
+  }
+  // Sparse: stored neighbors (ascending, matching the dense j-order on the
+  // pairs that exist) plus the closed-form default term for the rest. With
+  // defaultRate == 0 the default term is exactly 0.0 and the two paths are
+  // bit-identical.
+  const double defaultP = trace::contactProbability(rates.defaultRate(), window);
   for (NodeId i = 0; i < n; ++i) {
     double sum = 0.0;
-    for (NodeId j = 0; j < n; ++j)
-      if (j != i) sum += rates.meetingProbability(i, j, window);
+    rates.forEachNeighbor(i, [&](NodeId, double r) {
+      sum += trace::contactProbability(r, window);
+    });
+    if (defaultP > 0.0)
+      sum += defaultP * static_cast<double>(n - 1 - rates.neighborCount(i));
     cap[i] = n > 1 ? sum / static_cast<double>(n - 1) : 0.0;
   }
   return cap;
@@ -43,15 +61,30 @@ std::vector<NodeId> selectNcls(const trace::RateMatrix& rates, sim::SimTime wind
   std::vector<double> notCovered(n, 1.0);
   std::vector<bool> isChosen(n, false);
 
+  // Sparse fast path: with a zero default rate a candidate's gain has
+  // nonzero terms only at stored neighbors (P == 0.0 elsewhere), and the
+  // coverage update multiplies non-neighbors by exactly 1.0 — both loops
+  // shrink to the adjacency row without changing a single bit. A nonzero
+  // default keeps the generic per-pair loop (correct, dense-cost).
+  const bool sparseFast =
+      rates.isSparse() && trace::contactProbability(rates.defaultRate(), window) == 0.0;
+
   for (std::size_t pick = 0; pick < k; ++pick) {
     NodeId best = kNoNode;
     double bestGain = -1.0;
     for (NodeId cand = 0; cand < n; ++cand) {
       if (isChosen[cand]) continue;
       double gain = 0.0;
-      for (NodeId j = 0; j < n; ++j) {
-        if (j == cand || isChosen[j]) continue;
-        gain += notCovered[j] * rates.meetingProbability(cand, j, window);
+      if (sparseFast) {
+        rates.forEachNeighbor(cand, [&](NodeId j, double r) {
+          if (!isChosen[j])
+            gain += notCovered[j] * trace::contactProbability(r, window);
+        });
+      } else {
+        for (NodeId j = 0; j < n; ++j) {
+          if (j == cand || isChosen[j]) continue;
+          gain += notCovered[j] * rates.meetingProbability(cand, j, window);
+        }
       }
       if (gain > bestGain) {
         bestGain = gain;
@@ -61,9 +94,15 @@ std::vector<NodeId> selectNcls(const trace::RateMatrix& rates, sim::SimTime wind
     DTNCACHE_CHECK(best != kNoNode);
     isChosen[best] = true;
     chosen.push_back(best);
-    for (NodeId j = 0; j < n; ++j) {
-      if (j == best) continue;
-      notCovered[j] *= 1.0 - rates.meetingProbability(best, j, window);
+    if (sparseFast) {
+      rates.forEachNeighbor(best, [&](NodeId j, double r) {
+        notCovered[j] *= 1.0 - trace::contactProbability(r, window);
+      });
+    } else {
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == best) continue;
+        notCovered[j] *= 1.0 - rates.meetingProbability(best, j, window);
+      }
     }
   }
   return chosen;
@@ -79,16 +118,69 @@ double CentralityState::prob(NodeId i, NodeId j) const {
   return probs_[static_cast<std::size_t>(i) * (2 * n_ - i - 1) / 2 + (j - i - 1)];
 }
 
+double CentralityState::rowProb(NodeId i, NodeId j) const {
+  const auto& row = rowProbs_[i];
+  const auto it = std::lower_bound(
+      row.begin(), row.end(), j,
+      [](const std::pair<NodeId, double>& e, NodeId id) { return e.first < id; });
+  return (it != row.end() && it->first == j) ? it->second : defaultP_;
+}
+
+void CentralityState::rebuildRow(NodeId i, const trace::RateMatrix& rates,
+                                 sim::SimTime window) {
+  auto& row = rowProbs_[i];
+  row.clear();
+  rates.forEachNeighbor(i, [&](NodeId j, double r) {
+    row.emplace_back(j, trace::contactProbability(r, window));
+  });
+}
+
+double CentralityState::rowCapability(NodeId i) const {
+  const auto& row = rowProbs_[i];
+  double sum = 0.0;
+  if (neighborCap_ > 0 && row.size() > neighborCap_) {
+    // Truncated sum: the cap highest probabilities, added in descending
+    // order (deterministic — equal values commute bit-exactly).
+    capScratch_.clear();
+    for (const auto& e : row) capScratch_.push_back(e.second);
+    std::nth_element(capScratch_.begin(), capScratch_.begin() + neighborCap_,
+                     capScratch_.end(), std::greater<double>());
+    std::sort(capScratch_.begin(), capScratch_.begin() + neighborCap_,
+              std::greater<double>());
+    for (std::size_t t = 0; t < neighborCap_; ++t) sum += capScratch_[t];
+  } else {
+    for (const auto& e : row) sum += e.second;
+  }
+  if (defaultP_ > 0.0)
+    sum += defaultP_ * static_cast<double>(n_ - 1 - row.size());
+  return n_ > 1 ? sum / static_cast<double>(n_ - 1) : 0.0;
+}
+
 void CentralityState::refresh(const trace::RateMatrix& rates, sim::SimTime window,
                               const std::vector<NodeId>& changedNodes) {
   DTNCACHE_CHECK(window > 0.0);
   const std::size_t n = rates.nodeCount();
-  const bool reprime = !primed_ || n_ != n || window_ != window;
+  const double defaultP =
+      rates.isSparse() ? trace::contactProbability(rates.defaultRate(), window) : 0.0;
+  const bool reprime = !primed_ || n_ != n || window_ != window ||
+                       sparse_ != rates.isSparse() || defaultP_ != defaultP;
   if (reprime) {
     n_ = n;
     window_ = window;
-    probs_.assign(n >= 2 ? n * (n - 1) / 2 : 0, 0.0);
+    sparse_ = rates.isSparse();
+    defaultP_ = defaultP;
     capability_.assign(n, 0.0);
+    if (sparse_) {
+      probs_.clear();
+      probs_.shrink_to_fit();
+      rowProbs_.resize(n);
+      for (NodeId i = 0; i < n; ++i) rebuildRow(i, rates, window);
+      for (NodeId i = 0; i < n; ++i) capability_[i] = rowCapability(i);
+      return;
+    }
+    rowProbs_.clear();
+    rowProbs_.shrink_to_fit();
+    probs_.assign(n >= 2 ? n * (n - 1) / 2 : 0, 0.0);
     for (NodeId i = 0; i < n; ++i)
       for (NodeId j = i + 1; j < n; ++j)
         prob(i, j) = rates.meetingProbability(i, j, window);
@@ -104,6 +196,11 @@ void CentralityState::refresh(const trace::RateMatrix& rates, sim::SimTime windo
   // A changed pair reports both endpoints, so refreshing every (i, *) row
   // for i in changedNodes rewrites every stale probability (shared pairs
   // twice, to the same value) and every stale capability.
+  if (sparse_) {
+    for (const NodeId i : changedNodes) rebuildRow(i, rates, window);
+    for (const NodeId i : changedNodes) capability_[i] = rowCapability(i);
+    return;
+  }
   for (const NodeId i : changedNodes)
     for (NodeId j = 0; j < n; ++j)
       if (j != i) prob(i, j) = rates.meetingProbability(i, j, window);
@@ -137,7 +234,10 @@ bool selectNcls(CentralityState& state, const trace::RateMatrix& rates,
   k = std::min(k, n);
 
   // The batch greedy pass, verbatim, over the cached probabilities (same
-  // doubles, same iteration order => identical picks and tie-breaks).
+  // doubles, same iteration order => identical picks and tie-breaks). The
+  // sparse row cache with a zero default shrinks both inner loops to the
+  // adjacency rows without changing a bit — see the batch selectNcls note.
+  const bool sparseFast = state.sparse_ && state.defaultP_ == 0.0;
   auto& chosen = state.scratchNcls_;
   chosen.clear();
   state.notCovered_.assign(n, 1.0);
@@ -148,9 +248,19 @@ bool selectNcls(CentralityState& state, const trace::RateMatrix& rates,
     for (NodeId cand = 0; cand < n; ++cand) {
       if (state.isChosen_[cand]) continue;
       double gain = 0.0;
-      for (NodeId j = 0; j < n; ++j) {
-        if (j == cand || state.isChosen_[j]) continue;
-        gain += state.notCovered_[j] * state.prob(cand, j);
+      if (sparseFast) {
+        for (const auto& e : state.rowProbs_[cand])
+          if (!state.isChosen_[e.first]) gain += state.notCovered_[e.first] * e.second;
+      } else if (state.sparse_) {
+        for (NodeId j = 0; j < n; ++j) {
+          if (j == cand || state.isChosen_[j]) continue;
+          gain += state.notCovered_[j] * state.rowProb(cand, j);
+        }
+      } else {
+        for (NodeId j = 0; j < n; ++j) {
+          if (j == cand || state.isChosen_[j]) continue;
+          gain += state.notCovered_[j] * state.prob(cand, j);
+        }
       }
       if (gain > bestGain) {
         bestGain = gain;
@@ -160,9 +270,19 @@ bool selectNcls(CentralityState& state, const trace::RateMatrix& rates,
     DTNCACHE_CHECK(best != kNoNode);
     state.isChosen_[best] = 1;
     chosen.push_back(best);
-    for (NodeId j = 0; j < n; ++j) {
-      if (j == best) continue;
-      state.notCovered_[j] *= 1.0 - state.prob(best, j);
+    if (sparseFast) {
+      for (const auto& e : state.rowProbs_[best])
+        state.notCovered_[e.first] *= 1.0 - e.second;
+    } else if (state.sparse_) {
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == best) continue;
+        state.notCovered_[j] *= 1.0 - state.rowProb(best, j);
+      }
+    } else {
+      for (NodeId j = 0; j < n; ++j) {
+        if (j == best) continue;
+        state.notCovered_[j] *= 1.0 - state.prob(best, j);
+      }
     }
   }
 

@@ -26,7 +26,9 @@ void bindAll(const FieldBinder& b, ExperimentConfig& c) {
       "trace.model", c.trace.model,
       {{trace::RateModel::kHomogeneous, "homogeneous"},
        {trace::RateModel::kPareto, "pareto"},
-       {trace::RateModel::kCommunity, "community"}});
+       {trace::RateModel::kCommunity, "community"},
+       {trace::RateModel::kMobilityCommunity, "mobility-community"},
+       {trace::RateModel::kMobilityPowerLaw, "mobility-powerlaw"}});
   b.numeric("trace.meanContactsPerPairPerDay", c.trace.meanContactsPerPairPerDay);
   b.numeric("trace.paretoShape", c.trace.paretoShape);
   b.numeric("trace.rateSpread", c.trace.rateSpread);
@@ -35,6 +37,9 @@ void bindAll(const FieldBinder& b, ExperimentConfig& c) {
   b.boolean("trace.diurnal", c.trace.diurnal);
   b.numeric("trace.nightActivity", c.trace.nightActivity);
   b.numeric("trace.meanContactDuration", c.trace.meanContactDuration);
+  b.numeric("trace.meanDegree", c.trace.meanDegree);
+  b.numeric("trace.interCommunityFraction", c.trace.interCommunityFraction);
+  b.numeric("trace.interContactAlpha", c.trace.interContactAlpha);
   b.numeric("trace.seed", c.trace.seed);
   // catalog
   b.numeric("catalog.itemCount", c.catalog.itemCount);
@@ -86,6 +91,7 @@ void bindAll(const FieldBinder& b, ExperimentConfig& c) {
        {core::MaintenanceMode::kStatic, "static"}});
   b.numeric("hierarchical.maintenancePeriodSeconds", c.hierarchical.maintenancePeriod);
   b.boolean("hierarchical.useOracleRates", c.hierarchical.useOracleRates);
+  b.numeric("hierarchical.centralityNeighborCap", c.hierarchical.centralityNeighborCap);
   b.boolean("hierarchical.relayAssisted", c.hierarchical.relayAssisted);
   b.numeric("hierarchical.relayCopiesPerVersion", c.hierarchical.relayCopiesPerVersion);
   // churn + energy

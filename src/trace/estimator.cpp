@@ -9,15 +9,21 @@ namespace dtncache::trace {
 
 ContactRateEstimator::ContactRateEstimator(std::size_t nodeCount, EstimatorConfig config,
                                            sim::SimTime startTime)
-    : nodeCount_(nodeCount), config_(config), startTime_(startTime) {
-  DTNCACHE_CHECK(nodeCount >= 2);
+    : nodeCount_(nodeCount),
+      config_(config),
+      startTime_(startTime),
+      sparse_(useSparsePairs(nodeCount, config.backend)) {
   DTNCACHE_CHECK(config.window > 0.0);
   DTNCACHE_CHECK(config.ewmaAlpha > 0.0 && config.ewmaAlpha <= 1.0);
   DTNCACHE_CHECK(config.priorRate >= 0.0);
-  pairs_.resize(nodeCount * (nodeCount - 1) / 2);
-  if (config.mode == EstimatorMode::kSlidingWindow) recent_.resize(pairs_.size());
-  dirtyBits_ = core::DenseBitset(pairs_.size());
-  varyingBits_ = core::DenseBitset(pairs_.size());
+  if (sparse_) {
+    nodeNbrs_.resize(nodeCount);
+  } else {
+    pairs_.resize(triangleCount());
+    if (config.mode == EstimatorMode::kSlidingWindow) recent_.resize(pairs_.size());
+    dirtyBits_ = core::DenseBitset(pairs_.size());
+    varyingBits_ = core::DenseBitset(pairs_.size());
+  }
   changedRowBits_ = core::DenseBitset(nodeCount);
 }
 
@@ -27,8 +33,44 @@ std::size_t ContactRateEstimator::pairIndex(NodeId i, NodeId j) const {
   return static_cast<std::size_t>(i) * (2 * nodeCount_ - i - 1) / 2 + (j - i - 1);
 }
 
+std::uint32_t ContactRateEstimator::findPair(NodeId i, NodeId j) const {
+  if (!sparse_) return static_cast<std::uint32_t>(pairIndex(i, j));
+  DTNCACHE_CHECK(i != j && i < nodeCount_ && j < nodeCount_);
+  return pairSlots_.find(core::packSymmetricPair(i, j));
+}
+
+std::uint32_t ContactRateEstimator::findOrCreatePair(NodeId a, NodeId b) {
+  if (!sparse_) return static_cast<std::uint32_t>(pairIndex(a, b));
+  DTNCACHE_CHECK(a != b && a < nodeCount_ && b < nodeCount_);
+  const std::uint64_t key = core::packSymmetricPair(a, b);
+  std::uint32_t idx = pairSlots_.find(key);
+  if (idx == core::SlotIndex::kNoSlot) {
+    idx = static_cast<std::uint32_t>(pairs_.size());
+    pairs_.emplace_back();
+    if (config_.mode == EstimatorMode::kSlidingWindow) recent_.emplace_back();
+    pairSlots_.insert(key, idx);
+    const auto insertNbr = [&](NodeId u, NodeId v) {
+      auto& row = nodeNbrs_[u];
+      const auto pos = std::lower_bound(
+          row.begin(), row.end(), v,
+          [](const NodeNbr& nb, NodeId id) { return nb.id < id; });
+      row.insert(pos, NodeNbr{v, idx});
+    };
+    insertNbr(a, b);
+    insertNbr(b, a);
+  }
+  return idx;
+}
+
+std::uint32_t ContactRateEstimator::indexOfKey(std::uint64_t key) const {
+  if (!sparse_) return static_cast<std::uint32_t>(pairIndex(core::pairHigh(key), core::pairLow(key)));
+  const std::uint32_t idx = pairSlots_.find(key);
+  DTNCACHE_CHECK(idx != core::SlotIndex::kNoSlot);
+  return idx;
+}
+
 void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
-  const std::size_t idx = pairIndex(a, b);
+  const std::uint32_t idx = findOrCreatePair(a, b);
   if (dirtyBits_.set(idx)) dirtyKeys_.push_back(core::packSymmetricPair(a, b));
   PairState& s = pairs_[idx];
   ++s.totalCount;
@@ -55,9 +97,8 @@ void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
   }
 }
 
-double ContactRateEstimator::rate(NodeId i, NodeId j, sim::SimTime now) const {
-  if (i == j) return 0.0;
-  const std::size_t idx = pairIndex(i, j);
+double ContactRateEstimator::rateOf(std::uint32_t idx, sim::SimTime now) const {
+  if (idx == kNoPair) return config_.priorRate;
   const PairState* s = &pairs_[idx];
   if (s->totalCount == 0) return config_.priorRate;
 
@@ -95,22 +136,57 @@ double ContactRateEstimator::rate(NodeId i, NodeId j, sim::SimTime now) const {
   return config_.priorRate;
 }
 
+double ContactRateEstimator::rate(NodeId i, NodeId j, sim::SimTime now) const {
+  if (i == j) return 0.0;
+  return rateOf(findPair(i, j), now);
+}
+
 double ContactRateEstimator::meetingProbability(NodeId i, NodeId j, sim::SimTime window,
                                                 sim::SimTime now) const {
   return contactProbability(rate(i, j, now), window);
 }
 
 double ContactRateEstimator::nodeRateSum(NodeId i, sim::SimTime now) const {
+  if (!sparse_) {
+    double sum = 0.0;
+    for (NodeId j = 0; j < nodeCount_; ++j)
+      if (j != i) sum += rate(i, j, now);
+    return sum;
+  }
+  DTNCACHE_CHECK(i < nodeCount_);
+  // Observed peers in ascending order (matching the dense iteration on the
+  // pairs that exist), then the closed-form prior for the never-met rest.
+  // Note a *seen* pair can still evaluate to priorRate (e.g. an expired
+  // sliding window) — that term is summed explicitly, same as dense.
   double sum = 0.0;
-  for (NodeId j = 0; j < nodeCount_; ++j)
-    if (j != i) sum += rate(i, j, now);
+  for (const NodeNbr& nb : nodeNbrs_[i]) sum += rateOf(nb.idx, now);
+  if (config_.priorRate > 0.0 && nodeCount_ >= 1)
+    sum += config_.priorRate *
+           static_cast<double>(nodeCount_ - 1 - nodeNbrs_[i].size());
   return sum;
 }
 
+std::size_t ContactRateEstimator::observedPairCount() const {
+  if (sparse_) return pairs_.size();
+  std::size_t n = 0;
+  for (const PairState& s : pairs_)
+    if (s.totalCount > 0) ++n;
+  return n;
+}
+
 RateMatrix ContactRateEstimator::snapshot(sim::SimTime now) const {
-  RateMatrix m(nodeCount_);
+  RateMatrix m(nodeCount_, sparse_ ? PairBackend::kSparse : PairBackend::kDense,
+               sparse_ ? config_.priorRate : 0.0);
+  if (!sparse_) {
+    for (NodeId i = 0; i < nodeCount_; ++i)
+      for (NodeId j = i + 1; j < nodeCount_; ++j) m.setRate(i, j, rate(i, j, now));
+    return m;
+  }
+  // Observed pairs only, in canonical (i, ascending j) order; never-met
+  // pairs read as the matrix's default rate (== priorRate).
   for (NodeId i = 0; i < nodeCount_; ++i)
-    for (NodeId j = i + 1; j < nodeCount_; ++j) m.setRate(i, j, rate(i, j, now));
+    for (const NodeNbr& nb : nodeNbrs_[i])
+      if (nb.id > i) m.setRate(i, nb.id, rateOf(nb.idx, now));
   return m;
 }
 
@@ -134,18 +210,22 @@ bool ContactRateEstimator::rateStable(const PairState& s, sim::SimTime now) cons
 SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime now,
                                                  std::vector<NodeId>* changedNodes,
                                                  bool force) {
-  if (out.nodeCount() != nodeCount_) {
-    out = RateMatrix(nodeCount_);
+  if (out.nodeCount() != nodeCount_ || out.isSparse() != sparse_ ||
+      (sparse_ && out.defaultRate() != config_.priorRate)) {
+    out = RateMatrix(nodeCount_, sparse_ ? PairBackend::kSparse : PairBackend::kDense,
+                     sparse_ ? config_.priorRate : 0.0);
     snapshotPrimed_ = false;
   }
   SnapshotStats stats;
   if (!snapshotPrimed_) {
-    stats.dirtyPairs = pairs_.size();
+    // The whole triangle, computed arithmetically: both backends report the
+    // same count even though the sparse pass only touches observed pairs
+    // (never-met entries are trivially "re-evaluated" to the prior).
+    stats.dirtyPairs = triangleCount();
   } else {
     stats.dirtyPairs = dirtyKeys_.size();
     for (const std::uint64_t key : varyingKeys_)
-      if (!dirtyBits_.test(pairIndex(core::pairHigh(key), core::pairLow(key))))
-        ++stats.dirtyPairs;
+      if (!dirtyBits_.test(indexOfKey(key))) ++stats.dirtyPairs;
   }
 
   changedRowBits_.clear();
@@ -163,15 +243,23 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
     // Full rewrite, in the canonical row-major order. Entries outside the
     // dirty/varying lists compare equal to their stored value, so stats and
     // changedNodes match what the incremental pass would have produced.
-    for (NodeId i = 0; i < nodeCount_; ++i)
-      for (NodeId j = i + 1; j < nodeCount_; ++j) updatePair(i, j);
+    // Sparse: only observed pairs can differ from the default the matrix
+    // already reads for the rest, so the walk covers adjacency rows only.
+    if (!sparse_) {
+      for (NodeId i = 0; i < nodeCount_; ++i)
+        for (NodeId j = i + 1; j < nodeCount_; ++j) updatePair(i, j);
+    } else {
+      for (NodeId i = 0; i < nodeCount_; ++i)
+        for (const NodeNbr& nb : nodeNbrs_[i])
+          if (nb.id > i) updatePair(i, nb.id);
+    }
   } else {
     for (const std::uint64_t key : dirtyKeys_)
       updatePair(core::pairHigh(key), core::pairLow(key));
     for (const std::uint64_t key : varyingKeys_) {
       const NodeId i = core::pairHigh(key);
       const NodeId j = core::pairLow(key);
-      if (!dirtyBits_.test(pairIndex(i, j))) updatePair(i, j);
+      if (!dirtyBits_.test(indexOfKey(key))) updatePair(i, j);
     }
   }
 
@@ -180,7 +268,7 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
   // existing vectors — steady-state snapshots allocate nothing.
   std::size_t kept = 0;
   for (const std::uint64_t key : varyingKeys_) {
-    const std::size_t idx = pairIndex(core::pairHigh(key), core::pairLow(key));
+    const std::uint32_t idx = indexOfKey(key);
     if (rateStable(pairs_[idx], now))
       varyingBits_.reset(idx);
     else
@@ -188,7 +276,7 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
   }
   varyingKeys_.resize(kept);
   for (const std::uint64_t key : dirtyKeys_) {
-    const std::size_t idx = pairIndex(core::pairHigh(key), core::pairLow(key));
+    const std::uint32_t idx = indexOfKey(key);
     dirtyBits_.reset(idx);
     if (!rateStable(pairs_[idx], now) && varyingBits_.set(idx))
       varyingKeys_.push_back(key);

@@ -17,13 +17,26 @@
 ///    the knob of the F9 estimator-sensitivity ablation.
 ///  - kEwma: exponentially weighted mean of inter-contact intervals,
 ///    rate = 1 / ewma. Reacts fastest, noisiest.
+///
+/// Pair state is stored dense (triangular array) at paper scale and sparse
+/// (observed pairs only, SlotIndex-keyed) at large N — see
+/// trace/pair_backend.hpp for the selection rule and the cross-backend
+/// equivalence contract. Both backends return identical estimates; with
+/// priorRate == 0 (the entire sweep surface) snapshots, stats, and changed-
+/// node lists are bit-identical too. The one documented deviation: with a
+/// nonzero priorRate the dense backend's *first* snapshot materializes the
+/// prior into every never-met cell (counting them as changed), while the
+/// sparse backend leaves them implicit as the matrix's default rate — same
+/// values on read, different changed-pair accounting on that first call.
 
 #include <cstdint>
 #include <vector>
 
 #include "core/dense_bitset.hpp"
+#include "core/slot_index.hpp"
 #include "sim/time.hpp"
 #include "trace/contact.hpp"
+#include "trace/pair_backend.hpp"
 #include "trace/rate_matrix.hpp"
 
 namespace dtncache::trace {
@@ -34,7 +47,9 @@ struct SnapshotStats {
   /// Pairs the incremental path re-evaluated this snapshot: the dirty list
   /// (touched by recordContact since the last snapshot) plus the
   /// time-varying list (pairs whose estimate depends on `now` even without
-  /// new contacts). A full/first snapshot reports the whole triangle.
+  /// new contacts). A full/first snapshot reports the whole triangle
+  /// (never-met pairs are trivially re-evaluated to the prior, so both
+  /// backends report the same number).
   std::size_t dirtyPairs = 0;
   /// Pairs whose written value actually differs from the previous snapshot.
   std::size_t changedPairs = 0;
@@ -49,10 +64,14 @@ struct EstimatorConfig {
   /// Rate assumed for a pair never seen (0 disables such pairs entirely;
   /// a small floor keeps "no information yet" pairs selectable early on).
   double priorRate = 0.0;
+  /// Pair-state storage: dense triangle, sparse observed-pair table, or
+  /// size-based auto selection (trace/pair_backend.hpp).
+  PairBackend backend = PairBackend::kAuto;
 };
 
 class ContactRateEstimator {
  public:
+  /// `nodeCount` may be 0 or 1 (degenerate estimators with no pairs).
   ContactRateEstimator(std::size_t nodeCount, EstimatorConfig config,
                        sim::SimTime startTime = 0.0);
 
@@ -66,10 +85,14 @@ class ContactRateEstimator {
   double meetingProbability(NodeId i, NodeId j, sim::SimTime window,
                             sim::SimTime now) const;
 
-  /// Estimated activity of node i: sum over peers of rate(i, ·).
+  /// Estimated activity of node i: sum over peers of rate(i, ·). Sparse
+  /// backend: observed peers in ascending order plus the closed-form prior
+  /// contribution for the rest.
   double nodeRateSum(NodeId i, sim::SimTime now) const;
 
   /// Snapshot all estimates into a RateMatrix (for centrality computation).
+  /// The matrix uses the estimator's backend; a sparse snapshot stores only
+  /// observed pairs and reads `priorRate` for the rest.
   RateMatrix snapshot(sim::SimTime now) const;
 
   /// Incrementally refresh `out` in place so it equals `snapshot(now)`
@@ -88,10 +111,10 @@ class ContactRateEstimator {
   /// full-recompute escape hatch), and the dirty/time-varying bookkeeping
   /// advances identically.
   ///
-  /// The first call (or a call after a node-count mismatch) resizes `out`
-  /// and performs a full rewrite. The dirty list is consumed by the call,
-  /// so the incremental contract holds for a single target matrix only.
-  /// Steady-state calls allocate nothing once the bookkeeping is warm.
+  /// The first call (or a call after a node-count/backend mismatch) resizes
+  /// `out` and performs a full rewrite. The dirty list is consumed by the
+  /// call, so the incremental contract holds for a single target matrix
+  /// only. Steady-state calls allocate nothing once the bookkeeping is warm.
   SnapshotStats snapshotInto(RateMatrix& out, sim::SimTime now,
                              std::vector<NodeId>* changedNodes = nullptr,
                              bool force = false);
@@ -102,15 +125,22 @@ class ContactRateEstimator {
   /// Pairs currently tracked as time-varying (re-evaluated every snapshot).
   std::size_t timeVaryingPairCount() const { return varyingKeys_.size(); }
 
+  /// Pairs with at least one observed contact.
+  std::size_t observedPairCount() const;
+
   std::size_t nodeCount() const { return nodeCount_; }
+  bool isSparse() const { return sparse_; }
   const EstimatorConfig& config() const { return config_; }
 
  private:
-  /// Pair states live in a dense upper-triangular array — the estimator is
-  /// probed for every forwarding decision at every contact (rate() is by
-  /// far its hottest entry point), and with a few hundred nodes the full
-  /// triangle is smaller than the hash map it replaces, with one indexed
-  /// load per lookup instead of a hash probe.
+  /// Dense backend: pair states live in an upper-triangular array — the
+  /// estimator is probed for every forwarding decision at every contact
+  /// (rate() is by far its hottest entry point), and with a few hundred
+  /// nodes the full triangle is smaller than the hash map it replaces, with
+  /// one indexed load per lookup instead of a hash probe. Sparse backend:
+  /// states live in an insertion-ordered slot vector reached through an
+  /// open-addressing SlotIndex (one probe per lookup), so memory follows
+  /// observed pairs, not n².
   struct PairState {
     std::size_t totalCount = 0;
     sim::SimTime lastContact = sim::kNever;
@@ -118,8 +148,36 @@ class ContactRateEstimator {
     std::uint32_t recentStart = 0;  ///< live prefix offset into recent_ row
   };
 
-  /// Triangular index of the normalized pair (i < j after swap).
+  /// Sparse adjacency entry: peer id + index of the pair's state in pairs_.
+  struct NodeNbr {
+    NodeId id;
+    std::uint32_t idx;
+  };
+
+  static constexpr std::uint32_t kNoPair = static_cast<std::uint32_t>(-1);
+
+  /// Triangular index of the normalized pair (i < j after swap); dense only.
   std::size_t pairIndex(NodeId i, NodeId j) const;
+
+  /// Storage index of the pair (triangular index or sparse slot), or kNoPair
+  /// if the sparse backend has never seen it.
+  std::uint32_t findPair(NodeId i, NodeId j) const;
+
+  /// Like findPair, but creates sparse state on first sight.
+  std::uint32_t findOrCreatePair(NodeId a, NodeId b);
+
+  /// Storage index for a packed pair key (pairs on the dirty/varying lists
+  /// always exist).
+  std::uint32_t indexOfKey(std::uint64_t key) const;
+
+  /// Estimate for a pair state (kNoPair reads as priorRate).
+  double rateOf(std::uint32_t idx, sim::SimTime now) const;
+
+  /// Number of pairs a full snapshot conceptually re-evaluates (the whole
+  /// triangle, identical across backends).
+  std::size_t triangleCount() const {
+    return nodeCount_ >= 2 ? nodeCount_ * (nodeCount_ - 1) / 2 : 0;
+  }
 
   /// True when this pair's estimate no longer depends on `now` — it will
   /// return the same value at every later time until a new contact arrives.
@@ -133,14 +191,23 @@ class ContactRateEstimator {
   std::size_t nodeCount_;
   EstimatorConfig config_;
   sim::SimTime startTime_;
-  std::vector<PairState> pairs_;  ///< n(n-1)/2 entries, triangular
+  bool sparse_ = false;
+
+  /// Dense: n(n-1)/2 entries, triangular. Sparse: one entry per observed
+  /// pair, insertion order, addressed through pairSlots_.
+  std::vector<PairState> pairs_;
+  core::SlotIndex pairSlots_;            ///< sparse: packed pair -> index into pairs_
+  std::vector<std::vector<NodeNbr>> nodeNbrs_;  ///< sparse: per node, ascending peers
+
   /// Per-pair recent contact times (kSlidingWindow only; rows are pruned
-  /// via PairState::recentStart and compacted amortized-O(1)).
+  /// via PairState::recentStart and compacted amortized-O(1)). Indexed like
+  /// pairs_.
   std::vector<std::vector<sim::SimTime>> recent_;
 
-  /// Incremental-snapshot bookkeeping: dedup'd packed-pair lists over the
-  /// triangular index space. `dirty` = touched by recordContact since the
-  /// last snapshotInto (one bit test + rare push on the contact hot path);
+  /// Incremental-snapshot bookkeeping: dedup'd packed-pair lists, with
+  /// membership bits over the pair storage index space (triangular index
+  /// or sparse slot). `dirty` = touched by recordContact since the last
+  /// snapshotInto (one bit test + rare push on the contact hot path);
   /// `varying` = seen pairs whose estimate still depends on `now`,
   /// recompacted at each snapshot.
   core::DenseBitset dirtyBits_;

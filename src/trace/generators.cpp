@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "trace/mobility.hpp"
+
 namespace dtncache::trace {
 namespace {
 
@@ -23,6 +25,12 @@ double diurnalMeanActivity(double nightActivity) {
 }  // namespace
 
 SyntheticTrace generate(const SyntheticTraceConfig& config) {
+  // Sparse-graph mobility models stream from trace/mobility.hpp; the dense
+  // per-pair enumeration below would be O(N²) in both time and rate storage.
+  if (config.model == RateModel::kMobilityCommunity ||
+      config.model == RateModel::kMobilityPowerLaw)
+    return SyntheticMobility(config).materialize();
+
   DTNCACHE_CHECK(config.nodeCount >= 2);
   DTNCACHE_CHECK(config.duration > 0.0);
   DTNCACHE_CHECK(config.meanContactsPerPairPerDay > 0.0);

@@ -28,6 +28,14 @@ enum class RateModel {
   kHomogeneous,  ///< every pair shares one rate
   kPareto,       ///< i.i.d. truncated-Pareto pairwise rates
   kCommunity,    ///< Pareto rates, boosted within communities, damped across
+  /// Streamed mobility models (trace/mobility.hpp): contacts occur only on
+  /// a sparse contact graph (meanDegree edges per node) instead of every
+  /// pair, so generation cost and memory are O(nodes + edges + contacts)
+  /// and node counts of 10^5–10^6 are practical. Diurnal modulation is not
+  /// applied by these models (the thinning pass would defeat streaming);
+  /// `diurnal` is ignored.
+  kMobilityCommunity,  ///< community-biased sparse graph, exponential gaps
+  kMobilityPowerLaw,   ///< uniform sparse graph, Pareto inter-contact gaps
 };
 
 struct SyntheticTraceConfig {
@@ -56,6 +64,21 @@ struct SyntheticTraceConfig {
 
   /// Contact durations are exponential with this mean (seconds).
   double meanContactDuration = 120.0;
+
+  // --- mobility models only (kMobilityCommunity / kMobilityPowerLaw) ---
+
+  /// Target mean number of contact-graph neighbors per node. The pair
+  /// sparsity of the generated trace is ~meanDegree / (nodeCount - 1).
+  double meanDegree = 40.0;
+  /// kMobilityCommunity: probability an edge endpoint is drawn from the
+  /// whole network instead of the node's own community (the bridges that
+  /// keep the graph connected across communities).
+  double interCommunityFraction = 0.05;
+  /// kMobilityPowerLaw: Pareto shape of the inter-contact gap distribution;
+  /// must be > 1 so the mean gap is finite (2.0 ≈ the 1+α exponents
+  /// reported for human inter-contact times). Ignored by the exponential
+  /// model.
+  double interContactAlpha = 2.0;
 
   std::uint64_t seed = 1;
 };

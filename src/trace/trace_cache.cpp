@@ -16,7 +16,9 @@ bool sameConfig(const SyntheticTraceConfig& a, const SyntheticTraceConfig& b) {
          a.paretoShape == b.paretoShape && a.rateSpread == b.rateSpread &&
          a.communities == b.communities && a.intraCommunityBoost == b.intraCommunityBoost &&
          a.diurnal == b.diurnal && a.nightActivity == b.nightActivity &&
-         a.meanContactDuration == b.meanContactDuration && a.seed == b.seed;
+         a.meanContactDuration == b.meanContactDuration && a.meanDegree == b.meanDegree &&
+         a.interCommunityFraction == b.interCommunityFraction &&
+         a.interContactAlpha == b.interContactAlpha && a.seed == b.seed;
 }
 
 struct Entry {
