@@ -256,7 +256,10 @@ void DiskStore::maybeCompact() {
   if (liveRecordBytes * 2 > logBytes_) return;
 
   const std::string tmpPath = config_.path + ".compact";
-  const int tmpFd = ::open(tmpPath.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  // O_APPEND matches open(): tmpFd becomes fd_ after the rename, and the
+  // log's append-only discipline must not depend on where the file offset
+  // happens to sit.
+  const int tmpFd = ::open(tmpPath.c_str(), O_RDWR | O_CREAT | O_TRUNC | O_APPEND, 0644);
   if (tmpFd < 0) return;  // compaction is an optimization; skip on failure
 
   std::size_t written = 0;

@@ -33,7 +33,7 @@ EventLoop::~EventLoop() {
 
 void EventLoop::addFd(int fd, std::uint32_t interest, FdCallback callback) {
   DTNCACHE_CHECK_MSG(fds_.count(fd) == 0, "fd already registered");
-  fds_[fd] = FdEntry{interest, std::move(callback)};
+  fds_[fd] = FdEntry{interest, std::move(callback), nextFdGeneration_++};
 }
 
 void EventLoop::setInterest(int fd, std::uint32_t interest) {
@@ -88,18 +88,24 @@ int EventLoop::msUntilNextTimer() const {
 void EventLoop::run() {
   running_ = true;
   std::vector<pollfd> pollSet;
+  std::vector<std::uint64_t> pollGens;
   std::vector<int> readyFds;
+  std::vector<std::uint32_t> readyEvents;
+  std::vector<std::uint64_t> readyGens;
   while (running_) {
     dispatchTimers();
     if (!running_) break;
 
     pollSet.clear();
+    pollGens.clear();
     pollSet.push_back(pollfd{wakePipe_[0], POLLIN, 0});
+    pollGens.push_back(0);
     for (const auto& [fd, entry] : fds_) {
       short events = 0;
       if (entry.interest & kReadable) events |= POLLIN;
       if (entry.interest & kWritable) events |= POLLOUT;
       pollSet.push_back(pollfd{fd, events, 0});
+      pollGens.push_back(entry.generation);
     }
 
     const int rc = ::poll(pollSet.data(), pollSet.size(), msUntilNextTimer());
@@ -117,7 +123,8 @@ void EventLoop::run() {
     // Collect first, then dispatch: a callback may add or remove fds, and
     // the registration map is the source of truth for still-live entries.
     readyFds.clear();
-    std::vector<std::uint32_t> readyEvents;
+    readyEvents.clear();
+    readyGens.clear();
     for (std::size_t i = 1; i < pollSet.size(); ++i) {
       if (pollSet[i].revents == 0) continue;
       std::uint32_t events = 0;
@@ -126,11 +133,16 @@ void EventLoop::run() {
       if (pollSet[i].revents & (POLLERR | POLLHUP | POLLNVAL)) events |= kError;
       readyFds.push_back(pollSet[i].fd);
       readyEvents.push_back(events);
+      readyGens.push_back(pollGens[i]);
     }
     for (std::size_t i = 0; i < readyFds.size(); ++i) {
       if (!running_) break;
       const auto it = fds_.find(readyFds[i]);
       if (it == fds_.end()) continue;  // removed by an earlier callback
+      // Same fd number, different registration: an earlier callback closed
+      // the polled fd and a new descriptor reused its number. The collected
+      // readiness belongs to the old socket — drop it.
+      if (it->second.generation != readyGens[i]) continue;
       // Copy the callback: the entry may be erased (session close) while
       // the callback is still on the stack.
       FdCallback cb = it->second.callback;

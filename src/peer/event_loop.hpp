@@ -76,6 +76,12 @@ class EventLoop {
   struct FdEntry {
     std::uint32_t interest = 0;
     FdCallback callback;
+    /// Registration stamp: fd numbers are reused by the kernel, so a
+    /// callback that closes one fd can see the same number re-registered
+    /// (for a brand-new socket) within the same poll round. Readiness
+    /// collected for the old registration must not be dispatched to the
+    /// new one; the dispatch loop compares this stamp.
+    std::uint64_t generation = 0;
   };
   struct TimerEntry {
     double deadline = 0.0;
@@ -94,6 +100,7 @@ class EventLoop {
       timerHeap_;
   std::map<TimerId, TimerCallback> timers_;  ///< cancel = erase; heap is lazy
   TimerId nextTimerId_ = 1;
+  std::uint64_t nextFdGeneration_ = 1;
   int wakePipe_[2] = {-1, -1};
   std::atomic<bool> running_{false};
 };

@@ -48,8 +48,14 @@ Peerd::Peerd(PeerdConfig config, obs::Tracer* tracer, obs::Registry* registry,
 }
 
 Peerd::~Peerd() {
+  loop_->cancelTimer(vvTimer_);
+  loop_->cancelTimer(bumpTimer_);
+  loop_->cancelTimer(maintenanceTimer_);
+  loop_->cancelTimer(queryTimer_);
+  loop_->cancelTimer(stopTimer_);
+  loop_->cancelTimer(drainTimer_);
+  for (const Dial& dial : dials_) loop_->cancelTimer(dial.retryTimer);
   sessions_.clear();
-  graveyard_.clear();
   if (listenFd_ >= 0) {
     if (loop_->hasFd(listenFd_)) loop_->removeFd(listenFd_);
     ::close(listenFd_);
@@ -81,13 +87,14 @@ bool Peerd::start() {
 
   rebuildHierarchies();  // prior-rate trees until real contacts accumulate
 
-  loop_->runAfter(config_.vvIntervalSeconds, [this] { vvTick(); });
-  loop_->runAfter(config_.bumpIntervalSeconds, [this] { bumpTick(); });
-  loop_->runAfter(config_.maintenanceIntervalSeconds, [this] { maintenanceTick(); });
+  vvTimer_ = loop_->runAfter(config_.vvIntervalSeconds, [this] { vvTick(); });
+  bumpTimer_ = loop_->runAfter(config_.bumpIntervalSeconds, [this] { bumpTick(); });
+  maintenanceTimer_ =
+      loop_->runAfter(config_.maintenanceIntervalSeconds, [this] { maintenanceTick(); });
   if (config_.queryIntervalSeconds > 0.0)
-    loop_->runAfter(config_.queryIntervalSeconds, [this] { queryTick(); });
+    queryTimer_ = loop_->runAfter(config_.queryIntervalSeconds, [this] { queryTick(); });
   if (config_.runSeconds > 0.0)
-    loop_->runAfter(config_.runSeconds, [this] { shutdown(); });
+    stopTimer_ = loop_->runAfter(config_.runSeconds, [this] { shutdown(); });
   return true;
 }
 
@@ -99,6 +106,8 @@ void Peerd::run() {
 void Peerd::shutdown() {
   if (stopping_) return;
   stopping_ = true;
+  // sendFrame can close a session synchronously (dead socket on the eager
+  // flush); onClosed only dead-marks the entry, so this loop stays valid.
   for (const auto& state : sessions_)
     if (state->session->established()) state->session->sendFrame(Bye{});
   loop_->stop();
@@ -200,16 +209,35 @@ Peerd::SessionState* Peerd::stateOf(PeerSession& session) {
   return nullptr;
 }
 
-void Peerd::destroySoon(std::size_t stateIndex) {
-  graveyard_.push_back(std::move(sessions_[stateIndex]));
-  sessions_.erase(sessions_.begin() + static_cast<std::ptrdiff_t>(stateIndex));
-  if (!drainArmed_) {
-    drainArmed_ = true;
-    loop_->runAfter(0.0, [this] {
-      graveyard_.clear();
-      drainArmed_ = false;
-    });
-  }
+void Peerd::armDrain() {
+  // Closed sessions are swept on a deferred timer, never erased in place:
+  // onClosed can fire while sessions_ is under iteration (any sendFrame may
+  // flush into a dead socket), and an in-place erase would invalidate the
+  // iterating loop. The timer context has no session callback on the stack,
+  // so destroying the PeerSession there is safe.
+  if (drainArmed_) return;
+  drainArmed_ = true;
+  drainTimer_ = loop_->runAfter(0.0, [this] {
+    drainArmed_ = false;
+    drainTimer_ = 0;
+    sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                   [](const std::unique_ptr<SessionState>& s) {
+                                     return s->dead;
+                                   }),
+                    sessions_.end());
+  });
+}
+
+void Peerd::resumeDialSoon(std::size_t dialIndex) {
+  Dial& dial = dials_[dialIndex];
+  if (dial.session != nullptr || dial.retryTimer != 0) return;
+  dial.failures = 0;  // the parked connection was healthy; restart fresh
+  // Deferred: dialPeer pushes into sessions_, and this can be reached from
+  // onClosed while sessions_ is under iteration.
+  dial.retryTimer = loop_->runAfter(0.0, [this, dialIndex] {
+    dials_[dialIndex].retryTimer = 0;
+    dialPeer(dialIndex);
+  });
 }
 
 // ---- session handler ---------------------------------------------------------
@@ -219,13 +247,25 @@ void Peerd::onEstablished(PeerSession& session) {
 
   // Simultaneous open: both ends dialed each other. Keep the canonical
   // session (the one dialed by the lower-id node) so both sides drop the
-  // same duplicate.
+  // same duplicate. A losing outbound dial is parked on the winner — were
+  // it redialed, it would reconnect, lose the race again, and churn
+  // forever at the backoff cap, each churned handshake feeding a phantom
+  // contact into the rate estimator. The winner revives the dial when it
+  // closes, so losing the canonical session still heals.
   for (const auto& state : sessions_) {
     PeerSession* other = state->session.get();
     if (other == &session || !other->established() || other->peerNode() != peer)
       continue;
     const bool newCanonical = session.outbound() == (config_.node < peer);
     PeerSession* loser = newCanonical ? other : &session;
+    PeerSession* winner = newCanonical ? &session : other;
+    SessionState* loserState = stateOf(*loser);
+    SessionState* winnerState = stateOf(*winner);
+    if (loserState != nullptr && loserState->dialIndex != kNoDial &&
+        winnerState != nullptr && winnerState->resumeDial == kNoDial) {
+      winnerState->resumeDial = loserState->dialIndex;
+      loserState->parked = true;
+    }
     loser->close("duplicate session");
     if (loser == &session) return;
     break;
@@ -264,17 +304,22 @@ void Peerd::onFrame(PeerSession& session, const FrameBody& frame) {
 void Peerd::onClosed(PeerSession& session, const char* reason, bool wasReject) {
   (void)reason;
   if (wasReject && ctrFramesRejected_ != nullptr) ctrFramesRejected_->add();
-  for (std::size_t i = 0; i < sessions_.size(); ++i) {
-    if (sessions_[i]->session.get() != &session) continue;
-    const std::size_t dialIndex = sessions_[i]->dialIndex;
-    destroySoon(i);
-    if (dialIndex != kNoDial && !stopping_) {
-      dials_[dialIndex].session = nullptr;
+  SessionState* state = stateOf(session);
+  if (state == nullptr || state->dead) return;
+  state->dead = true;
+  armDrain();
+
+  const std::size_t dialIndex = state->dialIndex;
+  if (dialIndex != kNoDial && !stopping_) {
+    dials_[dialIndex].session = nullptr;
+    if (!state->parked) {
       ++dials_[dialIndex].failures;
       scheduleRedial(dialIndex);
     }
-    return;
+    // A parked dial stays down on purpose: the canonical session to the
+    // same peer carries it in resumeDial and revives it on close.
   }
+  if (state->resumeDial != kNoDial && !stopping_) resumeDialSoon(state->resumeDial);
 }
 
 // ---- the freshness protocol over live sessions -------------------------------
@@ -428,7 +473,7 @@ void Peerd::vvTick() {
   if (stopping_) return;
   for (const auto& state : sessions_)
     if (state->session->established()) sendVersionVector(*state);
-  loop_->runAfter(config_.vvIntervalSeconds, [this] { vvTick(); });
+  vvTimer_ = loop_->runAfter(config_.vvIntervalSeconds, [this] { vvTick(); });
 }
 
 void Peerd::bumpTick() {
@@ -452,7 +497,7 @@ void Peerd::bumpTick() {
         sendPush(*state, item, version);
     }
   }
-  loop_->runAfter(config_.bumpIntervalSeconds, [this] { bumpTick(); });
+  bumpTimer_ = loop_->runAfter(config_.bumpIntervalSeconds, [this] { bumpTick(); });
 }
 
 void Peerd::maintenanceTick() {
@@ -463,7 +508,8 @@ void Peerd::maintenanceTick() {
   if (ctrCompactions_ != nullptr && compactions > lastCompactions_)
     ctrCompactions_->add(compactions - lastCompactions_);
   lastCompactions_ = compactions;
-  loop_->runAfter(config_.maintenanceIntervalSeconds, [this] { maintenanceTick(); });
+  maintenanceTimer_ =
+      loop_->runAfter(config_.maintenanceIntervalSeconds, [this] { maintenanceTick(); });
 }
 
 void Peerd::queryTick() {
@@ -480,7 +526,7 @@ void Peerd::queryTick() {
     state->session->sendFrame(query);
     break;
   }
-  loop_->runAfter(config_.queryIntervalSeconds, [this] { queryTick(); });
+  queryTimer_ = loop_->runAfter(config_.queryIntervalSeconds, [this] { queryTick(); });
 }
 
 void Peerd::rebuildHierarchies() {

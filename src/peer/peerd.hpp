@@ -105,6 +105,18 @@ class Peerd : public PeerSession::Handler {
     std::unique_ptr<PeerSession> session;
     std::vector<data::Version> known;     ///< itemCount entries; 0 = none known
     std::size_t dialIndex = kNoDial;      ///< owning dial slot, inbound otherwise
+    /// Closed but not yet swept out of sessions_. Closes can happen while
+    /// sessions_ is under iteration (an eager flush inside sendFrame hits a
+    /// dead socket), so removal is deferred to a drain timer instead of
+    /// erasing in place.
+    bool dead = false;
+    /// This session won a duplicate-session race against an outbound dial;
+    /// park that dial (no redial churn) and revive it when this session —
+    /// the canonical one to the peer — drops.
+    std::size_t resumeDial = kNoDial;
+    /// Set when this session lost a duplicate race and its dial was parked
+    /// on the winner: the close handler must not schedule a redial.
+    bool parked = false;
   };
   static constexpr std::size_t kNoDial = static_cast<std::size_t>(-1);
 
@@ -122,7 +134,8 @@ class Peerd : public PeerSession::Handler {
   void scheduleRedial(std::size_t dialIndex);
 
   SessionState* stateOf(PeerSession& session);
-  void destroySoon(std::size_t stateIndex);
+  void armDrain();
+  void resumeDialSoon(std::size_t dialIndex);
 
   void sendVersionVector(SessionState& state);
   void sendPush(SessionState& state, data::ItemId item, data::Version version);
@@ -160,9 +173,21 @@ class Peerd : public PeerSession::Handler {
   int listenFd_ = -1;
   std::uint16_t boundPort_ = 0;
   std::vector<Dial> dials_;
+  /// May hold dead-marked entries between a close and the next drain; every
+  /// iteration must skip on `dead`/`established()` rather than assume all
+  /// entries are live.
   std::vector<std::unique_ptr<SessionState>> sessions_;
-  std::vector<std::unique_ptr<SessionState>> graveyard_;
   bool drainArmed_ = false;
+  EventLoop::TimerId drainTimer_ = 0;
+
+  // Self-rescheduling tick timers, tracked so the destructor can cancel
+  // them: a Peerd on a shared loop must not leave `this`-capturing timers
+  // behind when it is destroyed (tests tear daemons down mid-run).
+  EventLoop::TimerId vvTimer_ = 0;
+  EventLoop::TimerId bumpTimer_ = 0;
+  EventLoop::TimerId maintenanceTimer_ = 0;
+  EventLoop::TimerId queryTimer_ = 0;
+  EventLoop::TimerId stopTimer_ = 0;
 
   std::vector<data::Version> sourceVersions_;  ///< per item; we bump our own
   std::uint64_t nextQueryId_ = 1;

@@ -165,6 +165,33 @@ TEST(DiskStore, CompactionRewritesOnlyLiveRecords) {
   EXPECT_EQ(reopened.get(0)->payload, payload);
 }
 
+TEST(DiskStore, AppendsAfterCompactionLandAtEof) {
+  // Compaction swaps fd_ for the rewritten file's descriptor; that fd must
+  // keep the append-only discipline of open() so every later record lands
+  // at EOF and survives replay.
+  const std::string path = tempLog("postcompact");
+  DiskStore store;
+  ASSERT_TRUE(store.open({path, 2048}));
+  const std::vector<std::uint8_t> payload(64, 0xAB);
+  for (data::Version v = 1; v <= 200; ++v) ASSERT_TRUE(store.put(0, v, payload));
+  ASSERT_GE(store.compactions(), 1u);
+
+  for (data::ItemId item = 1; item <= 5; ++item)
+    ASSERT_TRUE(store.put(item, 1, bytes({static_cast<int>(item)})));
+  store.close();
+
+  DiskStore reopened;
+  ASSERT_TRUE(reopened.open({path, 1u << 20}));
+  EXPECT_EQ(reopened.truncatedOnReplay(), 0u);
+  EXPECT_EQ(reopened.size(), 6u);
+  ASSERT_NE(reopened.get(0), nullptr);
+  EXPECT_EQ(reopened.get(0)->version, 200u);
+  for (data::ItemId item = 1; item <= 5; ++item) {
+    ASSERT_NE(reopened.get(item), nullptr);
+    EXPECT_EQ(reopened.get(item)->payload, bytes({static_cast<int>(item)}));
+  }
+}
+
 TEST(DiskStore, OpenFailsOnUnwritablePath) {
   DiskStore store;
   EXPECT_FALSE(store.open({"/nonexistent-dir/x.log", 1u << 20}));

@@ -20,8 +20,8 @@ struct Pipe {
     for (int fd : fds) ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL) | O_NONBLOCK);
   }
   ~Pipe() {
-    ::close(fds[0]);
-    ::close(fds[1]);
+    if (fds[0] >= 0) ::close(fds[0]);
+    if (fds[1] >= 0) ::close(fds[1]);
   }
   int readEnd() const { return fds[0]; }
   int writeEnd() const { return fds[1]; }
@@ -117,6 +117,42 @@ TEST(EventLoop, CallbackMayRemoveItsOwnFd) {
   loop.run();
   EXPECT_EQ(hits, 1);
   EXPECT_FALSE(loop.hasFd(pipe.readEnd()));
+}
+
+TEST(EventLoop, StaleReadinessIsNotDispatchedToAReusedFd) {
+  // Both pipes are ready in the same poll round. The first callback closes
+  // the second pipe's read fd and immediately re-registers a fresh
+  // descriptor that reuses the same fd number; the readiness collected for
+  // the dead socket must not be dispatched to the new registration.
+  EventLoop loop;
+  Pipe first;
+  Pipe second;
+  ASSERT_LT(first.readEnd(), second.readEnd());  // dispatch order: first, second
+  int staleHits = 0;
+  int oldHits = 0;
+  int reusedFd = -1;
+  loop.addFd(second.readEnd(), kReadable, [&](std::uint32_t) { ++oldHits; });
+  loop.addFd(first.readEnd(), kReadable, [&](std::uint32_t) {
+    char buf[8];
+    (void)!::read(first.readEnd(), buf, sizeof buf);
+    const int victim = second.readEnd();
+    loop.removeFd(victim);
+    ::close(victim);
+    second.fds[0] = -1;
+    reusedFd = ::dup(first.readEnd());  // lowest free fd: the one just closed
+    ASSERT_EQ(reusedFd, victim);
+    loop.addFd(reusedFd, kReadable, [&](std::uint32_t) { ++staleHits; });
+  });
+  ASSERT_EQ(::write(first.writeEnd(), "a", 1), 1);
+  ASSERT_EQ(::write(second.writeEnd(), "b", 1), 1);
+  loop.runAfter(0.05, [&] { loop.stop(); });
+  loop.run();
+  EXPECT_EQ(staleHits, 0);  // stale readiness must not reach the new fd
+  EXPECT_EQ(oldHits, 0);    // the removed registration must not fire either
+  if (reusedFd >= 0) {
+    loop.removeFd(reusedFd);
+    ::close(reusedFd);
+  }
 }
 
 TEST(EventLoop, NowIsMonotonicAcrossTimers) {

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -31,6 +32,24 @@ PeerdConfig fastConfig(NodeId node, std::uint32_t nodeCount, std::uint32_t itemC
 
 std::string loopbackPeer(const Peerd& daemon) {
   return "127.0.0.1:" + std::to_string(daemon.boundPort());
+}
+
+// Grab a kernel-assigned port and release it so a daemon constructed later
+// can listen there while an earlier daemon already dials it.
+std::uint16_t reservePort() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  ::close(fd);
+  return ntohs(addr.sin_port);
 }
 
 // Poll `done` on the shared loop until it holds or the deadline passes.
@@ -118,6 +137,91 @@ TEST(PeerdLoopback, DiskBackedPeerResumesAfterRestart) {
   }
   (void)firstPort;
   std::remove(storePath.c_str());
+}
+
+TEST(PeerdLoopback, DuplicateSessionLoserParksInsteadOfChurning) {
+  EventLoop loop;
+  obs::Registry registry;
+
+  Peerd a(fastConfig(0, 2, 2), nullptr, &registry, &loop);
+  ASSERT_TRUE(a.start());
+
+  // Two dial entries for the same peer: both establish, duplicate
+  // resolution closes one. The loser must be parked, not redialed — a
+  // redialed loser reconnects, loses the race again, and churns forever,
+  // inflating the reconnect counter and the pair's contact-rate estimate.
+  PeerdConfig configB = fastConfig(1, 2, 2);
+  configB.peers = loopbackPeer(a) + "," + loopbackPeer(a);
+  Peerd b(std::move(configB), nullptr, &registry, &loop);
+  ASSERT_TRUE(b.start());
+
+  const auto converged = [&] {
+    for (data::ItemId item = 0; item < 2; ++item) {
+      if (a.heldVersion(item).value_or(0) != 3) return false;
+      if (b.heldVersion(item).value_or(0) != 3) return false;
+    }
+    return true;
+  };
+  runUntil(loop, converged);
+  ASSERT_TRUE(converged());
+
+  const std::uint64_t reconnectsAtConverge =
+      registry.counter("peer.net.reconnects").value();
+  const double idleStart = loop.now();
+  runUntil(loop, [&] { return loop.now() - idleStart >= 1.0; }, 5.0);
+
+  EXPECT_EQ(a.establishedCount(), 1u);
+  EXPECT_EQ(b.establishedCount(), 1u);
+  EXPECT_LE(registry.counter("peer.net.reconnects").value(),
+            reconnectsAtConverge + 1);
+}
+
+TEST(PeerdLoopback, ParkedDialResumesWhenCanonicalSessionDrops) {
+  EventLoop loop;
+  obs::Registry registry;
+  const std::uint16_t portB = reservePort();
+
+  // Mutual dial: A dials the reserved port B will listen on, B dials A's
+  // kernel-assigned port. The canonical session is A's dial (lower node
+  // id), so B's own dial loses the duplicate race and is parked.
+  PeerdConfig configA = fastConfig(0, 2, 1);
+  configA.peers = "127.0.0.1:" + std::to_string(portB);
+  auto a = std::make_unique<Peerd>(std::move(configA), nullptr, &registry, &loop);
+  ASSERT_TRUE(a->start());
+  const std::uint16_t portA = a->boundPort();
+
+  PeerdConfig configB = fastConfig(1, 2, 1);
+  configB.listenPort = portB;
+  configB.peers = "127.0.0.1:" + std::to_string(portA);
+  Peerd b(std::move(configB), nullptr, &registry, &loop);
+  ASSERT_TRUE(b.start());
+
+  runUntil(loop, [&] {
+    return a->establishedCount() == 1 && b.establishedCount() == 1 &&
+           b.heldVersion(0).value_or(0) >= 3;
+  });
+  ASSERT_GE(b.heldVersion(0).value_or(0), 3u);
+
+  // Let duplicate resolution finish on both sides: A's dial needs one
+  // backoff retry (B was not yet listening at A's first attempt) before the
+  // canonical session exists and B's dial gets parked.
+  const double settleStart = loop.now();
+  runUntil(loop, [&] { return loop.now() - settleStart >= 0.5; }, 5.0);
+
+  // Kill A. B's canonical session was inbound (no dial slot of its own), so
+  // only the revived parked dial can ever reconnect — the restarted daemon
+  // dials nobody.
+  a.reset();
+  PeerdConfig configA2 = fastConfig(0, 2, 1);
+  configA2.listenPort = portA;
+  configA2.bumpLimit = 5;
+  Peerd a2(std::move(configA2), nullptr, &registry, &loop);
+  ASSERT_TRUE(a2.start());
+
+  runUntil(loop, [&] { return b.heldVersion(0).value_or(0) >= 5; });
+  EXPECT_EQ(b.heldVersion(0).value_or(0), 5u);
+  EXPECT_EQ(b.establishedCount(), 1u);
+  EXPECT_EQ(a2.establishedCount(), 1u);
 }
 
 TEST(PeerdLoopback, GarbageBytesAreRejectedNotFatal) {
