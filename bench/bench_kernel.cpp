@@ -185,6 +185,49 @@ Metrics benchExperiment(const runner::ExperimentConfig& cfg, int reps = 3) {
   m.set("contacts_per_sec", static_cast<double>(contacts) / secs);
   m.set("peak_pending", static_cast<double>(out.peakPendingEvents));
   m.set("wall_ms", secs * 1e3);
+  if (out.shardStats.shards > 0) {
+    // Sharded-kernel runs: how much of the trace actually ran on workers
+    // (boring fraction) bounds the achievable speedup (Amdahl).
+    const auto& s = out.shardStats;
+    m.set("shards", static_cast<double>(s.shards));
+    m.set("boring_fraction",
+          static_cast<double>(s.boringContacts + s.stolenContacts) /
+              static_cast<double>(std::max<std::size_t>(1, s.contactsProcessed)));
+    m.set("stolen_fraction",
+          static_cast<double>(s.stolenContacts) /
+              static_cast<double>(std::max<std::size_t>(1, s.contactsProcessed)));
+    m.set("barrier_waits", static_cast<double>(s.barrierWaits));
+  }
+  return m;
+}
+
+/// Hypoexponential chain preparation + evaluation: the analytical kernel
+/// replication planning leans on (one prepared chain per node, evaluated at
+/// τ and τ/2 per candidate pairing). Cycles chain depths 2..8 with
+/// deterministic rate spreads; exercises both the prepared-object path and
+/// the one-shot free functions (which reuse a thread-local scratch).
+Metrics benchHypoexpCdf(std::size_t rounds, int reps) {
+  double acc = 0.0;
+  const double secs = bestSeconds(reps, [&] {
+    std::uint64_t s = 11;
+    std::vector<double> rates;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const std::size_t depth = 2 + r % 7;
+      rates.clear();
+      for (std::size_t k = 0; k < depth; ++k)
+        rates.push_back(1e-5 * (1.0 + static_cast<double>(mix64(s) % 1000)));
+      const core::HypoexpCdf chain(rates);
+      const double tau = 3600.0 * (1.0 + static_cast<double>(r % 24));
+      acc += chain.cdf(tau) + chain.truncatedMean(tau);
+      acc += core::hypoexponentialCdf(rates, tau / 2.0);
+    }
+  });
+  DTNCACHE_CHECK(acc > 0.0);
+  // Each round prepares two chains (object + free fn) and evaluates thrice.
+  const double evals = static_cast<double>(rounds) * 3.0;
+  Metrics m;
+  m.set("evals_per_sec", evals / secs);
+  m.set("ns_per_eval", secs * 1e9 / evals);
   return m;
 }
 
@@ -540,6 +583,8 @@ int main(int argc, char** argv) {
 
   run("store_lookup", benchStoreLookup(32, quick ? 100'000 : 400'000, reps));
 
+  run("hypoexp_cdf", benchHypoexpCdf(quick ? 50'000 : 200'000, reps));
+
   run("net_replay_infocom", benchNetReplay(trace::infocomLikeConfig(1)));
   {
     auto cfg = trace::realityLikeConfig(1);
@@ -586,8 +631,17 @@ int main(int argc, char** argv) {
   {
     auto cfg = mobilityExperimentConfig(quick ? 20'000 : 50'000, 1);
     if (quick) cfg.trace.duration = sim::days(1);
-    run(quick ? "sim_experiment_mobility_20k" : "sim_experiment_mobility_50k",
-        benchExperiment(cfg, quick ? 1 : 2));
+    const std::string base =
+        quick ? "sim_experiment_mobility_20k" : "sim_experiment_mobility_50k";
+    cfg.shards = 1;  // pin the plain kernel (the auto heuristic would shard)
+    run(base, benchExperiment(cfg, quick ? 1 : 2));
+    // Sharded-kernel scaling points (same run, byte-identical output; see
+    // docs/scaling.md — speedup needs >= `shards` physical cores).
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+      cfg.shards = shards;
+      run(base + "_shards" + std::to_string(shards),
+          benchExperiment(cfg, quick ? 1 : 2));
+    }
   }
 
   if (!jsonPath.empty()) {

@@ -28,6 +28,14 @@ e.g. the incremental-maintenance before/after pair:
 
     scripts/bench_compare.py --before BENCH_kernel.json:pr4-maint-before \\
                              --after BENCH_kernel.json:pr5-maint-after
+
+With --shards SNAP, the tool prints a report-only shard-scaling table from a
+single snapshot: every benchmark with `_shardsN` variants gets one row per
+shard count (1 = the plain-kernel base run) showing wall time, event
+throughput, speedup over shards=1, and the fraction of contacts that ran on
+worker threads (the Amdahl bound on further scaling). Always exits 0:
+
+    scripts/bench_compare.py --shards BENCH_kernel.json:pr8-shard-after
 """
 
 import argparse
@@ -100,6 +108,36 @@ def speedup_table(before_spec: str, after_spec: str):
         print(f"{bench:<28} {metric:>18} {b:>14.6g} {a:>14.6g} {ratio:>9}")
 
 
+def shard_table(spec: str):
+    """Report-only shard-scaling table: for each bench with `_shardsN`
+    variants, one row per shard count with speedup over the shards=1 base."""
+    label, results = load_snapshot(spec)
+    print(f"snapshot: {label}")
+    groups = {}
+    for bench in results:
+        m = re.fullmatch(r"(.*)_shards(\d+)", bench)
+        if m and m.group(1) in results:
+            groups.setdefault(m.group(1), {})[int(m.group(2))] = bench
+    if not groups:
+        print("no *_shardsN benchmarks in this snapshot")
+        return
+    print(f"{'bench':<32} {'shards':>6} {'wall_ms':>10} {'events/s':>12} "
+          f"{'speedup':>8} {'boring':>7}")
+    for base in sorted(groups):
+        variants = {1: base, **groups[base]}
+        base_eps = results[base].get("events_per_sec")
+        for k in sorted(variants):
+            r = results[variants[k]]
+            eps = r.get("events_per_sec")
+            wall = r.get("wall_ms")
+            speed = f"x{eps / base_eps:.2f}" if base_eps and eps else "n/a"
+            boring = r.get("boring_fraction")
+            boring_s = f"{boring:.2f}" if isinstance(boring, (int, float)) else "-"
+            wall_s = f"{wall:.4g}" if isinstance(wall, (int, float)) else "-"
+            eps_s = f"{eps:.6g}" if isinstance(eps, (int, float)) else "-"
+            print(f"{base:<32} {k:>6} {wall_s:>10} {eps_s:>12} {speed:>8} {boring_s:>7}")
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("base", nargs="?", help="baseline snapshot: FILE[:LABEL]")
@@ -115,8 +153,16 @@ def main():
                          "from this snapshot to --after (exit 0 always)")
     ap.add_argument("--after", metavar="FILE[:LABEL]", default=None,
                     help="the 'after' snapshot for --before")
+    ap.add_argument("--shards", metavar="FILE[:LABEL]", default=None,
+                    help="report-only mode: print a shard-scaling table from "
+                         "one snapshot's *_shardsN benchmarks (exit 0 always)")
     args = ap.parse_args()
 
+    if args.shards is not None:
+        if args.base or args.candidate or args.before or args.after:
+            ap.error("--shards replaces the other snapshot arguments")
+        shard_table(args.shards)
+        return
     if (args.before is None) != (args.after is None):
         ap.error("--before and --after must be used together")
     if args.before is not None:

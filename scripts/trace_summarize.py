@@ -13,13 +13,19 @@ per run fingerprint:
   - a per-item freshness timeline: for every version_bump, how the new
     version propagated through the caching set (pushes over time, time to
     first/median/last delivery before the next bump);
-  - query outcome summary (local hits, delivered replies, fresh replies).
+  - query outcome summary (local hits, delivered replies, fresh replies);
+  - with --shard-map FILE, a shard-plan audit: per-shard node and contact
+    load balance plus the cross-shard contact ratio, for sizing the sharded
+    kernel (sim.shards, see docs/scaling.md). FILE holds one shard id per
+    node in node-id order (whitespace/newline separated; a JSON array also
+    works).
 
 Stdlib only; works on partial traces (kinds filtered out are skipped).
 
 Usage:
   python3 scripts/trace_summarize.py trace.jsonl
   python3 scripts/trace_summarize.py --item 0 --per-version trace.jsonl
+  python3 scripts/trace_summarize.py --shard-map plan.txt trace.jsonl
   dtncache --trace=infocom --trace-out=- --csv | python3 scripts/trace_summarize.py -
 """
 
@@ -81,6 +87,68 @@ def pair_sparsity(events):
     return contacts, pairs, degree, max_node + 1
 
 
+def load_shard_map(path):
+    """Node->shard map: whitespace-separated ints in node-id order.
+
+    Tolerates a JSON array dump (`[0, 0, 1, ...]`) by stripping brackets and
+    commas, so both hand-written plans and serialized ones work.
+    """
+    with open(path) as f:
+        text = f.read()
+    tokens = text.replace("[", " ").replace("]", " ").replace(",", " ").split()
+    shard_map = [int(t) for t in tokens]
+    if not shard_map:
+        raise SystemExit(f"{path}: empty shard map")
+    return shard_map
+
+
+def shard_summary(events, shard_map):
+    """Per-shard load and the cross-shard contact ratio under a given plan.
+
+    Cross-shard contacts are the plan's coordination cost (their pair state
+    lands on a hashed shard, and their endpoints' shards both observe the
+    meeting); same-shard contacts stay entirely local. A cross ratio near
+    zero with balanced per-shard load is what makes a plan worth using.
+    """
+    shards = max(shard_map) + 1
+    same = cross = unmapped = 0
+    # Same-shard contacts count fully toward their shard; cross-shard
+    # contacts split evenly between the two endpoint shards, approximating
+    # where the estimator/observability work lands.
+    load = [0.0] * shards
+    for event in events:
+        a, b = event.get("a"), event.get("b")
+        if a is None or b is None:
+            continue
+        if a >= len(shard_map) or b >= len(shard_map):
+            unmapped += 1
+            continue
+        sa, sb = shard_map[a], shard_map[b]
+        if sa == sb:
+            same += 1
+            load[sa] += 1.0
+        else:
+            cross += 1
+            load[sa] += 0.5
+            load[sb] += 0.5
+    nodes_per_shard = collections.Counter(shard_map)
+    print(f"\n  shard plan: {shards} shard(s) over {len(shard_map)} mapped node(s)")
+    counts = [nodes_per_shard.get(s, 0) for s in range(shards)]
+    print(f"    nodes/shard: min {min(counts)}, max {max(counts)}, "
+          f"mean {len(shard_map) / shards:.1f}")
+    total = same + cross
+    if total:
+        print(f"    contacts: {same} same-shard, {cross} cross-shard "
+              f"(cross ratio {cross / total:.3f})")
+        mean_load = total / shards
+        imbalance = max(load) / mean_load if mean_load else 0.0
+        print(f"    contact load/shard (cross split evenly): "
+              f"min {min(load):.0f}, max {max(load):.0f}, "
+              f"imbalance x{imbalance:.2f}")
+    if unmapped:
+        print(f"    WARNING: {unmapped} contact(s) touch nodes beyond the map")
+
+
 def freshness_timelines(events, only_item=None):
     """Per item: version bumps in order, and each version's arrival delays."""
     # Count each copy's arrival once: prefer `install` events (one per copy
@@ -138,6 +206,9 @@ def summarize(run, events, args):
                   f"({len(pairs) / possible:.3g})")
         print(f"    degree (nodes with contacts): median {median(degrees):.0f}, "
               f"max {degrees[-1]}, mean {2 * len(pairs) / len(degrees):.1f}")
+
+    if args.shard_map_data is not None:
+        shard_summary(events, args.shard_map_data)
 
     order, delays = freshness_timelines(events, args.item)
     if order:
@@ -198,7 +269,13 @@ def main():
                         help="restrict freshness timelines to one item id")
     parser.add_argument("--per-version", action="store_true",
                         help="print one timeline row per version bump")
+    parser.add_argument("--shard-map", metavar="FILE", default=None,
+                        help="node->shard map (one shard id per node, "
+                             "node-id order): print per-shard balance and "
+                             "the cross-shard contact ratio")
     args = parser.parse_args()
+    args.shard_map_data = (load_shard_map(args.shard_map)
+                           if args.shard_map else None)
 
     stream = sys.stdin if args.trace == "-" else open(args.trace)
     with stream:

@@ -66,6 +66,11 @@ class FloodingScheme : public cache::RefreshScheme {
   void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
                  net::ContactChannel& channel) override;
 
+  /// A node carrying relay copies can hand them over on any contact.
+  bool contactActive(NodeId n) const override {
+    return n < relay_.size() && !relay_[n].empty();
+  }
+
   /// Relay copies held outside caches (diagnostics).
   std::size_t relayCopies() const;
 
@@ -119,6 +124,8 @@ class InvalidationScheme : public cache::RefreshScheme {
   void onStart(cache::CooperativeCache& cache) override;
   void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
                  net::ContactChannel& channel) override;
+  /// Version vectors gossip (and merge) on every contact: no inert contacts.
+  bool shardable() const override { return false; }
 
   std::size_t pullsIssued() const { return pullsIssued_; }
   /// Highest version node `n` has *heard of* for `item` (diagnostics).

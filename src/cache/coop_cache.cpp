@@ -66,6 +66,10 @@ CooperativeCache::CooperativeCache(sim::Simulator& simulator, net::Network& netw
 
   handshakeHalf_ = ContactProtocol::handshakeBytes(catalog_.size(),
                                                    config_.versionVectorBytesPerItem);
+
+  sourceNode_ = core::DenseBitset(nodeCount_);
+  for (data::ItemId item = 0; item < catalog_.size(); ++item)
+    sourceNode_.set(catalog_.spec(item).source);
 }
 
 void CooperativeCache::setScheme(RefreshScheme* scheme) {
@@ -198,6 +202,11 @@ const CacheStore& CooperativeCache::storeOf(NodeId n) const {
 }
 
 net::MessageBuffer& CooperativeCache::bufferOf(NodeId n) {
+  DTNCACHE_CHECK(n < nodeCount_);
+  return buffers_[n];
+}
+
+const net::MessageBuffer& CooperativeCache::bufferOf(NodeId n) const {
   DTNCACHE_CHECK(n < nodeCount_);
   return buffers_[n];
 }
@@ -394,6 +403,10 @@ void CooperativeCache::forwardBuffered(NodeId from, NodeId to, sim::SimTime t,
                                        net::ContactChannel& channel) {
   auto& buf = buffers_[from];
   buf.purgeExpired(t);
+  // Nothing buffered: done. Returning before the scratch vector keeps this
+  // path free of shared mutable state — the sharded kernel runs empty-buffer
+  // contacts on worker threads (runner/shard_driver).
+  if (buf.empty()) return;
 
   toRemoveScratch_.clear();
   auto& toRemove = toRemoveScratch_;

@@ -138,6 +138,18 @@ class CooperativeCache {
   CacheStore& storeOf(NodeId n);
   const CacheStore& storeOf(NodeId n) const;
   net::MessageBuffer& bufferOf(NodeId n);
+  const net::MessageBuffer& bufferOf(NodeId n) const;
+
+  /// Fence predicate for the sharded kernel (runner/shard_driver): a
+  /// contact can touch shared protocol state only if at least one endpoint
+  /// is active — sources always (they hold the live version), holders of
+  /// cached copies, nodes with buffered messages, and scheme-active nodes
+  /// (RefreshScheme::contactActive). Queried between events with workers
+  /// quiescent; activity changes only inside serially-executed events.
+  bool nodeProtocolActive(NodeId n) const {
+    return sourceNode_.test(n) || stores_[n].size() > 0 || !buffers_[n].empty() ||
+           (scheme_ != nullptr && scheme_->contactActive(n));
+  }
   /// Greedy-coverage central ordering of all nodes (NCL list).
   const std::vector<NodeId>& centralOrder() const { return centralOrder_; }
 
@@ -182,6 +194,7 @@ class CooperativeCache {
   std::vector<NodeId> centralOrder_;
   std::vector<std::vector<NodeId>> cachingNodes_;  ///< per item
 
+  core::DenseBitset sourceNode_;  ///< nodes that are the source of some item
   core::DenseBitset answeredAt_;  ///< (query, node) reply-dedup, answeredKey bits
   core::DenseBitset satisfied_;   ///< delivered to requester, query-id bits
   /// Deferred-removal scratch for forwardBuffered: reused across contacts so

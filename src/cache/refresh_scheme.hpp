@@ -43,6 +43,23 @@ class RefreshScheme {
   /// through `channel` (which enforces the contact's byte budget).
   virtual void onContact(CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
                          net::ContactChannel& channel) = 0;
+
+  /// Sharded-kernel contract (runner/shard_driver): a scheme is shardable
+  /// when onContact neither writes shared state nor reads the estimator
+  /// whenever *neither* endpoint is active — holds cached copies, buffers
+  /// messages, is a source, or satisfies contactActive(). Invalidation
+  /// gossips version vectors on every contact regardless of activity, so it
+  /// opts out and always runs on the plain single-threaded path.
+  virtual bool shardable() const { return true; }
+
+  /// Scheme-specific half of the driver's activity predicate: true when the
+  /// scheme keeps per-node state at `n` that a contact could touch even
+  /// though `n` caches and buffers nothing (Flooding's relay copies).
+  /// Queried only between events, with worker threads quiescent.
+  virtual bool contactActive(NodeId n) const {
+    (void)n;
+    return false;
+  }
 };
 
 }  // namespace dtncache::cache

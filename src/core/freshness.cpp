@@ -20,28 +20,38 @@ void separateRates(std::vector<double>& rates) {
 }
 
 /// Coefficients w_i = Π_{j≠i} r_j / (r_j − r_i) of the hypoexponential
-/// survival function S(t) = Σ_i w_i e^{−r_i t}.
-std::vector<double> survivalWeights(const std::vector<double>& rates) {
-  std::vector<double> w(rates.size(), 1.0);
-  for (std::size_t i = 0; i < rates.size(); ++i) {
-    for (std::size_t j = 0; j < rates.size(); ++j) {
-      if (j == i) continue;
-      w[i] *= rates[j] / (rates[j] - rates[i]);
-    }
+/// survival function S(t) = Σ_i w_i e^{−r_i t}, written into `w` (capacity
+/// reused across calls). The j≠i loop is split into its j<i and j>i halves:
+/// same ascending-j multiplication order as the skip-one loop, so every
+/// weight is bit-identical, but the inner loops are branch-free and the
+/// product accumulates in a register instead of through w[i].
+void survivalWeightsInto(const std::vector<double>& rates, std::vector<double>& w) {
+  const std::size_t n = rates.size();
+  w.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ri = rates[i];
+    double wi = 1.0;
+    for (std::size_t j = 0; j < i; ++j) wi *= rates[j] / (rates[j] - ri);
+    for (std::size_t j = i + 1; j < n; ++j) wi *= rates[j] / (rates[j] - ri);
+    w[i] = wi;
   }
-  return w;
 }
 
 }  // namespace
 
-HypoexpCdf::HypoexpCdf(std::vector<double> rates) : rates_(std::move(rates)) {
+HypoexpCdf::HypoexpCdf(std::vector<double> rates) { assign(std::move(rates)); }
+
+void HypoexpCdf::assign(std::vector<double> rates) {
+  rates_ = std::move(rates);
+  weights_.clear();
+  dead_ = false;
   for (double r : rates_) {
     DTNCACHE_CHECK(r >= 0.0);
     if (r == 0.0) dead_ = true;  // a dead link never delivers
   }
   if (!dead_ && rates_.size() >= 2) {
     separateRates(rates_);
-    weights_ = survivalWeights(rates_);
+    survivalWeightsInto(rates_, weights_);
   }
 }
 
@@ -73,12 +83,25 @@ double HypoexpCdf::truncatedMean(double horizon) const {
   return std::clamp(integral, 0.0, horizon);
 }
 
+namespace {
+
+/// Per-thread prepared-distribution scratch for the one-shot free
+/// functions: assign() reuses the weight buffer, so a planning loop that
+/// calls them in bulk allocates only its own rate vectors.
+HypoexpCdf& scratchCdf(std::vector<double>&& rates) {
+  thread_local HypoexpCdf scratch;
+  scratch.assign(std::move(rates));
+  return scratch;
+}
+
+}  // namespace
+
 double hypoexponentialCdf(std::vector<double> rates, double t) {
-  return HypoexpCdf(std::move(rates)).cdf(t);
+  return scratchCdf(std::move(rates)).cdf(t);
 }
 
 double expectedDelayTruncated(std::vector<double> rates, double horizon) {
-  return HypoexpCdf(std::move(rates)).truncatedMean(horizon);
+  return scratchCdf(std::move(rates)).truncatedMean(horizon);
 }
 
 double expectedFreshFraction(const std::vector<double>& chainRates, sim::SimTime tau) {

@@ -39,7 +39,16 @@ namespace dtncache::core {
 /// to the one-shot free functions below (which now delegate here).
 class HypoexpCdf {
  public:
+  /// Empty chain: delay 0, cdf ≡ 1. Mostly useful as an assign() target.
+  HypoexpCdf() = default;
+
   explicit HypoexpCdf(std::vector<double> rates);
+
+  /// Re-prepare in place for a new chain, reusing the weight buffer's
+  /// capacity. The one-shot free functions below route every call through a
+  /// thread-local scratch instance via this, so repeated evaluations stop
+  /// paying a weights allocation per call.
+  void assign(std::vector<double> rates);
 
   /// P(Exp(r_1) + ... + Exp(r_k) ≤ t). Empty chain ⇒ delay 0 ⇒ 1.
   /// Any zero rate makes the sum infinite ⇒ 0.

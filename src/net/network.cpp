@@ -5,6 +5,7 @@
 
 #include "net/energy.hpp"
 #include "sim/assert.hpp"
+#include "sim/shard_context.hpp"
 
 namespace dtncache::net {
 
@@ -60,7 +61,78 @@ void Network::start(ContactFn onContact) {
   // where the old eager fan-out would have placed it, while keeping a
   // single event pending instead of the whole trace.
   seqBase_ = simulator_.reserveSequences(contacts.size() - nextContact_);
+  if (sharded_) {
+    // No cursor event: the shard driver pulls contacts by index. Plain mode
+    // would schedule the cursor exactly here — the pending bias takes its
+    // place so peak-pending tracking stays byte-identical (the driver drops
+    // the bias when the last contact is processed, where plain mode's final
+    // cursor pop would occur).
+    simulator_.setPendingBias(1);
+    return;
+  }
   scheduleNextContact();
+}
+
+void Network::setShardedDelivery(bool on) {
+  DTNCACHE_CHECK_MSG(!started_, "setShardedDelivery must precede start()");
+  sharded_ = on;
+}
+
+void Network::enterShardMode(std::size_t contexts) {
+  DTNCACHE_CHECK(sharded_ && started_ && shardCtxs_.empty());
+  DTNCACHE_CHECK_MSG(energy_ == nullptr, "sharded delivery excludes energy runs");
+  shardCtxs_.resize(contexts);
+  for (ShardCtx& ctx : shardCtxs_) ctx.log = TransferLog(trace_.nodeCount());
+  // Plain delivery draws one bernoulli per delivered contact, in index
+  // order. Drawing the whole suffix here consumes the identical stream
+  // (lossRng_ serves nothing else), so outcome i matches plain outcome i;
+  // draws past the horizon are simply never read.
+  if (config_.contactLossRate > 0.0) {
+    const auto& contacts = trace_.contacts();
+    lossLost_.resize(contacts.size() - firstContact_);
+    for (std::size_t i = 0; i < lossLost_.size(); ++i)
+      lossLost_[i] = lossRng_.bernoulli(config_.contactLossRate) ? 1 : 0;
+  }
+}
+
+void Network::deliverSharded(std::size_t index) {
+  const trace::Contact& c = trace_.contacts()[index];
+  const sim::SimTime t = c.start;
+  ShardCtx& ctx = shardCtxs_[sim::tlsShard.ctx];
+  if (config_.contactLossRate > 0.0 && lossLost_[index - firstContact_] != 0) {
+    ++ctx.lost;
+    if (ctrLost_ != nullptr) ctrLost_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kContactLost, t, {"a", c.a}, {"b", c.b});
+    return;
+  }
+  if (filter_ && !filter_(c.a, c.b, t)) {
+    ++ctx.suppressed;
+    if (ctrSuppressed_ != nullptr) ctrSuppressed_->add();
+    DTNCACHE_EVENT(tracer_, obs::EventKind::kContactSuppressed, t, {"a", c.a},
+                   {"b", c.b});
+    return;
+  }
+  ++ctx.delivered;
+  if (ctrDelivered_ != nullptr) ctrDelivered_->add();
+  const auto budget = std::max<std::uint64_t>(
+      config_.minContactBudgetBytes,
+      static_cast<std::uint64_t>(std::llround(c.duration * config_.bandwidthBytesPerSec)));
+  ContactChannel channel(budget, ctx.log, c.a, c.b, nullptr);
+  onContact_(c.a, c.b, t, c.duration, channel);
+  DTNCACHE_EVENT(tracer_, obs::EventKind::kContact, t, {"a", c.a}, {"b", c.b},
+                 {"dur", c.duration}, {"budget", budget},
+                 {"spent", budget - channel.remainingBytes()});
+}
+
+void Network::exitShardMode() {
+  for (const ShardCtx& ctx : shardCtxs_) {
+    log_.merge(ctx.log);
+    contactsDelivered_ += ctx.delivered;
+    contactsSuppressed_ += ctx.suppressed;
+    contactsLost_ += ctx.lost;
+  }
+  shardCtxs_.clear();
+  lossLost_.clear();
 }
 
 void Network::scheduleNextContact() {

@@ -91,6 +91,19 @@ class TransferLog {
     return perNodeRefreshBytes_;
   }
 
+  /// Fold another log's totals into this one (integer sums — order-free).
+  /// The sharded kernel records into per-context logs and merges them back.
+  void merge(const TransferLog& other) {
+    for (std::size_t k = 0; k < counters_.size(); ++k) {
+      counters_[k].messages += other.counters_[k].messages;
+      counters_[k].bytes += other.counters_[k].bytes;
+    }
+    for (std::size_t i = 0; i < perNodeBytes_.size() && i < other.perNodeBytes_.size(); ++i) {
+      perNodeBytes_[i] += other.perNodeBytes_[i];
+      perNodeRefreshBytes_[i] += other.perNodeRefreshBytes_[i];
+    }
+  }
+
  private:
   std::array<TrafficCounters, static_cast<std::size_t>(Traffic::kCategoryCount)> counters_{};
   std::vector<std::uint64_t> perNodeBytes_;
@@ -181,6 +194,35 @@ class Network {
   std::size_t contactsSuppressed() const { return contactsSuppressed_; }
   std::size_t contactsLost() const { return contactsLost_; }
 
+  // ---- sharded delivery (runner/shard_driver) -----------------------------
+
+  /// Route contacts through the sharded kernel: start() still computes the
+  /// warm-up skip and reserves every contact's FIFO rank (identical sequence
+  /// evolution), but schedules no cursor event — the driver pulls contacts
+  /// by index via deliverSharded(). The one pending cursor slot plain mode
+  /// would occupy is accounted through the simulator's pending bias so the
+  /// peak-pending statistic stays byte-identical. Call before start().
+  void setShardedDelivery(bool on);
+
+  /// Per-context transfer logs and admission counts, entered with worker
+  /// threads not yet running. Also pre-draws the per-contact loss decisions
+  /// for [firstContactIndex(), trace end) in index order from the same RNG
+  /// stream plain delivery consumes, so outcomes match contact for contact.
+  void enterShardMode(std::size_t contexts);
+
+  /// Deliver contact `index` on the calling context (sim::tlsShard selects
+  /// the transfer log and tracer sink). Same admission pipeline as plain
+  /// delivery minus the cursor walk; requires enterShardMode and no energy
+  /// model (the driver falls back to plain delivery for energy runs).
+  void deliverSharded(std::size_t index);
+
+  /// Fold per-context logs and counts back; call after workers joined.
+  void exitShardMode();
+
+  std::size_t firstContactIndex() const { return firstContact_; }
+  sim::EventQueue::Sequence sequenceBase() const { return seqBase_; }
+  const trace::ContactTrace& trace() const { return trace_; }
+
  private:
   void scheduleNextContact();
   void deliverContact(sim::SimTime t);
@@ -204,6 +246,18 @@ class Network {
   std::size_t nextContact_ = 0;   ///< cursor into the sorted contact vector
   std::size_t firstContact_ = 0;  ///< first non-warm-up contact at start()
   sim::EventQueue::Sequence seqBase_ = 0;  ///< FIFO rank of firstContact_
+
+  /// Sharded delivery: per-context admission state (tlsShard-selected).
+  struct ShardCtx {
+    TransferLog log;
+    std::size_t delivered = 0;
+    std::size_t suppressed = 0;
+    std::size_t lost = 0;
+  };
+  bool sharded_ = false;
+  std::vector<ShardCtx> shardCtxs_;
+  /// Pre-drawn loss outcomes for contacts [firstContact_, end), index order.
+  std::vector<char> lossLost_;
 };
 
 }  // namespace dtncache::net

@@ -21,20 +21,43 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
+
+#include "sim/shard_context.hpp"
 
 namespace dtncache::obs {
 
 /// A monotonically increasing named count. Stable address for the life of
 /// its Registry (std::map nodes never move), so callers cache the pointer.
+///
+/// Sharded runs split every counter into per-context slots (one per worker
+/// thread + coordinator, selected through sim::tlsShard) so concurrent adds
+/// from shard workers are race-free without atomics; Registry::exitShardMode
+/// folds the slots back. Addition commutes, so the folded totals equal the
+/// single-threaded values exactly. Plain runs pay one pointer null-check.
 class Counter {
  public:
-  void add(std::uint64_t delta = 1) { value_ += delta; }
+  void add(std::uint64_t delta = 1) {
+    if (shardSlots_ != nullptr) {
+      (*shardSlots_)[sim::tlsShard.ctx].v += delta;
+      return;
+    }
+    value_ += delta;
+  }
   std::uint64_t value() const { return value_; }
 
  private:
+  friend class Registry;
+  /// Cache-line-sized slots: two workers bumping the same counter must not
+  /// share a line (different counters already have separate allocations).
+  struct alignas(64) Slot {
+    std::uint64_t v = 0;
+  };
   std::uint64_t value_ = 0;
+  std::unique_ptr<std::vector<Slot>> shardStorage_;
+  std::vector<Slot>* shardSlots_ = nullptr;
 };
 
 /// Accumulated wall-clock spent in a named activity.
@@ -62,16 +85,48 @@ class Registry {
  public:
   /// Get-or-create. The returned reference stays valid for the registry's
   /// lifetime — cache it where the increment is hot.
-  Counter& counter(const std::string& name) { return counters_[name]; }
+  Counter& counter(const std::string& name) {
+    Counter& c = counters_[name];
+    splitCounter(c);  // no-op outside shard mode
+    return c;
+  }
   Timer& timer(const std::string& name) { return timers_[name]; }
 
   /// All counters, sorted by name (map order).
   std::vector<std::pair<std::string, std::uint64_t>> counterSnapshot() const;
   std::vector<TimerSnapshot> timerSnapshot() const;
 
+  /// Split every registered counter into `contexts` per-thread slots (see
+  /// Counter). Call with worker threads parked (the sharded runner enters
+  /// before spawning workers); counters registered while shard mode is
+  /// active are split on creation.
+  void enterShardMode(std::size_t contexts) {
+    shardContexts_ = contexts;
+    for (auto& [name, c] : counters_) splitCounter(c);
+  }
+
+  /// Fold all per-context slots back into the plain values and return to
+  /// single-threaded counting. Call after worker threads joined.
+  void exitShardMode() {
+    shardContexts_ = 0;
+    for (auto& [name, c] : counters_) {
+      if (c.shardSlots_ == nullptr) continue;
+      for (const Counter::Slot& s : *c.shardSlots_) c.value_ += s.v;
+      c.shardSlots_ = nullptr;
+      c.shardStorage_.reset();
+    }
+  }
+
  private:
+  void splitCounter(Counter& c) {
+    if (shardContexts_ == 0 || c.shardSlots_ != nullptr) return;
+    c.shardStorage_ = std::make_unique<std::vector<Counter::Slot>>(shardContexts_);
+    c.shardSlots_ = c.shardStorage_.get();
+  }
+
   std::map<std::string, Counter> counters_;
   std::map<std::string, Timer> timers_;
+  std::size_t shardContexts_ = 0;
 };
 
 /// RAII wall-clock accumulation into a Timer:

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "sim/assert.hpp"
+#include "sim/shard_context.hpp"
 
 namespace dtncache::obs {
 
@@ -51,36 +52,80 @@ void Tracer::emit(EventKind kind, sim::SimTime t, std::initializer_list<Field> f
   // Fixed leading keys (run identity, sim time, kind) then the payload in
   // emission-site order — one object per line, keys never reordered, so
   // the schema in docs/observability.md holds byte-for-byte.
-  buffer_ += "{\"run\": \"";
-  buffer_ += run_;
-  buffer_ += "\", \"t\": ";
-  buffer_ += jsonNumber(t);
-  buffer_ += ", \"kind\": \"";
-  buffer_ += eventKindName(kind);
-  buffer_ += '"';
+  ShardSink* sink = shardMode_ ? &shardSinks_[sim::tlsShard.ctx] : nullptr;
+  std::string& out = sink != nullptr ? sink->buf : buffer_;
+  out += "{\"run\": \"";
+  out += run_;
+  out += "\", \"t\": ";
+  out += jsonNumber(t);
+  out += ", \"kind\": \"";
+  out += eventKindName(kind);
+  out += '"';
   for (const Field& f : fields) {
-    buffer_ += ", \"";
-    buffer_ += f.key;
-    buffer_ += "\": ";
+    out += ", \"";
+    out += f.key;
+    out += "\": ";
     switch (f.type) {
       case Field::Type::kUInt:
-        buffer_ += std::to_string(f.u);
+        out += std::to_string(f.u);
         break;
       case Field::Type::kDouble:
-        buffer_ += jsonNumber(f.d);
+        out += jsonNumber(f.d);
         break;
       case Field::Type::kBool:
-        buffer_ += f.b ? "true" : "false";
+        out += f.b ? "true" : "false";
         break;
       case Field::Type::kText:
-        buffer_ += '"';
-        appendEscaped(buffer_, f.s);
-        buffer_ += '"';
+        out += '"';
+        appendEscaped(out, f.s);
+        out += '"';
         break;
     }
   }
-  buffer_ += "}\n";
+  out += "}\n";
+  if (sink != nullptr) {
+    // events_ is merged at exitShardMode (no concurrent increments here).
+    sink->tags.push_back({sim::tlsShard.evTime, sim::tlsShard.evSeq, out.size()});
+    return;
+  }
   ++events_;
+}
+
+void Tracer::enterShardMode(std::size_t contexts) {
+  DTNCACHE_CHECK(!shardMode_);
+  shardSinks_.assign(contexts, {});
+  shardMode_ = true;
+}
+
+void Tracer::exitShardMode() {
+  DTNCACHE_CHECK(shardMode_);
+  shardMode_ = false;
+  // K-way merge of the per-context line streams by (t, seq). Each stream is
+  // already sorted (a context executes its events in key order), and a key
+  // occurs in exactly one context, so the merge is a total order.
+  std::vector<std::size_t> next(shardSinks_.size(), 0);   // next tag index
+  std::vector<std::size_t> start(shardSinks_.size(), 0);  // line start offset
+  for (;;) {
+    std::size_t best = shardSinks_.size();
+    for (std::size_t c = 0; c < shardSinks_.size(); ++c) {
+      if (next[c] >= shardSinks_[c].tags.size()) continue;
+      const auto& tag = shardSinks_[c].tags[next[c]];
+      if (best == shardSinks_.size()) {
+        best = c;
+        continue;
+      }
+      const auto& bt = shardSinks_[best].tags[next[best]];
+      if (tag.t < bt.t || (tag.t == bt.t && tag.seq < bt.seq)) best = c;
+    }
+    if (best == shardSinks_.size()) break;
+    ShardSink& sink = shardSinks_[best];
+    const auto& tag = sink.tags[next[best]];
+    buffer_.append(sink.buf, start[best], tag.end - start[best]);
+    ++events_;
+    start[best] = tag.end;
+    ++next[best];
+  }
+  shardSinks_.clear();
 }
 
 void Tracer::flushTo(std::ostream& out) {

@@ -28,6 +28,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "obs/event.hpp"
 #include "sim/time.hpp"
@@ -101,11 +102,34 @@ class Tracer {
   const std::string& runLabel() const { return run_; }
   KindMask filter() const { return filter_; }
 
+  /// Sharded-kernel support: between enterShardMode(contexts) and
+  /// exitShardMode(), each emitting thread renders into its own
+  /// sim::tlsShard-selected buffer, tagging every line with the (time,
+  /// sequence) key of the event that produced it. exitShardMode k-way
+  /// merges the per-context buffers by tag into the main buffer — the
+  /// single-threaded emission order, byte for byte (an event executes on
+  /// exactly one context, so tags never tie across contexts, and one
+  /// event's lines keep their emission order within its context).
+  void enterShardMode(std::size_t contexts);
+  void exitShardMode();
+
  private:
+  struct ShardSink {
+    struct Tag {
+      sim::SimTime t;
+      std::uint64_t seq;
+      std::size_t end;  ///< buffer offset one past this line
+    };
+    std::string buf;
+    std::vector<Tag> tags;  ///< nondecreasing (t, seq): per-context events are ordered
+  };
+
   std::string run_;
   KindMask filter_;
   std::string buffer_;
   std::size_t events_ = 0;
+  bool shardMode_ = false;
+  std::vector<ShardSink> shardSinks_;
 };
 
 }  // namespace dtncache::obs

@@ -107,6 +107,8 @@ void bindAll(const FieldBinder& b, ExperimentConfig& c) {
   b.numeric("energy.idleJoulesPerHour", c.energy.idleJoulesPerHour);
   // master seed
   b.numeric("seed", c.seed);
+  // sharded kernel (0 = auto; output is shard-count-invariant)
+  b.numeric("sim.shards", c.shards);
 }
 
 }  // namespace

@@ -29,6 +29,7 @@
 #include "metrics/collector.hpp"
 #include "obs/registry.hpp"
 #include "obs/tracer.hpp"
+#include "runner/shard_driver.hpp"
 #include "trace/estimator.hpp"
 #include "trace/generators.hpp"
 
@@ -93,6 +94,19 @@ struct ExperimentConfig {
   /// (seed sweep) change every random process coherently.
   std::uint64_t seed = 1;
 
+  /// Sharded kernel (shard_driver.hpp): worker-thread count for the event
+  /// loop. 0 = auto — runs of >= 16384 nodes get min(4, hw_concurrency/2)
+  /// workers, smaller runs stay single-threaded (coordination does not
+  /// amortize). 1 forces the plain kernel. The DTNCACHE_SHARDS environment
+  /// variable overrides this field. Energy runs and non-shardable schemes
+  /// (invalidation) always fall back to the plain kernel. Output is
+  /// byte-identical at every setting — see tests/runner/shard_equivalence.
+  std::size_t shards = 0;
+  /// Test hook: explicit node→shard map (size = node count). The
+  /// equivalence suite passes adversarial partitions here; empty selects
+  /// the community-aware plan (shard_plan.hpp).
+  std::vector<std::uint32_t> shardMapOverride;
+
   /// Structured event tracing (runtime-only, like `externalTrace`): when
   /// set, every instrumented seam emits typed JSONL events into this
   /// caller-owned tracer. Null (the default) keeps the hot paths at a
@@ -129,6 +143,11 @@ struct ExperimentOutput {
   // docs/performance.md and bench/bench_kernel.cpp).
   std::size_t peakPendingEvents = 0;
   std::uint64_t eventsProcessed = 0;
+
+  /// Sharded-kernel coordination stats (all zero for plain runs). Kept out
+  /// of `counters` so registry snapshots stay byte-identical across shard
+  /// counts.
+  ShardStats shardStats;
 
   /// Observability registry snapshot: every standard counter (name → value,
   /// sorted by name; the full set is pre-registered so all schemes report

@@ -1,0 +1,261 @@
+#include "runner/shard_driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "runner/shard_plan.hpp"
+#include "sim/assert.hpp"
+#include "sim/shard_context.hpp"
+
+namespace dtncache::runner {
+
+namespace {
+
+/// Worker acknowledgement slot, padded so each worker's publish lands on its
+/// own cache line.
+struct alignas(64) AckSlot {
+  std::atomic<std::size_t> v{0};
+};
+
+}  // namespace
+
+ShardStats runSharded(sim::Simulator& sim, net::Network& network,
+                      cache::CooperativeCache& coop,
+                      trace::ContactRateEstimator& estimator, obs::Tracer* tracer,
+                      obs::Registry& registry, sim::SimTime horizon,
+                      const ShardPlanConfig& plan) {
+  const auto& contacts = network.trace().contacts();
+  const std::size_t first = network.firstContactIndex();
+  const sim::EventQueue::Sequence seqBase = network.sequenceBase();
+  // Contacts at exactly the horizon still fire (runUntil runs t <= until).
+  const std::size_t end = static_cast<std::size_t>(
+      std::upper_bound(contacts.begin() + static_cast<std::ptrdiff_t>(first),
+                       contacts.end(), horizon,
+                       [](sim::SimTime t, const trace::Contact& c) { return t < c.start; }) -
+      contacts.begin());
+  const std::size_t K = plan.shards;
+  DTNCACHE_CHECK(K >= 1 && plan.shardMap.size() == network.nodeCount());
+
+  ShardStats stats;
+  stats.shards = K;
+  stats.contactsProcessed = end - first;
+
+  // Static contact ownership: every contact of a pair goes to one worker
+  // (shard_plan.hpp), so per-pair estimator updates need no locks.
+  std::vector<std::vector<std::size_t>> lists(K);
+  for (std::size_t i = first; i < end; ++i) {
+    const trace::Contact& c = contacts[i];
+    if (plan.shardMap[c.a] == plan.shardMap[c.b])
+      ++stats.localContacts;
+    else
+      ++stats.crossContacts;
+    lists[contactShard(plan.shardMap, K, c.a, c.b)].push_back(i);
+  }
+
+  // Per-context state fans out before any worker exists and folds back after
+  // they join; the worker threads themselves only ever touch their own slot.
+  const std::size_t contexts = K + 1;  // context 0 is the coordinator
+  registry.enterShardMode(contexts);
+  if (tracer != nullptr) tracer->enterShardMode(contexts);
+  estimator.enterShardMode(contexts, contacts, first, end);
+  network.enterShardMode(contexts);
+
+  // Fence contacts are executed by the coordinator; their owning worker must
+  // skip them. The flag is always written before the bound that exposes the
+  // index is published (release), so workers read it settled.
+  std::vector<char> serialFlag(end - first, 0);
+
+  std::atomic<std::size_t> bound{first};  // workers may run contacts < bound
+  std::atomic<bool> stop{false};
+  std::unique_ptr<AckSlot[]> acks(new AckSlot[K]);
+  for (std::size_t w = 0; w < K; ++w) acks[w].v.store(first, std::memory_order_relaxed);
+  const std::size_t sentinel = contacts.size() + 1;  // > any published bound
+
+  auto workerFn = [&](std::size_t w) {
+    sim::tlsShard.ctx = static_cast<std::uint32_t>(w + 1);
+    const std::vector<std::size_t>& list = lists[w];
+    std::size_t pos = 0;
+    std::size_t seen = first;
+    for (;;) {
+      const std::size_t b = bound.load(std::memory_order_acquire);
+      if (b != seen) {
+        while (pos < list.size() && list[pos] < b) {
+          const std::size_t i = list[pos];
+          if (serialFlag[i - first] == 0) {
+            sim::tlsShard.evTime = contacts[i].start;
+            sim::tlsShard.evSeq = seqBase + (i - first);
+            network.deliverSharded(i);
+          }
+          ++pos;
+        }
+        seen = b;
+        acks[w].v.store(b, std::memory_order_release);
+        acks[w].v.notify_one();
+      }
+      // The sentinel bound is stored after the stop flag, so observing
+      // bound == seen == sentinel here implies stop is visible too.
+      if (stop.load(std::memory_order_acquire) &&
+          bound.load(std::memory_order_acquire) == seen)
+        break;
+      bound.wait(seen, std::memory_order_acquire);
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(K);
+  for (std::size_t w = 0; w < K; ++w) workers.emplace_back(workerFn, w);
+
+  // Coordinator-side mirror of each worker's cursor: lets an epoch skip the
+  // publish (and its futex round-trip) when no worker holds real work below
+  // the bound — the common case on fence-heavy stretches.
+  std::vector<std::size_t> mirror(K, 0);
+  std::vector<char> needAck(K, 0);
+  std::size_t published = first;
+  std::size_t handed = first;  // everything below is executed or delegated
+
+  // Below this many boring contacts per epoch the barrier round-trip costs
+  // more than just running them, so the coordinator steals the batch. On
+  // fence-dense workloads (an active endpoint every few contacts) this is
+  // nearly every epoch; workers only see the long inert stretches that can
+  // actually amortize a wake-up.
+  constexpr std::size_t kStealMax = 16;
+
+  auto publishAndWait = [&](std::size_t newBound) {
+    if (newBound <= handed) return;
+    std::size_t pending = 0;
+    for (std::size_t i = handed; i < newBound; ++i)
+      if (serialFlag[i - first] == 0) ++pending;
+    if (pending == 0) {
+      handed = newBound;
+      return;
+    }
+    if (pending <= kStealMax) {
+      // Safe to run these here: every prior epoch with worker work ended in
+      // an ack wait, so all workers are idle below `published`, and the next
+      // bound publish (release) sequences these writes before any worker
+      // resumes. The owning worker skips the flagged entries; sinks merge by
+      // (time, seq) key, not by context, so output is unchanged.
+      for (std::size_t i = handed; i < newBound; ++i) {
+        if (serialFlag[i - first] != 0) continue;
+        serialFlag[i - first] = 1;
+        sim::tlsShard.evTime = contacts[i].start;
+        sim::tlsShard.evSeq = seqBase + (i - first);
+        network.deliverSharded(i);
+      }
+      stats.stolenContacts += pending;
+      handed = newBound;
+      return;
+    }
+    handed = newBound;
+    bool anyNeed = false;
+    for (std::size_t w = 0; w < K; ++w) {
+      const std::vector<std::size_t>& list = lists[w];
+      std::size_t& p = mirror[w];
+      while (p < list.size() && list[p] < newBound) {
+        if (serialFlag[list[p] - first] == 0) needAck[w] = 1;
+        ++p;
+      }
+      anyNeed = anyNeed || needAck[w] != 0;
+    }
+    if (!anyNeed || newBound <= published) return;
+    bound.store(newBound, std::memory_order_release);
+    bound.notify_all();
+    published = newBound;
+    bool waited = false;
+    for (std::size_t w = 0; w < K; ++w) {
+      if (needAck[w] == 0) continue;
+      std::size_t a = acks[w].v.load(std::memory_order_acquire);
+      while (a < newBound) {
+        waited = true;
+        acks[w].v.wait(a, std::memory_order_acquire);
+        a = acks[w].v.load(std::memory_order_acquire);
+      }
+      needAck[w] = 0;
+    }
+    if (waited) ++stats.barrierWaits;
+  };
+
+  std::size_t scan = first;  // next unclassified contact
+  bool biasCleared = false;
+  sim::tlsShard.ctx = 0;
+  for (;;) {
+    sim::SimTime qt = 0.0;
+    sim::EventQueue::Sequence qs = 0;
+    bool haveQ = sim.peekNextKey(qt, qs);
+    if (haveQ && qt > horizon) haveQ = false;
+
+    // Hand off boring contacts until the next serial event: the earlier of
+    // the pending queue event and the next fence contact, in (time, seq)
+    // order. A contact handed off here has every serial event below its key
+    // already executed, so the fence it was classified against is exactly
+    // the state it logically runs under.
+    std::ptrdiff_t fence = -1;
+    while (scan < end) {
+      const trace::Contact& c = contacts[scan];
+      const sim::EventQueue::Sequence cseq = seqBase + (scan - first);
+      if (haveQ && (qt < c.start || (qt == c.start && qs < cseq))) break;
+      if (coop.nodeProtocolActive(c.a) || coop.nodeProtocolActive(c.b)) {
+        serialFlag[scan - first] = 1;
+        fence = static_cast<std::ptrdiff_t>(scan);
+        break;
+      }
+      ++scan;
+    }
+
+    if (fence >= 0) {
+      publishAndWait(static_cast<std::size_t>(fence));
+      estimator.drainShardDirty();
+      const trace::Contact& c = contacts[static_cast<std::size_t>(fence)];
+      sim::tlsShard.ctx = 0;
+      sim::tlsShard.evTime = c.start;
+      sim::tlsShard.evSeq = seqBase + (static_cast<std::size_t>(fence) - first);
+      sim.advanceClockTo(c.start);
+      network.deliverSharded(static_cast<std::size_t>(fence));
+      ++stats.fenceContacts;
+      ++scan;
+    } else if (haveQ) {
+      publishAndWait(scan);
+      estimator.drainShardDirty();
+      sim::tlsShard.ctx = 0;
+      sim::tlsShard.evTime = qt;
+      sim::tlsShard.evSeq = qs;
+      sim.runOneEvent();
+      ++stats.serialEvents;
+    } else {
+      break;  // queue drained past the horizon, remaining contacts all boring
+    }
+
+    if (!biasCleared && scan == end && end == contacts.size()) {
+      // The last trace contact is handed off or executed: plain mode's
+      // cursor pops here, so the phantom pending slot goes with it. Contact
+      // callbacks schedule nothing, so the hand-off-to-execution gap cannot
+      // move any high-water check.
+      sim.setPendingBias(0);
+      biasCleared = true;
+    }
+  }
+
+  // Release the tail of boring contacts and shut the workers down. stop is
+  // stored before the sentinel bound so a worker that drains to the sentinel
+  // always observes it.
+  stop.store(true, std::memory_order_release);
+  bound.store(sentinel, std::memory_order_release);
+  bound.notify_all();
+  for (std::thread& t : workers) t.join();
+  if (!biasCleared && end == contacts.size()) sim.setPendingBias(0);
+
+  stats.boringContacts =
+      stats.contactsProcessed - stats.fenceContacts - stats.stolenContacts;
+
+  estimator.exitShardMode();
+  network.exitShardMode();
+  if (tracer != nullptr) tracer->exitShardMode();
+  registry.exitShardMode();
+
+  sim.advanceClockTo(horizon);
+  return stats;
+}
+
+}  // namespace dtncache::runner

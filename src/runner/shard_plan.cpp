@@ -1,0 +1,35 @@
+#include "runner/shard_plan.hpp"
+
+#include "core/pair_key.hpp"
+
+namespace dtncache::runner {
+
+std::vector<std::uint32_t> makeShardMap(std::size_t nodeCount, std::size_t shards,
+                                        const std::vector<std::size_t>& community) {
+  std::vector<std::uint32_t> map(nodeCount, 0);
+  if (shards <= 1) return map;
+  if (community.size() == nodeCount) {
+    for (std::size_t i = 0; i < nodeCount; ++i)
+      map[i] = static_cast<std::uint32_t>(community[i] % shards);
+  } else {
+    for (std::size_t i = 0; i < nodeCount; ++i)
+      map[i] = static_cast<std::uint32_t>(i * shards / nodeCount);
+  }
+  return map;
+}
+
+std::uint32_t contactShard(const std::vector<std::uint32_t>& map, std::size_t shards,
+                           NodeId a, NodeId b) {
+  const std::uint32_t sa = map[a];
+  const std::uint32_t sb = map[b];
+  if (sa == sb) return sa;
+  // splitmix64 finalizer over the symmetric pair key: deterministic,
+  // platform-independent, and spreads adjacent pairs across shards.
+  std::uint64_t x = core::packSymmetricPair(a, b) + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::uint32_t>(x % shards);
+}
+
+}  // namespace dtncache::runner

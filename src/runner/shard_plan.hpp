@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file shard_plan.hpp
+/// Node→shard and contact→shard assignment for the sharded kernel.
+///
+/// Any deterministic map is *correct* — the driver's fence protocol, not the
+/// partition, guarantees byte-identical output — so the plan only chases
+/// locality: contacts whose endpoints share a shard are processed by that
+/// shard's worker with no cross-shard pair traffic. Synthetic traces carry a
+/// community label per node and their contact generators are strongly
+/// intra-community, so community-aware mapping keeps most contacts local;
+/// external traces fall back to contiguous node ranges.
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/contact.hpp"
+
+namespace dtncache::runner {
+
+/// Deterministic node→shard map. When `community` has one entry per node
+/// (synthetic traces), communities are assigned to shards round-robin so
+/// intra-community contacts — the bulk of synthetic mobility — stay local.
+/// Otherwise nodes are split into `shards` contiguous ranges. `shards <= 1`
+/// yields the all-zero map.
+std::vector<std::uint32_t> makeShardMap(std::size_t nodeCount, std::size_t shards,
+                                        const std::vector<std::size_t>& community);
+
+/// Owning worker of a contact. Same-shard pairs stay on their shard; a
+/// cross-shard pair hashes its symmetric pair key so *every* contact of a
+/// given pair lands on one worker — the estimator's per-pair EWMA then sees
+/// its contacts in trace order with no synchronization.
+std::uint32_t contactShard(const std::vector<std::uint32_t>& map, std::size_t shards,
+                           NodeId a, NodeId b);
+
+}  // namespace dtncache::runner

@@ -89,6 +89,18 @@ class EventQueue {
     return heap_.empty() ? kNever : heap_.top().time;
   }
 
+  /// Full (time, sequence) ordering key of the earliest live event. The
+  /// sharded runner publishes this key as the merge bound: every stream
+  /// entry strictly below it fires before the queue event would, exactly
+  /// as the single-threaded loop interleaves them. Returns false when empty.
+  bool peekKey(SimTime& time, Sequence& seq) {
+    purgeStale();
+    if (heap_.empty()) return false;
+    time = heap_.top().time;
+    seq = heap_.top().seq;
+    return true;
+  }
+
   /// Pop and run the earliest live event. Precondition: !empty().
   /// Returns the time the event fired at.
   SimTime runNext() {
@@ -119,6 +131,14 @@ class EventQueue {
 
   /// Lifetime high-water mark of the pending set (not reset by clear()).
   std::size_t peakSize() const { return peakSize_; }
+
+  /// Phantom events included in peak tracking (see Simulator::setPendingBias).
+  /// Applying a bias performs the same high-water check a schedule() of that
+  /// many events would, so raising it is equivalent to the elided schedule.
+  void setPeakBias(std::size_t n) {
+    peakBias_ = n;
+    if (live_ + peakBias_ > peakSize_) peakSize_ = live_ + peakBias_;
+  }
   /// Total events fired over the queue's lifetime.
   std::uint64_t processed() const { return processed_; }
 
@@ -165,7 +185,7 @@ class EventQueue {
     const EventId id = makeId(slot, slots_[slot].generation);
     heap_.push(HeapEntry{at, seq, id});
     ++live_;
-    if (live_ > peakSize_) peakSize_ = live_;
+    if (live_ + peakBias_ > peakSize_) peakSize_ = live_ + peakBias_;
     return id;
   }
 
@@ -192,6 +212,7 @@ class EventQueue {
   Sequence nextSeq_ = 1;
   SimTime lastPopped_ = 0.0;
   std::size_t peakSize_ = 0;
+  std::size_t peakBias_ = 0;
   std::uint64_t processed_ = 0;
 };
 

@@ -102,11 +102,39 @@ class Simulator {
     if (!stopped_) now_ = until;
   }
 
+  /// (time, sequence) key of the earliest pending event, or false when the
+  /// queue is empty. The sharded runner uses this to choose each merge
+  /// barrier's bound without popping anything.
+  bool peekNextKey(SimTime& t, EventQueue::Sequence& seq) { return queue_.peekKey(t, seq); }
+
+  /// Pop and run exactly the earliest pending event, advancing the clock to
+  /// its time first (same clock discipline as runUntil's loop body).
+  /// Precondition: the queue is non-empty.
+  void runOneEvent() {
+    now_ = queue_.peekTime();
+    queue_.runNext();
+  }
+
+  /// Advance the clock to `t` without running anything — the sharded
+  /// runner's equivalent of runUntil's trailing `now_ = until`. The clock
+  /// never moves backwards.
+  void advanceClockTo(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
   /// Request the current run()/runUntil() to return after the active event.
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
   std::size_t pendingEvents() const { return queue_.size(); }
+
+  /// Count `n` phantom pending events in peak tracking. The sharded runner
+  /// delivers contacts outside the queue; plain mode keeps one cursor event
+  /// pending while contacts remain, and this bias stands in for it so
+  /// peakPendingEvents() is byte-identical across kernels. Scheduling a real
+  /// dummy event instead would burn a sequence number and reorder
+  /// simultaneous events — the bias must stay out of the FIFO rank space.
+  void setPendingBias(std::size_t n) { queue_.setPeakBias(n); }
 
   /// High-water mark of the pending-event set over the simulator's lifetime
   /// — the kernel's memory footprint driver (see docs/performance.md).

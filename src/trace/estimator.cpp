@@ -4,6 +4,7 @@
 
 #include "core/pair_key.hpp"
 #include "sim/assert.hpp"
+#include "sim/shard_context.hpp"
 
 namespace dtncache::trace {
 
@@ -70,8 +71,21 @@ std::uint32_t ContactRateEstimator::indexOfKey(std::uint64_t key) const {
 }
 
 void ContactRateEstimator::recordContact(NodeId a, NodeId b, sim::SimTime t) {
-  const std::uint32_t idx = findOrCreatePair(a, b);
-  if (dirtyBits_.set(idx)) dirtyKeys_.push_back(core::packSymmetricPair(a, b));
+  std::uint32_t idx;
+  if (shardMode_) {
+    // Workers never create state: the pair was pre-created by
+    // enterShardMode. Dirty marking goes to this context's sink, tagged
+    // with the recording event's key for the drain-time merge.
+    idx = findPair(a, b);
+    DTNCACHE_CHECK(idx != kNoPair);
+    ShardSink& sink = shardSinks_[sim::tlsShard.ctx];
+    if (sink.bits.set(idx))
+      sink.entries.push_back(ShardSink::Entry{sim::tlsShard.evTime, sim::tlsShard.evSeq,
+                                              idx, core::packSymmetricPair(a, b)});
+  } else {
+    idx = findOrCreatePair(a, b);
+    if (dirtyBits_.set(idx)) dirtyKeys_.push_back(core::packSymmetricPair(a, b));
+  }
   PairState& s = pairs_[idx];
   ++s.totalCount;
   if (s.lastContact != sim::kNever) {
@@ -158,16 +172,28 @@ double ContactRateEstimator::nodeRateSum(NodeId i, sim::SimTime now) const {
   // pairs that exist), then the closed-form prior for the never-met rest.
   // Note a *seen* pair can still evaluate to priorRate (e.g. an expired
   // sliding window) — that term is summed explicitly, same as dense.
+  // Pre-created zero-count pairs (shard mode) count as never-met: folding
+  // them into the closed-form term keeps the summation order — and thus the
+  // FP result — identical to a lazily-built table.
   double sum = 0.0;
-  for (const NodeNbr& nb : nodeNbrs_[i]) sum += rateOf(nb.idx, now);
+  std::size_t unseen = 0;
+  for (const NodeNbr& nb : nodeNbrs_[i]) {
+    if (pairs_[nb.idx].totalCount == 0) {
+      ++unseen;
+      continue;
+    }
+    sum += rateOf(nb.idx, now);
+  }
   if (config_.priorRate > 0.0 && nodeCount_ >= 1)
     sum += config_.priorRate *
-           static_cast<double>(nodeCount_ - 1 - nodeNbrs_[i].size());
+           static_cast<double>(nodeCount_ - 1 - (nodeNbrs_[i].size() - unseen));
   return sum;
 }
 
 std::size_t ContactRateEstimator::observedPairCount() const {
-  if (sparse_) return pairs_.size();
+  // Both backends: pairs with at least one recorded contact. The sparse
+  // table can hold zero-count state (shard-mode pre-creation), which does
+  // not count as observed.
   std::size_t n = 0;
   for (const PairState& s : pairs_)
     if (s.totalCount > 0) ++n;
@@ -183,10 +209,12 @@ RateMatrix ContactRateEstimator::snapshot(sim::SimTime now) const {
     return m;
   }
   // Observed pairs only, in canonical (i, ascending j) order; never-met
-  // pairs read as the matrix's default rate (== priorRate).
+  // pairs — including zero-count pre-created state — read as the matrix's
+  // default rate (== priorRate).
   for (NodeId i = 0; i < nodeCount_; ++i)
     for (const NodeNbr& nb : nodeNbrs_[i])
-      if (nb.id > i) m.setRate(i, nb.id, rateOf(nb.idx, now));
+      if (nb.id > i && pairs_[nb.idx].totalCount > 0)
+        m.setRate(i, nb.id, rateOf(nb.idx, now));
   return m;
 }
 
@@ -249,9 +277,12 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
       for (NodeId i = 0; i < nodeCount_; ++i)
         for (NodeId j = i + 1; j < nodeCount_; ++j) updatePair(i, j);
     } else {
+      // Zero-count pre-created pairs evaluate to the prior the matrix
+      // already reads by default; skipping them avoids the probe without
+      // changing values, stats, or changedNodes.
       for (NodeId i = 0; i < nodeCount_; ++i)
         for (const NodeNbr& nb : nodeNbrs_[i])
-          if (nb.id > i) updatePair(i, nb.id);
+          if (nb.id > i && pairs_[nb.idx].totalCount > 0) updatePair(i, nb.id);
     }
   } else {
     for (const std::uint64_t key : dirtyKeys_)
@@ -291,6 +322,59 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
         if (changedRowBits_.test(n)) changedNodes->push_back(n);
   }
   return stats;
+}
+
+void ContactRateEstimator::enterShardMode(std::size_t contexts,
+                                          const std::vector<Contact>& contacts,
+                                          std::size_t first, std::size_t end) {
+  DTNCACHE_CHECK(!shardMode_);
+  DTNCACHE_CHECK(contexts >= 1 && first <= end && end <= contacts.size());
+  // Pre-create every pair the run can touch, in trace order — the same
+  // first-sight order lazy creation would use, so the adjacency rows and
+  // slot layout match a plain run on the delivered subset (zero-count
+  // extras are skipped by every read path).
+  if (sparse_)
+    for (std::size_t c = first; c < end; ++c)
+      findOrCreatePair(contacts[c].a, contacts[c].b);
+  shardSinks_.resize(contexts);
+  for (ShardSink& sink : shardSinks_) {
+    sink.bits = core::DenseBitset(pairs_.size());
+    sink.entries.clear();
+  }
+  shardMode_ = true;
+}
+
+void ContactRateEstimator::drainShardDirty() {
+  bool any = false;
+  for (const ShardSink& sink : shardSinks_)
+    if (!sink.entries.empty()) {
+      any = true;
+      break;
+    }
+  if (!any) return;
+  drainScratch_.clear();
+  for (ShardSink& sink : shardSinks_) {
+    drainScratch_.insert(drainScratch_.end(), sink.entries.begin(), sink.entries.end());
+    for (const ShardSink::Entry& e : sink.entries) sink.bits.reset(e.idx);
+    sink.entries.clear();
+  }
+  // One entry per recording event, and an event runs on exactly one
+  // context, so keys never tie: sorting by (t, seq) is the total
+  // single-threaded recording order.
+  std::sort(drainScratch_.begin(), drainScratch_.end(),
+            [](const ShardSink::Entry& a, const ShardSink::Entry& b) {
+              if (a.t != b.t) return a.t < b.t;
+              return a.seq < b.seq;
+            });
+  for (const ShardSink::Entry& e : drainScratch_)
+    if (dirtyBits_.set(e.idx)) dirtyKeys_.push_back(e.key);
+}
+
+void ContactRateEstimator::exitShardMode() {
+  DTNCACHE_CHECK(shardMode_);
+  drainShardDirty();
+  shardSinks_.clear();
+  shardMode_ = false;
 }
 
 }  // namespace dtncache::trace

@@ -132,6 +132,26 @@ class ContactRateEstimator {
   bool isSparse() const { return sparse_; }
   const EstimatorConfig& config() const { return config_; }
 
+  /// Sharded-kernel support (runner/shard_driver). Between enterShardMode
+  /// and exitShardMode, recordContact may run on worker threads — distinct
+  /// pairs concurrently; cross-thread ordering comes from the driver's
+  /// epoch protocol, never from this class. Two things change:
+  ///  - pair creation is disabled: every pair appearing in
+  ///    `contacts[first, end)` is pre-created here (in trace order), so
+  ///    workers never grow the pair table or the adjacency rows. Pre-created
+  ///    pairs that never record a contact (e.g. churn-suppressed) stay
+  ///    invisible: every read path skips totalCount == 0 state.
+  ///  - dirty marking goes to a per-context sink, each entry tagged with the
+  ///    recording event's (time, sequence) key from sim::tlsShard.
+  /// drainShardDirty(), called by the coordinator with workers quiescent,
+  /// merges the sinks in tag order into the regular dirty list — the exact
+  /// single-threaded first-touch order, which matters because it fixes the
+  /// sparse snapshot's insertion order and therefore downstream FP sums.
+  void enterShardMode(std::size_t contexts, const std::vector<Contact>& contacts,
+                      std::size_t first, std::size_t end);
+  void drainShardDirty();
+  void exitShardMode();
+
  private:
   /// Dense backend: pair states live in an upper-triangular array — the
   /// estimator is probed for every forwarding decision at every contact
@@ -216,6 +236,23 @@ class ContactRateEstimator {
   std::vector<std::uint64_t> varyingKeys_;
   core::DenseBitset changedRowBits_;  ///< per-snapshot scratch, node ids
   bool snapshotPrimed_ = false;
+
+  /// Shard mode: per-context dirty sink (selected by sim::tlsShard). `bits`
+  /// dedups within the sink between drains; entries carry the event key the
+  /// drain sorts by.
+  struct ShardSink {
+    struct Entry {
+      sim::SimTime t;
+      std::uint64_t seq;
+      std::uint32_t idx;
+      std::uint64_t key;
+    };
+    core::DenseBitset bits;
+    std::vector<Entry> entries;
+  };
+  bool shardMode_ = false;
+  std::vector<ShardSink> shardSinks_;
+  std::vector<ShardSink::Entry> drainScratch_;
 };
 
 }  // namespace dtncache::trace
