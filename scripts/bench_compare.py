@@ -53,11 +53,17 @@ DIRECTIONS = {
     "us_per_snapshot": "down",
     "wall_ms": "down",
     "peak_pending": "down",
+    # Fraction of contacts the sharded kernel ran off the coordinator — a
+    # deterministic classification ratio (no runner noise), so CI gates it
+    # with a tight threshold on the _shardsN presets (docs/scaling.md).
+    "boring_fraction": "up",
 }
 
-# Metrics that gate the exit code (throughput + latency). Footprint and
+# Metrics that gate the exit code (throughput + latency, plus the
+# deterministic boring_fraction classification ratio). Footprint and
 # run-shape counters (contacts, assignments, events_processed) only inform.
-GATING_SUFFIXES = ("per_sec", "ns_per_event", "ns_per_op", "us_per_plan")
+GATING_SUFFIXES = ("per_sec", "ns_per_event", "ns_per_op", "us_per_plan",
+                   "boring_fraction")
 
 
 def direction_of(metric: str):

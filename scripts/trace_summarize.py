@@ -259,6 +259,18 @@ def summarize(run, events, args):
         print("\n  counters:")
         for key in sorted(counters):
             print(f"    {key:<32} {counters[key]}")
+        # Fence-density readout (docs/scaling.md): what fraction of contacts
+        # the activity fence classifies as boring (parallelizable), and how
+        # many of the remainder are fenced purely by expired content — the
+        # population the expiry watermarks reclaim.
+        fence = counters.get("ctr.shard.fence_contacts", 0)
+        boring = counters.get("ctr.shard.boring_contacts", 0)
+        if fence + boring:
+            expired_only = counters.get("ctr.shard.fence_from_expired_only", 0)
+            print(f"\n  fence density: {fence} fence / {boring} boring "
+                  f"(boring fraction {boring / (fence + boring):.3f}); "
+                  f"{expired_only} boring contact(s) had an endpoint holding "
+                  f"only expired content")
 
 
 def main():

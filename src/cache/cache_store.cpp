@@ -38,7 +38,8 @@ void CacheStore::releaseSlot(std::uint32_t slot) {
 }
 
 InsertResult CacheStore::insert(data::ItemId item, data::Version version,
-                                std::uint32_t sizeBytes, sim::SimTime now) {
+                                std::uint32_t sizeBytes, sim::SimTime now,
+                                sim::SimTime expiresAt) {
   InsertResult result;
   if (sizeBytes > capacityBytes_) {
     result.kind = InsertResult::Kind::kRejected;
@@ -61,7 +62,12 @@ InsertResult CacheStore::insert(data::ItemId item, data::Version version,
     e.version = version;
     e.sizeBytes = sizeBytes;
     e.receivedAt = now;
+    const sim::SimTime oldExpiry = e.expiresAt;
+    e.expiresAt = expiresAt;
+    if (expiresAt > latestExpiry_) latestExpiry_ = expiresAt;
+    else if (expiresAt < oldExpiry) noteExpiryChanged(oldExpiry);
     while (usedBytes_ > capacityBytes_) evictLru(result.evicted);
+    settleExpiryBound();
     return result;
   }
 
@@ -74,11 +80,14 @@ InsertResult CacheStore::insert(data::ItemId item, data::Version version,
   s.entry.sizeBytes = sizeBytes;
   s.entry.receivedAt = now;
   s.entry.lastAccess = now;
+  s.entry.expiresAt = expiresAt;
   s.live = true;
   index_.insert(item, slot);
   linkMru(slot);
   usedBytes_ += sizeBytes;
+  if (expiresAt > latestExpiry_) latestExpiry_ = expiresAt;
   result.kind = InsertResult::Kind::kInserted;
+  settleExpiryBound();
   return result;
 }
 
@@ -101,6 +110,8 @@ std::optional<CacheEntry> CacheStore::remove(data::ItemId item) {
   usedBytes_ -= e.sizeBytes;
   unlink(slot);
   releaseSlot(slot);
+  noteExpiryChanged(e.expiresAt);
+  settleExpiryBound();
   return e;
 }
 
@@ -123,8 +134,23 @@ void CacheStore::evictLru(std::vector<CacheEntry>& out) {
   out.push_back(slots_[victim].entry);
   usedBytes_ -= slots_[victim].entry.sizeBytes;
   index_.erase(slots_[victim].entry.item);
+  noteExpiryChanged(slots_[victim].entry.expiresAt);
   unlink(victim);
   releaseSlot(victim);
+}
+
+void CacheStore::noteExpiryChanged(sim::SimTime oldExpiry) {
+  // Only losing the entry that held the max can lower the bound; everything
+  // else leaves it exact. Ties rescan too (the max may survive in a twin).
+  if (oldExpiry == latestExpiry_) expiryDirty_ = true;
+}
+
+void CacheStore::settleExpiryBound() {
+  if (!expiryDirty_) return;
+  expiryDirty_ = false;
+  latestExpiry_ = -std::numeric_limits<sim::SimTime>::infinity();
+  for (const Slot& s : slots_)
+    if (s.live && s.entry.expiresAt > latestExpiry_) latestExpiry_ = s.entry.expiresAt;
 }
 
 }  // namespace dtncache::cache

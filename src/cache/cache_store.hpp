@@ -17,6 +17,7 @@
 /// minimum timestamp — the store appears in every contact handshake and
 /// every query, so these are among the hottest ops in a simulation.
 
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -27,12 +28,16 @@
 
 namespace dtncache::cache {
 
+/// Expiry sentinel for entries whose validity is not time-bounded.
+inline constexpr sim::SimTime kNeverExpires = std::numeric_limits<sim::SimTime>::infinity();
+
 struct CacheEntry {
   data::ItemId item = 0;
   data::Version version = 0;
   std::uint32_t sizeBytes = 0;
   sim::SimTime receivedAt = 0.0;   ///< when this version arrived here
   sim::SimTime lastAccess = 0.0;   ///< insert or last recordAccess time
+  sim::SimTime expiresAt = kNeverExpires;  ///< when this version stops being valid
   std::size_t accessCount = 0;
 };
 
@@ -56,8 +61,11 @@ class CacheStore {
       : capacityBytes_(capacityBytes) {}
 
   /// Insert a copy or upgrade an existing one to a newer version.
+  /// `expiresAt` is the instant the copy stops being valid (the version's
+  /// creation time plus the item lifetime); callers that do not track
+  /// validity pass nothing and the copy counts as live forever.
   InsertResult insert(data::ItemId item, data::Version version, std::uint32_t sizeBytes,
-                      sim::SimTime now);
+                      sim::SimTime now, sim::SimTime expiresAt = kNeverExpires);
 
   /// Entry for `item`, or nullptr.
   const CacheEntry* find(data::ItemId item) const {
@@ -74,6 +82,12 @@ class CacheStore {
   std::size_t usedBytes() const { return usedBytes_; }
   std::size_t capacityBytes() const { return capacityBytes_; }
   std::size_t size() const { return index_.size(); }
+
+  /// True iff at least one cached copy is still valid at `now` — i.e. a full
+  /// scan would find an entry with expiresAt > now. O(1) via the exact
+  /// latest-expiry watermark, no mutation: safe from sharded-kernel worker
+  /// threads and the coordinator's activity fence.
+  bool hasUnexpired(sim::SimTime now) const { return size() > 0 && now < latestExpiry_; }
 
   /// Stable iteration (item-id order) for metric scans.
   std::vector<const CacheEntry*> entries() const;
@@ -101,6 +115,8 @@ class CacheStore {
   void unlink(std::uint32_t slot);
   void releaseSlot(std::uint32_t slot);
   void evictLru(std::vector<CacheEntry>& out);
+  void noteExpiryChanged(sim::SimTime oldExpiry);
+  void settleExpiryBound();
 
   std::size_t capacityBytes_;
   std::size_t usedBytes_ = 0;
@@ -109,6 +125,10 @@ class CacheStore {
   std::vector<std::uint32_t> freeSlots_;
   std::uint32_t lruHead_ = kNil;  ///< least recently used
   std::uint32_t lruTail_ = kNil;  ///< most recently used
+  /// Exact max of expiresAt over live entries (-inf when empty); kept exact
+  /// by rescanning whenever the entry holding the max is removed or lowered.
+  sim::SimTime latestExpiry_ = -std::numeric_limits<sim::SimTime>::infinity();
+  bool expiryDirty_ = false;
 };
 
 }  // namespace dtncache::cache

@@ -83,7 +83,8 @@ void CooperativeCache::setObservability(obs::Tracer* tracer, obs::Registry* regi
     ctrHandshakeTruncated_ = ctrPushDelivered_ = ctrPushNoop_ = ctrPushDenied_ =
         ctrInstallInserted_ = ctrInstallUpgraded_ = ctrInstallEvicted_ =
             ctrQueryLocalHit_ = ctrQuerySprayed_ = ctrReplyDelivered_ =
-                ctrHotPathAllocs_ = nullptr;
+                ctrFenceContacts_ = ctrBoringContacts_ = ctrFenceFromExpiredOnly_ =
+                    ctrHotPathAllocs_ = nullptr;
     return;
   }
   ctrHandshakeTruncated_ = &registry->counter("cache.handshake.truncated");
@@ -96,6 +97,9 @@ void CooperativeCache::setObservability(obs::Tracer* tracer, obs::Registry* regi
   ctrQueryLocalHit_ = &registry->counter("cache.query.local_hit");
   ctrQuerySprayed_ = &registry->counter("cache.query.sprayed");
   ctrReplyDelivered_ = &registry->counter("cache.reply.delivered");
+  ctrFenceContacts_ = &registry->counter("shard.fence_contacts");
+  ctrBoringContacts_ = &registry->counter("shard.boring_contacts");
+  ctrFenceFromExpiredOnly_ = &registry->counter("shard.fence_from_expired_only");
   if (obs::allocHookEnabled())
     ctrHotPathAllocs_ = &registry->counter("cache.hot_path.allocs");
 }
@@ -143,7 +147,14 @@ bool CooperativeCache::isCachingNode(NodeId node, data::ItemId item) const {
 std::optional<data::Version> CooperativeCache::heldVersion(NodeId n, data::ItemId item,
                                                            sim::SimTime t) const {
   if (n == sourceOf(item)) return catalog_.clock(item).currentVersion(t);
-  if (const CacheEntry* e = stores_[n].find(item)) return e->version;
+  // An expired copy cannot answer queries and (being strictly older than any
+  // valid version — constant lifetime) could never win a push, so it is not
+  // a version the node "can provide". Filtering it here keeps heldVersion
+  // consistent with the activity fence, which classifies expired-only
+  // holders as inert.
+  if (const CacheEntry* e = stores_[n].find(item);
+      e != nullptr && catalog_.clock(item).isValid(e->version, t))
+    return e->version;
   return std::nullopt;
 }
 
@@ -160,6 +171,10 @@ bool CooperativeCache::pushSpecificVersion(NodeId from, NodeId to, data::ItemId 
                                            net::Traffic category) {
   DTNCACHE_CHECK_MSG(version <= catalog_.clock(item).currentVersion(t),
                      "scheme pushed a version from the future");
+  // Expired content is dead weight (it can answer nothing downstream);
+  // refusing it here also keeps this path consistent with heldVersion's
+  // filter, so a receiver's own expired copy never blocks a valid push.
+  if (!catalog_.clock(item).isValid(version, t)) return false;
   switch (ContactProtocol::decidePush(heldVersion(to, item, t), version,
                                       isCachingNode(to, item))) {
     case PushVerdict::kNotCachingNode:
@@ -227,8 +242,8 @@ double CooperativeCache::validFraction(sim::SimTime t) const {
 
 void CooperativeCache::installCopy(NodeId at, data::ItemId item, data::Version v,
                                    sim::SimTime t) {
-  const auto result =
-      stores_[at].insert(item, v, catalog_.spec(item).sizeBytes, t);
+  const auto result = stores_[at].insert(item, v, catalog_.spec(item).sizeBytes, t,
+                                         catalog_.clock(item).expiryTime(v));
   switch (result.kind) {
     case InsertResult::Kind::kInserted:
       collector_.copyInstalled(item, v, t);
@@ -320,6 +335,24 @@ void CooperativeCache::handleContact(NodeId a, NodeId b, sim::SimTime t,
   const HotPathAllocProbe allocProbe(ctrHotPathAllocs_);
   estimator_.recordContact(a, b, t);
 
+  // Fence-density accounting, computed here — not in the sharded driver — so
+  // both kernels count the identical contact population (lost/suppressed
+  // contacts reach neither) and the ctr.* columns stay byte-identical across
+  // shard counts. On worker threads this reads only watermarks and bitsets
+  // frozen since the last serial event at key < this contact's key, which is
+  // exactly the state the classification is defined against.
+  if (ctrFenceContacts_ != nullptr) {
+    if (nodeProtocolActive(a, t) || nodeProtocolActive(b, t)) {
+      ctrFenceContacts_->add();
+    } else {
+      ctrBoringContacts_->add();
+      // Boring *because* the watermarks see through expired-only content —
+      // the contacts the fence no longer serializes.
+      if (holdsOnlyExpiredContent(a, t) || holdsOnlyExpiredContent(b, t))
+        ctrFenceFromExpiredOnly_->add();
+    }
+  }
+
   // Metadata handshake: both sides exchange version vectors (and piggyback
   // rate gossip). Accounted per direction (cost precomputed at construction
   // — it depends only on the catalog size), and must fit before anything
@@ -402,11 +435,13 @@ double CooperativeCache::utilityToCachingSet(NodeId from, data::ItemId item,
 void CooperativeCache::forwardBuffered(NodeId from, NodeId to, sim::SimTime t,
                                        net::ContactChannel& channel) {
   auto& buf = buffers_[from];
+  // Nothing live: done, *without* purging. The watermark check keeps this
+  // path free of any mutation — the sharded kernel runs contacts between
+  // inert nodes (empty or expired-only buffers) on worker threads
+  // (runner/shard_driver), and lingering expired messages are invisible to
+  // every predicate below. Purge only when there is real work to walk.
+  if (!buf.hasLive(t)) return;
   buf.purgeExpired(t);
-  // Nothing buffered: done. Returning before the scratch vector keeps this
-  // path free of shared mutable state — the sharded kernel runs empty-buffer
-  // contacts on worker threads (runner/shard_driver).
-  if (buf.empty()) return;
 
   toRemoveScratch_.clear();
   auto& toRemove = toRemoveScratch_;
@@ -536,9 +571,13 @@ void CooperativeCache::scheduleSampling(sim::SimTime horizon) {
   DTNCACHE_CHECK(config_.sampleInterval > 0.0);
   const sim::SimTime start = simulator_.now();
   for (sim::SimTime at = start; at <= horizon; at += config_.sampleInterval) {
-    simulator_.scheduleAt(at, [this](sim::SimTime t) {
-      collector_.samplePoint(t, validFraction(t));
-    });
+    // Shard-local: sampling reads stores (which only serial events mutate)
+    // and writes the collector (coordinator-owned) — it commutes with
+    // worker-executed boring contacts, so the sharded driver runs it without
+    // a barrier.
+    simulator_.scheduleAt(
+        at, [this](sim::SimTime t) { collector_.samplePoint(t, validFraction(t)); },
+        sim::EventScope::kShardLocal);
   }
 }
 

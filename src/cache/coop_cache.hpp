@@ -141,14 +141,28 @@ class CooperativeCache {
   const net::MessageBuffer& bufferOf(NodeId n) const;
 
   /// Fence predicate for the sharded kernel (runner/shard_driver): a
-  /// contact can touch shared protocol state only if at least one endpoint
-  /// is active — sources always (they hold the live version), holders of
-  /// cached copies, nodes with buffered messages, and scheme-active nodes
-  /// (RefreshScheme::contactActive). Queried between events with workers
-  /// quiescent; activity changes only inside serially-executed events.
-  bool nodeProtocolActive(NodeId n) const {
-    return sourceNode_.test(n) || stores_[n].size() > 0 || !buffers_[n].empty() ||
+  /// contact at time `now` can touch shared protocol state only if at least
+  /// one endpoint is active — sources always (they hold the live version),
+  /// holders of at least one *unexpired* cached copy, nodes buffering at
+  /// least one *live* message, and scheme-active nodes
+  /// (RefreshScheme::contactActive). Expired-only nodes are inert: every
+  /// contact-path predicate (canAnswer, heldVersion, forwardBuffered) already
+  /// ignores expired content, so a node holding nothing else cannot act.
+  /// Evaluated against the expiry watermarks — O(1), no mutation — so lazily
+  /// purged leftovers stop forcing fences. Activity can *decay* between
+  /// serial events (expiry is a pure function of time), which is safe: the
+  /// predicate is monotone-narrowing in `now`, and boring-contact handlers
+  /// re-evaluate everything at the contact's own time.
+  bool nodeProtocolActive(NodeId n, sim::SimTime now) const {
+    return sourceNode_.test(n) || stores_[n].hasUnexpired(now) || buffers_[n].hasLive(now) ||
            (scheme_ != nullptr && scheme_->contactActive(n));
+  }
+
+  /// True when `n` holds cached copies or buffered messages but all of them
+  /// are expired at `now` — the nodes the watermarks reclassify as inert.
+  bool holdsOnlyExpiredContent(NodeId n, sim::SimTime now) const {
+    return (stores_[n].size() > 0 && !stores_[n].hasUnexpired(now)) ||
+           (!buffers_[n].empty() && !buffers_[n].hasLive(now));
   }
   /// Greedy-coverage central ordering of all nodes (NCL list).
   const std::vector<NodeId>& centralOrder() const { return centralOrder_; }
@@ -215,6 +229,11 @@ class CooperativeCache {
   obs::Counter* ctrQueryLocalHit_ = nullptr;
   obs::Counter* ctrQuerySprayed_ = nullptr;
   obs::Counter* ctrReplyDelivered_ = nullptr;
+  /// Fence-density classification, bumped per contact inside handleContact
+  /// (identically in both kernels — lost/suppressed contacts reach neither).
+  obs::Counter* ctrFenceContacts_ = nullptr;
+  obs::Counter* ctrBoringContacts_ = nullptr;
+  obs::Counter* ctrFenceFromExpiredOnly_ = nullptr;
   /// Allocation-hook builds only (never registered otherwise, so counter
   /// columns in result sinks are unchanged): global allocations observed
   /// inside handleContact, asserted flat in steady state by tests.

@@ -12,12 +12,19 @@
 
 #include "data/item.hpp"
 #include "net/network.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/time.hpp"
 #include "trace/contact.hpp"
 
 namespace dtncache::cache {
 
 class CooperativeCache;
+
+/// The recurring timers a scheme can own, for timerScope() classification.
+enum class TimerKind {
+  kMaintenance,  ///< the scheme's periodic tick (onStart-scheduled)
+  kNewVersion,   ///< source version bumps (data::SourceProcess + onNewVersion)
+};
 
 class RefreshScheme {
  public:
@@ -55,10 +62,28 @@ class RefreshScheme {
   /// Scheme-specific half of the driver's activity predicate: true when the
   /// scheme keeps per-node state at `n` that a contact could touch even
   /// though `n` caches and buffers nothing (Flooding's relay copies).
-  /// Queried only between events, with worker threads quiescent.
+  /// Queried by the coordinator's fence scan and — read-only — by worker
+  /// threads classifying inside handleContact; implementations must not
+  /// mutate on query.
   virtual bool contactActive(NodeId n) const {
     (void)n;
     return false;
+  }
+
+  /// Sharded-kernel scope of the scheme's recurring timers. kShardLocal lets
+  /// the coordinator run the timer without quiescing workers, so return it
+  /// only when the callback provably commutes with worker-executed boring
+  /// contacts: it must not mutate stores, buffers, churn up-state, or
+  /// anything contactActive()/nodeProtocolActive reads, and must not read
+  /// estimator pair state (which workers write). Defaults: version bumps are
+  /// shard-local (the base onNewVersion is a no-op and the source's own
+  /// bookkeeping is coordinator-only — a scheme that overrides onNewVersion
+  /// with state-touching work MUST also override this to return kFence for
+  /// kNewVersion); maintenance ticks are fences unless a scheme proves
+  /// otherwise (core::HierarchicalScheme does, in oracle-rates mode).
+  virtual sim::EventScope timerScope(TimerKind kind) const {
+    return kind == TimerKind::kNewVersion ? sim::EventScope::kShardLocal
+                                          : sim::EventScope::kFence;
   }
 };
 

@@ -380,7 +380,7 @@ void HierarchicalRefreshScheme::onStart(cache::CooperativeCache& cache) {
     cache.simulator().schedulePeriodic(
         config_.maintenancePeriod,
         [this, &cache](sim::SimTime t) { runMaintenance(cache, t); },
-        config_.maintenancePeriod);
+        config_.maintenancePeriod, timerScope(cache::TimerKind::kMaintenance));
   }
 }
 

@@ -100,6 +100,20 @@ class HierarchicalRefreshScheme : public cache::RefreshScheme {
   void onContact(cache::CooperativeCache& cache, NodeId a, NodeId b, sim::SimTime t,
                  net::ContactChannel& channel) override;
 
+  /// In oracle-rates mode the maintenance tick commutes with worker-run
+  /// boring contacts: refreshRateState returns before touching the
+  /// estimator (planning reads the const oracle matrix, depVersion is
+  /// constant 0), and maintainItem/rebuildItem/localRepairItem only mutate
+  /// scheme-owned planning state (hierarchies, plan cache, counters, tracer)
+  /// — never stores, buffers, or anything the activity fence reads. So the
+  /// sharded driver may run it without a barrier. Live-estimator mode reads
+  /// snapshotInto (worker-written pair state) and stays a fence.
+  sim::EventScope timerScope(cache::TimerKind kind) const override {
+    if (kind == cache::TimerKind::kMaintenance && config_.useOracleRates)
+      return sim::EventScope::kShardLocal;
+    return RefreshScheme::timerScope(kind);
+  }
+
   /// Churn hook: a caching member left (its children are adopted locally)
   /// or returned (it re-attaches under the best live parent with a free
   /// slot). Replication plans for affected items are recomputed. Wire this

@@ -66,10 +66,11 @@ class VersionClock {
 
   bool isFresh(Version v, sim::SimTime t) const { return v == currentVersion(t); }
 
+  /// Instant version v stops being valid (closed-form, like everything here).
+  sim::SimTime expiryTime(Version v) const { return creationTime(v) + spec_.lifetime; }
+
   /// Expired copies cannot answer queries.
-  bool isExpired(Version v, sim::SimTime t) const {
-    return t >= creationTime(v) + spec_.lifetime;
-  }
+  bool isExpired(Version v, sim::SimTime t) const { return t >= expiryTime(v); }
 
   bool isValid(Version v, sim::SimTime t) const { return !isExpired(v, t); }
 

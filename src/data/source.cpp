@@ -3,8 +3,8 @@
 namespace dtncache::data {
 
 SourceProcess::SourceProcess(sim::Simulator& simulator, const Catalog& catalog,
-                             sim::SimTime horizon)
-    : simulator_(simulator), catalog_(catalog), horizon_(horizon) {
+                             sim::SimTime horizon, sim::EventScope scope)
+    : simulator_(simulator), catalog_(catalog), horizon_(horizon), scope_(scope) {
   for (ItemId id = 0; id < catalog_.size(); ++id)
     scheduleNext(id, simulator_.now());
 }
@@ -12,12 +12,15 @@ SourceProcess::SourceProcess(sim::Simulator& simulator, const Catalog& catalog,
 void SourceProcess::scheduleNext(ItemId item, sim::SimTime after) {
   const sim::SimTime at = catalog_.clock(item).nextRefreshAfter(after);
   if (at > horizon_) return;
-  simulator_.scheduleAt(at, [this, item](sim::SimTime t) {
-    ++refreshCount_;
-    const Version v = catalog_.clock(item).currentVersion(t);
-    for (const auto& listener : listeners_) listener(item, v, t);
-    scheduleNext(item, t);
-  });
+  simulator_.scheduleAt(
+      at,
+      [this, item](sim::SimTime t) {
+        ++refreshCount_;
+        const Version v = catalog_.clock(item).currentVersion(t);
+        for (const auto& listener : listeners_) listener(item, v, t);
+        scheduleNext(item, t);
+      },
+      scope_);
 }
 
 }  // namespace dtncache::data

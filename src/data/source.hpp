@@ -23,8 +23,12 @@ class SourceProcess {
  public:
   /// Schedules a version-bump event for every item in the catalog, from the
   /// current simulator time until `horizon`. Listeners added before run()
-  /// observe every bump.
-  SourceProcess(sim::Simulator& simulator, const Catalog& catalog, sim::SimTime horizon);
+  /// observe every bump. `scope` is the bump events' sharded-kernel scope:
+  /// pass the installed scheme's timerScope(TimerKind::kNewVersion) — bumps
+  /// only touch the collector, the tracer, and the scheme's onNewVersion
+  /// hook, so the base-class no-op hook makes them shard-local.
+  SourceProcess(sim::Simulator& simulator, const Catalog& catalog, sim::SimTime horizon,
+                sim::EventScope scope = sim::EventScope::kFence);
 
   void addListener(RefreshListener listener) { listeners_.push_back(std::move(listener)); }
 
@@ -37,6 +41,7 @@ class SourceProcess {
   sim::Simulator& simulator_;
   const Catalog& catalog_;
   sim::SimTime horizon_;
+  sim::EventScope scope_;
   std::vector<RefreshListener> listeners_;
   std::size_t refreshCount_ = 0;
 };

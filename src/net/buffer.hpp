@@ -5,7 +5,11 @@
 ///
 /// Bounded in bytes; when full, the oldest message is dropped (drop-head —
 /// the standard DTN buffer policy: old messages have had their chance to
-/// spread). Expired messages (past their deadline) are purged lazily.
+/// spread). Expired messages (at or past their deadline) are purged lazily,
+/// but the buffer maintains exact deadline watermarks so "does this node
+/// hold anything still alive?" (`hasLive`) is answerable in O(1) without
+/// purging — the sharded kernel's activity fence asks that question for
+/// every contact and must not mutate state while doing so.
 ///
 /// Messages live in a pooled slot vector (freed slots are recycled through
 /// a free list), FIFO order is an intrusive doubly-linked list threaded
@@ -18,6 +22,7 @@
 /// applied by id afterwards.
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "core/slot_index.hpp"
@@ -25,6 +30,15 @@
 #include "sim/assert.hpp"
 
 namespace dtncache::net {
+
+/// The one expiry convention, everywhere: a message is expired *at* its
+/// deadline instant (`now >= deadline`) — a reply arriving exactly at the
+/// deadline could never be counted as answered, so keeping such a message
+/// would only inflate buffers and the activity fence. Deadline 0 means "no
+/// deadline" (placements live forever).
+inline bool messageExpired(const Message& m, sim::SimTime now) {
+  return m.deadline > 0.0 && now >= m.deadline;
+}
 
 class MessageBuffer {
  public:
@@ -46,6 +60,8 @@ class MessageBuffer {
     linkTail(slot);
     index_.insert(m.id, slot);
     usedBytes_ += m.wireBytes();
+    noteAdded(m);
+    settleDeadlineBounds();
     return true;
   }
 
@@ -56,8 +72,10 @@ class MessageBuffer {
     const std::uint32_t slot = index_.erase(id);
     if (slot == core::SlotIndex::kNoSlot) return;
     usedBytes_ -= slots_[slot].msg.wireBytes();
+    noteRemoved(slots_[slot].msg);
     unlink(slot);
     releaseSlot(slot);
+    settleDeadlineBounds();
   }
 
   /// Remove every message for which `pred` holds, in FIFO order.
@@ -67,17 +85,31 @@ class MessageBuffer {
       const std::uint32_t next = slots_[s].next;
       if (pred(slots_[s].msg)) {
         usedBytes_ -= slots_[s].msg.wireBytes();
+        noteRemoved(slots_[s].msg);
         index_.erase(slots_[s].msg.id);
         unlink(s);
         releaseSlot(s);
       }
       s = next;
     }
+    settleDeadlineBounds();
   }
 
-  /// Drop messages whose deadline has passed (deadline 0 = no deadline).
+  /// Drop messages at or past their deadline (see messageExpired). The
+  /// watermark makes the no-op case — nothing can have expired yet — free,
+  /// which is nearly every call on placement-only buffers.
   void purgeExpired(sim::SimTime now) {
-    removeIf([now](const Message& m) { return m.deadline > 0.0 && now > m.deadline; });
+    if (deadlineCount_ == 0 || now < earliestDeadline_) return;
+    removeIf([now](const Message& m) { return messageExpired(m, now); });
+  }
+
+  /// True iff at least one buffered message is still unexpired at `now`.
+  /// O(1), no mutation: safe to call from sharded-kernel worker threads and
+  /// the coordinator's activity fence. Exact, not conservative — equals
+  /// "would a full scan find a live message" (asserted by the randomized
+  /// watermark tests).
+  bool hasLive(sim::SimTime now) const {
+    return foreverCount_ > 0 || (deadlineCount_ > 0 && now < latestDeadline_);
   }
 
   /// FIFO cursor walk: oldest message first. Cursors are invalidated by any
@@ -145,13 +177,60 @@ class MessageBuffer {
     DTNCACHE_CHECK(head_ != kNil);
     const std::uint32_t slot = head_;
     usedBytes_ -= slots_[slot].msg.wireBytes();
+    noteRemoved(slots_[slot].msg);
     index_.erase(slots_[slot].msg.id);
     unlink(slot);
     releaseSlot(slot);
   }
 
+  // --- deadline watermarks -------------------------------------------------
+  // Counts split forever (deadline 0) from deadline-carrying messages;
+  // earliest/latest bound the finite deadlines. All four are exact at every
+  // public-method boundary: removals that hit an extremum mark the bounds
+  // dirty and the enclosing public mutator rescans once before returning
+  // (O(size), amortized away by how rarely extremes are removed).
+
+  void noteAdded(const Message& m) {
+    if (m.deadline <= 0.0) {
+      ++foreverCount_;
+      return;
+    }
+    ++deadlineCount_;
+    if (m.deadline < earliestDeadline_) earliestDeadline_ = m.deadline;
+    if (m.deadline > latestDeadline_) latestDeadline_ = m.deadline;
+  }
+
+  void noteRemoved(const Message& m) {
+    if (m.deadline <= 0.0) {
+      --foreverCount_;
+      return;
+    }
+    --deadlineCount_;
+    if (m.deadline == earliestDeadline_ || m.deadline == latestDeadline_)
+      boundsDirty_ = true;
+  }
+
+  void settleDeadlineBounds() {
+    if (!boundsDirty_) return;
+    boundsDirty_ = false;
+    earliestDeadline_ = std::numeric_limits<sim::SimTime>::infinity();
+    latestDeadline_ = -std::numeric_limits<sim::SimTime>::infinity();
+    if (deadlineCount_ == 0) return;
+    for (std::uint32_t s = head_; s != kNil; s = slots_[s].next) {
+      const sim::SimTime d = slots_[s].msg.deadline;
+      if (d <= 0.0) continue;
+      if (d < earliestDeadline_) earliestDeadline_ = d;
+      if (d > latestDeadline_) latestDeadline_ = d;
+    }
+  }
+
   std::size_t capacityBytes_;
   std::size_t usedBytes_ = 0;
+  std::size_t foreverCount_ = 0;   ///< messages with deadline 0 (never expire)
+  std::size_t deadlineCount_ = 0;  ///< messages with a finite deadline
+  sim::SimTime earliestDeadline_ = std::numeric_limits<sim::SimTime>::infinity();
+  sim::SimTime latestDeadline_ = -std::numeric_limits<sim::SimTime>::infinity();
+  bool boundsDirty_ = false;
   core::SlotIndex index_;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> freeSlots_;

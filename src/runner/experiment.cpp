@@ -50,6 +50,8 @@ void preregisterObservables(obs::Registry& registry) {
       "core.relay.injected",     "core.churn.repairs",     "core.plan.helpers",
       "core.plan.unmet",         "core.maintenance.dirty_pairs",
       "core.maintenance.skipped", "core.plan.cache_hits",
+      "shard.fence_contacts",    "shard.boring_contacts",
+      "shard.fence_from_expired_only",
   };
   static const char* const kTimers[] = {"core.maintenance", "runner.start", "runner.run"};
   for (const char* name : kCounters) registry.counter(name);
@@ -228,7 +230,8 @@ ExperimentOutput runExperiment(const ExperimentConfig& config) {
   if (sharded) network.setShardedDelivery(true);
 
   // --- drive ------------------------------------------------------------------
-  data::SourceProcess sources(simulator, catalog, horizon);
+  data::SourceProcess sources(simulator, catalog, horizon,
+                              scheme->timerScope(cache::TimerKind::kNewVersion));
 
   std::unique_ptr<data::QueryWorkload> workload;
   if (config.workload.queriesPerNodePerDay > 0.0) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <limits>
 #include <memory>
 #include <thread>
 
@@ -121,53 +123,42 @@ ShardStats runSharded(sim::Simulator& sim, net::Network& network,
   // nearly every epoch; workers only see the long inert stretches that can
   // actually amortize a wake-up.
   constexpr std::size_t kStealMax = 16;
+  // On a host that cannot run a worker beside the coordinator there is no
+  // parallelism to buy: every published batch is a guaranteed blocking
+  // quiesce at the next fence. Steal every epoch instead — the win there is
+  // boring contacts bypassing the event heap, not the threads. Output is
+  // placement-invariant either way (sinks merge by event key), so the
+  // threshold is a pure scheduling knob; DTNCACHE_SHARD_STEAL_MAX overrides
+  // it for tests that want to force the worker hand-off (0 = publish
+  // everything) or the steal path (large) regardless of core count.
+  std::size_t stealCap = std::thread::hardware_concurrency() >= 2
+                             ? kStealMax
+                             : std::numeric_limits<std::size_t>::max();
+  if (const char* env = std::getenv("DTNCACHE_SHARD_STEAL_MAX");
+      env != nullptr && *env != '\0') {
+    stealCap = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+  }
 
-  auto publishAndWait = [&](std::size_t newBound) {
-    if (newBound <= handed) return;
-    std::size_t pending = 0;
-    for (std::size_t i = handed; i < newBound; ++i)
-      if (serialFlag[i - first] == 0) ++pending;
-    if (pending == 0) {
-      handed = newBound;
-      return;
-    }
-    if (pending <= kStealMax) {
-      // Safe to run these here: every prior epoch with worker work ended in
-      // an ack wait, so all workers are idle below `published`, and the next
-      // bound publish (release) sequences these writes before any worker
-      // resumes. The owning worker skips the flagged entries; sinks merge by
-      // (time, seq) key, not by context, so output is unchanged.
-      for (std::size_t i = handed; i < newBound; ++i) {
-        if (serialFlag[i - first] != 0) continue;
-        serialFlag[i - first] = 1;
-        sim::tlsShard.evTime = contacts[i].start;
-        sim::tlsShard.evSeq = seqBase + (i - first);
-        network.deliverSharded(i);
-      }
-      stats.stolenContacts += pending;
-      handed = newBound;
-      return;
-    }
-    handed = newBound;
-    bool anyNeed = false;
-    for (std::size_t w = 0; w < K; ++w) {
-      const std::vector<std::size_t>& list = lists[w];
-      std::size_t& p = mirror[w];
-      while (p < list.size() && list[p] < newBound) {
-        if (serialFlag[list[p] - first] == 0) needAck[w] = 1;
-        ++p;
-      }
-      anyNeed = anyNeed || needAck[w] != 0;
-    }
-    if (!anyNeed || newBound <= published) return;
-    bound.store(newBound, std::memory_order_release);
-    bound.notify_all();
-    published = newBound;
+  // needAck[w] set means worker w was handed real work at some published
+  // bound and has not been awaited since — it may still be executing. Steals
+  // are only legal while no flag is set (the stolen range must be provably
+  // untouched and the flag writes unracing), and fences must quiesce every
+  // flagged worker. Whether a flag is set depends only on the event/contact
+  // sequence, never on thread timing, so stolen counts stay deterministic.
+  auto anyOutstanding = [&]() {
+    for (std::size_t w = 0; w < K; ++w)
+      if (needAck[w] != 0) return true;
+    return false;
+  };
+
+  // Await every flagged worker's ack of the last published bound (workers
+  // ack exactly the bounds they observe, so `published` is the fixpoint).
+  auto quiesce = [&]() {
     bool waited = false;
     for (std::size_t w = 0; w < K; ++w) {
       if (needAck[w] == 0) continue;
       std::size_t a = acks[w].v.load(std::memory_order_acquire);
-      while (a < newBound) {
+      while (a < published) {
         waited = true;
         acks[w].v.wait(a, std::memory_order_acquire);
         a = acks[w].v.load(std::memory_order_acquire);
@@ -177,26 +168,97 @@ ShardStats runSharded(sim::Simulator& sim, net::Network& network,
     if (waited) ++stats.barrierWaits;
   };
 
+  // Run [from, newBound)'s unflagged contacts on the coordinator. Legal only
+  // with no outstanding needAck: workers are then idle at `published` <=
+  // `handed`, and the next bound publish (release) sequences the flag writes
+  // before any worker resumes. Sinks merge by (time, seq) key, not by
+  // context, so where a boring contact runs never shows in the output.
+  auto stealRange = [&](std::size_t from, std::size_t newBound, std::size_t pending) {
+    for (std::size_t i = from; i < newBound; ++i) {
+      if (serialFlag[i - first] != 0) continue;
+      serialFlag[i - first] = 1;
+      sim::tlsShard.evTime = contacts[i].start;
+      sim::tlsShard.evSeq = seqBase + (i - first);
+      network.deliverSharded(i);
+    }
+    stats.stolenContacts += pending;
+  };
+
+  // Publish `newBound` to the workers without waiting, flagging every worker
+  // that gains real work.
+  auto publishRange = [&](std::size_t newBound) {
+    for (std::size_t w = 0; w < K; ++w) {
+      const std::vector<std::size_t>& list = lists[w];
+      std::size_t& p = mirror[w];
+      while (p < list.size() && list[p] < newBound) {
+        if (serialFlag[list[p] - first] == 0) needAck[w] = 1;
+        ++p;
+      }
+    }
+    if (anyOutstanding() && newBound > published) {
+      bound.store(newBound, std::memory_order_release);
+      bound.notify_all();
+      published = newBound;
+    }
+  };
+
+  // Delegate all boring contacts below `newBound`, then — iff `mustComplete`
+  // (a fence or kFence queue event is about to run) — wait until every one
+  // of them has executed. Without `mustComplete` (a kShardLocal event) the
+  // hand-off is fire-and-forget: large batches are published and left
+  // running while the coordinator proceeds, and batches too small to steal
+  // safely (outstanding acks) are simply deferred to a later hand-off —
+  // that's what cuts barrier_waits on timer-heavy schemes.
+  auto handOff = [&](std::size_t newBound, bool mustComplete) {
+    if (newBound > handed) {
+      std::size_t pending = 0;
+      for (std::size_t i = handed; i < newBound; ++i)
+        if (serialFlag[i - first] == 0) ++pending;
+      if (pending == 0) {
+        handed = newBound;
+      } else if (pending <= stealCap) {
+        if (!anyOutstanding()) {
+          stealRange(handed, newBound, pending);
+          handed = newBound;
+        } else if (mustComplete) {
+          quiesce();  // workers idle again: stealing is legal
+          stealRange(handed, newBound, pending);
+          handed = newBound;
+        }
+        // else: deferred — the range stays below a future hand-off (or the
+        // shutdown sentinel), which delegates it with everything else.
+      } else {
+        publishRange(newBound);
+        handed = newBound;
+      }
+    }
+    if (mustComplete) quiesce();
+  };
+
   std::size_t scan = first;  // next unclassified contact
   bool biasCleared = false;
   sim::tlsShard.ctx = 0;
   for (;;) {
     sim::SimTime qt = 0.0;
     sim::EventQueue::Sequence qs = 0;
-    bool haveQ = sim.peekNextKey(qt, qs);
+    sim::EventScope qscope = sim::EventScope::kFence;
+    bool haveQ = sim.peekNextKey(qt, qs, qscope);
     if (haveQ && qt > horizon) haveQ = false;
 
     // Hand off boring contacts until the next serial event: the earlier of
     // the pending queue event and the next fence contact, in (time, seq)
     // order. A contact handed off here has every serial event below its key
-    // already executed, so the fence it was classified against is exactly
-    // the state it logically runs under.
+    // already executed or (when shard-local) started-and-finished on this
+    // thread, so the fence it was classified against is exactly the state it
+    // logically runs under. Classification reads the expiry watermarks at
+    // the contact's own time: activity only *decays* between serial events
+    // (expiry is a pure function of time), never appears.
     std::ptrdiff_t fence = -1;
     while (scan < end) {
       const trace::Contact& c = contacts[scan];
       const sim::EventQueue::Sequence cseq = seqBase + (scan - first);
       if (haveQ && (qt < c.start || (qt == c.start && qs < cseq))) break;
-      if (coop.nodeProtocolActive(c.a) || coop.nodeProtocolActive(c.b)) {
+      if (coop.nodeProtocolActive(c.a, c.start) || coop.nodeProtocolActive(c.b, c.start)) {
         serialFlag[scan - first] = 1;
         fence = static_cast<std::ptrdiff_t>(scan);
         break;
@@ -205,7 +267,7 @@ ShardStats runSharded(sim::Simulator& sim, net::Network& network,
     }
 
     if (fence >= 0) {
-      publishAndWait(static_cast<std::size_t>(fence));
+      handOff(static_cast<std::size_t>(fence), /*mustComplete=*/true);
       estimator.drainShardDirty();
       const trace::Contact& c = contacts[static_cast<std::size_t>(fence)];
       sim::tlsShard.ctx = 0;
@@ -215,8 +277,21 @@ ShardStats runSharded(sim::Simulator& sim, net::Network& network,
       network.deliverSharded(static_cast<std::size_t>(fence));
       ++stats.fenceContacts;
       ++scan;
+    } else if (haveQ && qscope == sim::EventScope::kShardLocal) {
+      // Shard-local timer lane: the callback commutes with boring contacts
+      // (the scheduler's EventScope promise), so run it concurrently with
+      // whatever the workers still hold — no quiesce, no dirty-sink drain
+      // (the merge sorts by key, so draining later is identical). This is
+      // what keeps timer-heavy schemes off the barrier.
+      handOff(scan, /*mustComplete=*/false);
+      sim::tlsShard.ctx = 0;
+      sim::tlsShard.evTime = qt;
+      sim::tlsShard.evSeq = qs;
+      sim.runOneEvent();
+      ++stats.serialEvents;
+      ++stats.localTimerEvents;
     } else if (haveQ) {
-      publishAndWait(scan);
+      handOff(scan, /*mustComplete=*/true);
       estimator.drainShardDirty();
       sim::tlsShard.ctx = 0;
       sim::tlsShard.evTime = qt;

@@ -19,24 +19,37 @@
 ///
 /// Protocol, per epoch:
 ///   1. The coordinator scans contacts forward, classifying each against
-///      the node-activity fence frozen since the last serial event, until it
-///      finds the next serial event: min(earliest queue-event key, next
-///      fence contact's key).
-///   2. It publishes the serial event's contact index as the epoch bound
-///      (release); workers deliver their assigned boring contacts below the
-///      bound (tagging sim::tlsShard with each contact's (time, seq)) and
-///      acknowledge (release). Epochs holding only a handful of boring
-///      contacts skip the barrier entirely: the coordinator executes them
-///      itself ("steals" them) — sinks merge by event key, not by context,
-///      so where a boring contact runs never shows in the output.
-///   3. The coordinator awaits the acks (acquire), drains the estimator's
-///      per-context dirty sinks in key order, then executes the serial
-///      event on context 0.
-/// Because every state a worker reads is frozen between serial events and
-/// every write lands in per-context or per-pair state merged in key order,
-/// the merged run is byte-identical to the single-threaded one at any shard
-/// count — the equivalence suite (tests/runner/shard_equivalence_test)
-/// compares traces byte for byte at shards 1/2/4/7.
+///      the node-activity fence frozen since the last serial event —
+///      evaluated at the contact's own time through the expiry watermarks
+///      (cache_store/buffer), so activity may *decay* by pure expiry without
+///      forcing a fence — until it finds the next serial event: min(earliest
+///      queue-event key, next fence contact's key).
+///   2. It hands off the boring contacts below that key. Large batches are
+///      published as the epoch bound (release); workers deliver their
+///      assigned boring contacts below the bound (tagging sim::tlsShard with
+///      each contact's (time, seq)) and acknowledge (release). Batches too
+///      small to amortize a wake-up are executed by the coordinator itself
+///      ("stolen") — sinks merge by event key, not by context, so where a
+///      boring contact runs never shows in the output.
+///   3. What happens next depends on the serial event's scope:
+///      - fence contacts and kFence queue events: the coordinator quiesces
+///        every worker holding published work (acquire), drains the
+///        estimator's per-context dirty sinks in key order, then executes
+///        the event on context 0;
+///      - kShardLocal queue events (sim::EventScope — scheme ticks whose
+///        callbacks commute with boring contacts, classified by
+///        cache::RefreshScheme::timerScope): the coordinator runs them
+///        immediately, concurrently with whatever the workers still hold.
+///        No quiesce, no drain (the dirty-sink merge sorts by key, so
+///        draining later is identical); small hand-offs that cannot be
+///        stolen safely are simply deferred to the next hand-off.
+/// Because every state a worker reads is only written at fence-scoped serial
+/// points and every write lands in per-context or per-pair state merged in
+/// key order, the merged run is byte-identical to the single-threaded one at
+/// any shard count — the equivalence suite
+/// (tests/runner/shard_equivalence_test) compares traces byte for byte at
+/// shards 1/2/4/7, including timer-heavy (hierarchical oracle-rates) and
+/// expired-heavy configurations.
 
 #include <cstddef>
 #include <cstdint>
@@ -63,6 +76,7 @@ struct ShardStats {
   std::size_t boringContacts = 0;     ///< executed on worker threads
   std::size_t stolenContacts = 0;     ///< boring but coordinator-executed (small epochs)
   std::size_t serialEvents = 0;       ///< queue events run by the coordinator
+  std::size_t localTimerEvents = 0;   ///< of those, kShardLocal (no barrier needed)
   std::size_t barrierWaits = 0;       ///< epochs where the coordinator blocked
 };
 

@@ -41,6 +41,23 @@ using EventId = std::uint64_t;
 /// Callback invoked when an event fires. Receives the firing time.
 using EventFn = EventCallback;
 
+/// Execution scope of a queued event under the sharded kernel
+/// (runner/shard_driver). The scope is a *scheduling-time promise* about the
+/// callback, not something the queue enforces:
+///   - kFence (default): the callback may touch any protocol state, so the
+///     coordinator must quiesce worker threads before running it.
+///   - kShardLocal: the callback commutes with worker-executed boring
+///     contacts — it writes only coordinator-owned state (collector, its own
+///     scheme structures, per-context sinks) and reads nothing workers write
+///     (estimator pair state), and it does not change any node's
+///     protocol-activity status. The coordinator may run it without a
+///     barrier, which is what makes timer-heavy schemes shardable.
+/// Plain single-threaded runs ignore the scope entirely.
+enum class EventScope : std::uint8_t {
+  kFence = 0,
+  kShardLocal = 1,
+};
+
 class EventQueue {
  public:
   /// FIFO rank among simultaneous events. Assigned internally by
@@ -53,7 +70,9 @@ class EventQueue {
   /// Insert an event at absolute time `at`. Returns an id usable with
   /// cancel(). `at` may equal the time of the most recently popped event
   /// (zero-delay follow-ups) but must never be earlier.
-  EventId schedule(SimTime at, EventFn fn) { return scheduleImpl(at, nextSeq_++, std::move(fn)); }
+  EventId schedule(SimTime at, EventFn fn, EventScope scope = EventScope::kFence) {
+    return scheduleImpl(at, nextSeq_++, std::move(fn), scope);
+  }
 
   /// Claim the next `n` FIFO ranks without scheduling anything.
   Sequence reserveSequences(std::size_t n) {
@@ -63,9 +82,10 @@ class EventQueue {
   }
 
   /// Schedule with a previously reserved FIFO rank.
-  EventId scheduleAtSequence(SimTime at, Sequence seq, EventFn fn) {
+  EventId scheduleAtSequence(SimTime at, Sequence seq, EventFn fn,
+                             EventScope scope = EventScope::kFence) {
     DTNCACHE_CHECK_MSG(seq < nextSeq_, "sequence " << seq << " was never reserved");
-    return scheduleImpl(at, seq, std::move(fn));
+    return scheduleImpl(at, seq, std::move(fn), scope);
   }
 
   /// Cancel a pending event: O(1) — frees the slot and bumps its
@@ -98,6 +118,17 @@ class EventQueue {
     if (heap_.empty()) return false;
     time = heap_.top().time;
     seq = heap_.top().seq;
+    return true;
+  }
+
+  /// peekKey plus the head event's declared scope, so the sharded runner can
+  /// decide whether the event needs a worker barrier before it runs.
+  bool peekKey(SimTime& time, Sequence& seq, EventScope& scope) {
+    purgeStale();
+    if (heap_.empty()) return false;
+    time = heap_.top().time;
+    seq = heap_.top().seq;
+    scope = slots_[slotOf(heap_.top().id)].scope;
     return true;
   }
 
@@ -157,6 +188,7 @@ class EventQueue {
   struct Slot {
     EventCallback fn;
     std::uint32_t generation = 0;
+    EventScope scope = EventScope::kFence;
   };
 
   static constexpr std::uint32_t kGenerationMask = (1u << 30) - 1;
@@ -169,7 +201,7 @@ class EventQueue {
     return static_cast<std::uint32_t>(id >> 32);
   }
 
-  EventId scheduleImpl(SimTime at, Sequence seq, EventCallback fn) {
+  EventId scheduleImpl(SimTime at, Sequence seq, EventCallback fn, EventScope scope) {
     DTNCACHE_CHECK_MSG(at >= lastPopped_, "event scheduled in the past: at="
                                               << at << " now=" << lastPopped_);
     DTNCACHE_CHECK(static_cast<bool>(fn));
@@ -182,6 +214,7 @@ class EventQueue {
       slots_.emplace_back();
     }
     slots_[slot].fn = std::move(fn);
+    slots_[slot].scope = scope;
     const EventId id = makeId(slot, slots_[slot].generation);
     heap_.push(HeapEntry{at, seq, id});
     ++live_;

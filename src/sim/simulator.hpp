@@ -24,16 +24,18 @@ class Simulator {
   /// Current simulation time. Starts at 0.
   SimTime now() const { return now_; }
 
-  /// Schedule `fn` at absolute time `at` (>= now()).
-  EventId scheduleAt(SimTime at, EventFn fn) {
+  /// Schedule `fn` at absolute time `at` (>= now()). The scope is the
+  /// scheduler's promise about the callback (see EventScope); default to
+  /// kFence unless the callback provably commutes with worker-run contacts.
+  EventId scheduleAt(SimTime at, EventFn fn, EventScope scope = EventScope::kFence) {
     DTNCACHE_CHECK_MSG(at >= now_, "scheduleAt in the past: " << at << " < " << now_);
-    return queue_.schedule(at, std::move(fn));
+    return queue_.schedule(at, std::move(fn), scope);
   }
 
   /// Schedule `fn` after a non-negative delay from now().
-  EventId scheduleAfter(SimTime delay, EventFn fn) {
+  EventId scheduleAfter(SimTime delay, EventFn fn, EventScope scope = EventScope::kFence) {
     DTNCACHE_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
-    return queue_.schedule(now_ + delay, std::move(fn));
+    return queue_.schedule(now_ + delay, std::move(fn), scope);
   }
 
   /// Claim `n` consecutive FIFO ranks for later scheduleAtSequence calls.
@@ -57,12 +59,14 @@ class Simulator {
   /// before the callback runs, so a callback may cancel its own series via
   /// the handle it captured.
   static constexpr SimTime kDefaultPhase = -1.0;
-  EventId schedulePeriodic(SimTime period, EventFn fn, SimTime phase = kDefaultPhase) {
+  EventId schedulePeriodic(SimTime period, EventFn fn, SimTime phase = kDefaultPhase,
+                           EventScope scope = EventScope::kFence) {
     DTNCACHE_CHECK(period > 0.0);
     if (phase == kDefaultPhase) phase = period;
     DTNCACHE_CHECK(phase >= 0.0);
     auto series = std::make_shared<PeriodicSeries>();
     series->fn = std::move(fn);
+    series->scope = scope;
     const EventId id = nextSeriesId_++;
     armPeriodic(series, now_ + phase, period);
     periodic_[id] = std::move(series);
@@ -106,6 +110,12 @@ class Simulator {
   /// queue is empty. The sharded runner uses this to choose each merge
   /// barrier's bound without popping anything.
   bool peekNextKey(SimTime& t, EventQueue::Sequence& seq) { return queue_.peekKey(t, seq); }
+
+  /// peekNextKey plus the head event's scope, so the sharded runner knows
+  /// whether running it requires quiescing the workers first.
+  bool peekNextKey(SimTime& t, EventQueue::Sequence& seq, EventScope& scope) {
+    return queue_.peekKey(t, seq, scope);
+  }
 
   /// Pop and run exactly the earliest pending event, advancing the clock to
   /// its time first (same clock discipline as runUntil's loop body).
@@ -155,17 +165,21 @@ class Simulator {
   struct PeriodicSeries {
     EventFn fn;
     EventId armed = 0;  ///< the currently scheduled instance
+    EventScope scope = EventScope::kFence;
   };
 
   void armPeriodic(std::shared_ptr<PeriodicSeries> series, SimTime at, SimTime period) {
     // The armed id is written into the series itself, so re-arming on each
     // firing touches no map — cancel() is the only map lookup.
     PeriodicSeries* raw = series.get();
-    raw->armed = queue_.schedule(at, [this, series, period](SimTime t) {
-      // Re-arm first so the callback can cancel the series.
-      armPeriodic(series, t + period, period);
-      series->fn(t);
-    });
+    raw->armed = queue_.schedule(
+        at,
+        [this, series, period](SimTime t) {
+          // Re-arm first so the callback can cancel the series.
+          armPeriodic(series, t + period, period);
+          series->fn(t);
+        },
+        raw->scope);
   }
 
   EventQueue queue_;

@@ -103,5 +103,71 @@ TEST(CacheStore, EntriesSortedByItem) {
   EXPECT_EQ(es[2]->item, 5u);
 }
 
+TEST(CacheStore, ExpiryWatermarkBasics) {
+  CacheStore s(1024);
+  EXPECT_FALSE(s.hasUnexpired(0.0));  // empty store has nothing valid
+  s.insert(1, 0, 100, 0.0, /*expiresAt=*/50.0);
+  EXPECT_TRUE(s.hasUnexpired(49.9));
+  EXPECT_FALSE(s.hasUnexpired(50.0));  // expired AT the boundary instant
+  // Upgrading to a fresher version extends validity...
+  s.insert(1, 1, 100, 10.0, /*expiresAt=*/80.0);
+  EXPECT_TRUE(s.hasUnexpired(50.0));
+  EXPECT_FALSE(s.hasUnexpired(80.0));
+  // ...and removal retracts the watermark.
+  s.remove(1);
+  EXPECT_FALSE(s.hasUnexpired(0.0));
+}
+
+TEST(CacheStore, HasUnexpiredMatchesFullScanUnderRandomChurn) {
+  // Property check for the expiry watermark: hasUnexpired(now) must equal a
+  // full scan for an entry with expiresAt > now, under arbitrary mixes of
+  // insert (forever and time-bounded validity), version upgrades that can
+  // RAISE or LOWER the bound, targeted removal, recency touches, and LRU
+  // eviction under capacity pressure.
+  std::uint64_t rng = 0x853c49e6748fea9bull;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    CacheStore s(600);  // ~6 entries of 100B: inserts evict constantly
+    sim::SimTime now = 0.0;
+    for (int step = 0; step < 400; ++step) {
+      now += static_cast<sim::SimTime>(next() % 100) / 10.0;
+      const data::ItemId item = next() % 12;
+      switch (next() % 5) {
+        case 0:
+        case 1:
+        case 2: {  // insert/upgrade with a random validity bound
+          const data::Version v = next() % 6;
+          const std::uint32_t kind = next() % 6;
+          sim::SimTime expiresAt = kNeverExpires;
+          if (kind != 0) {
+            expiresAt = now + static_cast<sim::SimTime>(next() % 400) / 10.0 - 10.0;
+            if (expiresAt < 0.0) expiresAt = 0.0;
+          }
+          s.insert(item, v, 100, now, expiresAt);
+          break;
+        }
+        case 3:
+          s.remove(item);
+          break;
+        case 4:
+          s.recordAccess(item, now);
+          break;
+      }
+      for (const sim::SimTime at : {now, now + static_cast<sim::SimTime>(next() % 300) / 10.0}) {
+        bool scanValid = false;
+        s.forEachEntry([&](const CacheEntry& e) {
+          if (at < e.expiresAt) scanValid = true;
+        });
+        ASSERT_EQ(s.hasUnexpired(at), scanValid)
+            << "trial " << trial << " step " << step << " at " << at
+            << " size " << s.size();
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dtncache::cache

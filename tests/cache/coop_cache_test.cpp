@@ -121,8 +121,13 @@ TEST(CoopCache, HeldVersionSemantics) {
   rig.run();
   // The source always holds the live version (3 bumps by t=350).
   EXPECT_EQ(rig.coop.heldVersion(0, 0, 350.0), data::Version{3});
-  // Members still hold the warm-start version 0.
-  EXPECT_EQ(rig.coop.heldVersion(1, 0, 350.0), data::Version{0});
+  // Member 1 still stores the warm-start version 0, but that copy expired
+  // at t=200 (lifetime 2*tau): heldVersion reports only valid copies, so
+  // the member can no longer serve it even though the bytes are present.
+  EXPECT_NE(rig.coop.storeOf(1).find(0), nullptr);
+  EXPECT_FALSE(rig.coop.heldVersion(1, 0, 350.0).has_value());
+  // Before expiry the same copy was servable.
+  EXPECT_EQ(rig.coop.heldVersion(1, 0, 150.0), data::Version{0});
   // Non-holders hold nothing.
   EXPECT_FALSE(rig.coop.heldVersion(3, 0, 350.0).has_value());
 }

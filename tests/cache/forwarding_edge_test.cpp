@@ -115,15 +115,22 @@ TEST(ForwardingEdge, HopCapStopsRelaying) {
   EXPECT_EQ(r.queries.answered, 1u);
 }
 
-TEST(ForwardingEdge, ExpiredMessagesPurgeInsteadOfForwarding) {
+TEST(ForwardingEdge, ExpiredMessagesNeverForwardAndPurgeLazily) {
   Rig rig({{10.0, 5.0, 3, 4}});
   rig.simulator.scheduleAt(1.0, [&](sim::SimTime) {
     rig.coop.injectMessage(3, makeReply(4, 2, /*deadline=*/5.0), 1.0);
   });
   rig.simulator.runUntil(30.0);
-  EXPECT_TRUE(rig.coop.bufferOf(3).empty());
+  // The carrier's only message died at t=5, so by the t=10 contact the
+  // deadline watermark classifies the buffer as dead and the forwarding
+  // pass skips it entirely: nothing transfers, and the corpse lingers
+  // (invisible to hasLive) until the next mutating touch purges it.
+  EXPECT_EQ(rig.coop.bufferOf(3).size(), 1u);
+  EXPECT_FALSE(rig.coop.bufferOf(3).hasLive(30.0));
   EXPECT_TRUE(rig.coop.bufferOf(4).empty());
   EXPECT_EQ(rig.network.transfers().of(net::Traffic::kReply).messages, 0u);
+  rig.coop.bufferOf(3).purgeExpired(30.0);
+  EXPECT_TRUE(rig.coop.bufferOf(3).empty());
 }
 
 TEST(ForwardingEdge, SingleCopyMigratesInsteadOfDuplicating) {

@@ -121,5 +121,85 @@ TEST(MessageBuffer, CursorWalksFifoOrderAcrossSlotRecycling) {
   EXPECT_EQ(walkOrder(tiny), (std::vector<MessageId>{12, 13}));
 }
 
+TEST(MessageBuffer, DeadlineExactlyNowIsExpired) {
+  // The repo-wide convention (net::messageExpired): a message dies the
+  // instant the clock reaches its deadline — deadline == now is expired,
+  // not live. Deadline 0 means "no deadline".
+  Message m = msg(1, 0, 10.0);
+  EXPECT_FALSE(messageExpired(m, 9.999999));
+  EXPECT_TRUE(messageExpired(m, 10.0));
+  EXPECT_TRUE(messageExpired(m, 10.5));
+  EXPECT_FALSE(messageExpired(msg(2, 0, 0.0), 1e18));
+
+  MessageBuffer b(4096);
+  b.add(m, 0.0);
+  EXPECT_TRUE(b.hasLive(9.999999));
+  EXPECT_FALSE(b.hasLive(10.0));  // watermark agrees with the convention
+  b.purgeExpired(10.0);           // ...and so does the purge boundary
+  EXPECT_TRUE(b.empty());
+}
+
+TEST(MessageBuffer, HasLiveMatchesFullScanUnderRandomChurn) {
+  // Property check for the deadline watermark: hasLive(now) must equal a
+  // full scan for any un-expired message, under arbitrary interleavings of
+  // add (mixed forever/timed deadlines), targeted removal, predicate
+  // removal, purges, and drop-oldest capacity pressure.
+  std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+  auto next = [&rng]() {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<std::uint32_t>(rng >> 33);
+  };
+  for (int trial = 0; trial < 20; ++trial) {
+    MessageBuffer b(6 * kHeaderBytes);  // tight: overflow evicts the oldest
+    sim::SimTime now = 0.0;
+    MessageId nextId = 1;
+    for (int step = 0; step < 400; ++step) {
+      now += static_cast<sim::SimTime>(next() % 100) / 10.0;
+      switch (next() % 6) {
+        case 0:
+        case 1:
+        case 2: {  // add; deadline may be forever, future, == now, or past
+          Message m = msg(nextId++);
+          const std::uint32_t kind = next() % 8;
+          if (kind == 0) m.deadline = 0.0;
+          else if (kind == 1) m.deadline = now;
+          else m.deadline = now + static_cast<sim::SimTime>(next() % 300) / 10.0 - 5.0;
+          if (m.deadline < 0.0) m.deadline = 0.0;
+          b.add(m, now);
+          break;
+        }
+        case 3: {  // remove a specific id (maybe absent)
+          b.removeById(1 + next() % nextId);
+          break;
+        }
+        case 4: {  // predicate removal, as forwarding/delivery does
+          const MessageId mod = 2 + next() % 3;
+          b.removeIf([mod](const Message& m) { return m.id % mod == 0; });
+          break;
+        }
+        case 5:
+          b.purgeExpired(now);
+          break;
+      }
+      bool scanLive = false;
+      b.forEach([&](const Message& m) {
+        if (!messageExpired(m, now)) scanLive = true;
+      });
+      ASSERT_EQ(b.hasLive(now), scanLive)
+          << "trial " << trial << " step " << step << " now " << now
+          << " size " << b.size();
+      // The watermark must also answer correctly for *future* instants —
+      // that is what lets node activity decay between serial events.
+      const sim::SimTime later = now + static_cast<sim::SimTime>(next() % 200) / 10.0;
+      bool scanLater = false;
+      b.forEach([&](const Message& m) {
+        if (!messageExpired(m, later)) scanLater = true;
+      });
+      ASSERT_EQ(b.hasLive(later), scanLater)
+          << "trial " << trial << " step " << step << " later " << later;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dtncache::net

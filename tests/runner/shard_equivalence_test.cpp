@@ -174,6 +174,50 @@ TEST(ShardEquivalence, SparsePairBackendPrecreationIsInvisible) {
   expectIdentical(plain, sharded, 4);
 }
 
+TEST(ShardEquivalence, OracleRatesTimerHeavyMaintenanceAllShardCounts) {
+  // Under oracle rates the hierarchical maintenance tick reads only the
+  // fixed planning matrix, so RefreshScheme::timerScope marks it
+  // kShardLocal: the coordinator runs it concurrently with in-flight boring
+  // contacts, no quiesce, no estimator drain. A dense tick schedule (1h
+  // maintenance, 30min sampling over 3 days) maximizes the interleavings
+  // between local timers and worker-held contacts; any state the tick
+  // secretly shares with a boring handler diverges the trace.
+  auto cfg = smallMobilityConfig(trace::RateModel::kMobilityCommunity);
+  cfg.hierarchical.useOracleRates = true;
+  cfg.hierarchical.maintenancePeriod = sim::hours(1);
+  cfg.cache.sampleInterval = sim::minutes(30);
+  const Capture plain = runWith(cfg, 1);
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    const Capture sharded = runWith(cfg, shards);
+    // The no-quiesce lane must actually carry the tick load, or this test
+    // exercises nothing.
+    EXPECT_GT(sharded.out.shardStats.localTimerEvents, 0u);
+    expectIdentical(plain, sharded, shards);
+  }
+}
+
+TEST(ShardEquivalence, ExpiredHeavyWorkloadAllShardCounts) {
+  // NoRefresh with lifetime == one period: warm-start copies die at 8h and
+  // are never replaced, and short query deadlines kill buffered replies
+  // fast. Most of the horizon, holders carry only dead bytes — the expiry
+  // watermarks must reclassify them inert at each contact's own time
+  // (activity decaying between serial events, with no mutation), and the
+  // sharded trace must still match the plain kernel byte for byte.
+  auto cfg = smallMobilityConfig(trace::RateModel::kMobilityCommunity);
+  cfg.scheme = SchemeKind::kNoRefresh;
+  cfg.catalog.lifetimeFactor = 1.0;
+  cfg.workload.queryDeadline = sim::hours(2);
+  const Capture plain = runWith(cfg, 1);
+  for (const std::size_t shards : {2u, 4u, 7u}) {
+    const Capture sharded = runWith(cfg, shards);
+    // Dead-content nodes must be going boring (worker-run or stolen), not
+    // pinning fences forever.
+    EXPECT_GT(sharded.out.shardStats.boringContacts + sharded.out.shardStats.stolenContacts,
+              0u);
+    expectIdentical(plain, sharded, shards);
+  }
+}
+
 TEST(ShardEquivalence, NonShardableSchemeFallsBackToPlainKernel) {
   auto cfg = smallMobilityConfig(trace::RateModel::kMobilityCommunity);
   cfg.scheme = SchemeKind::kInvalidation;
