@@ -19,11 +19,13 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/common.hpp"
@@ -41,6 +43,8 @@
 #include "sim/event_queue.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "sweep/distributed.hpp"
+#include "sweep/work_unit.hpp"
 #include "trace/estimator.hpp"
 #include "trace/generators.hpp"
 
@@ -434,6 +438,74 @@ Metrics benchMaintenanceTick(bool quick, int reps) {
   return m;
 }
 
+/// Distributed-sweep fan-out on loopback: a coordinator thread serves a
+/// small grid over TCP while 1, then 2, worker clients lease, run, and
+/// return jobs. End-to-end jobs/s includes the wire protocol, fragment
+/// encode + CRC, and store I/O — the per-job overhead a multi-host sweep
+/// adds over `--jobs N`. Honest caveat: both variants share this one
+/// machine's cores, so jobs_per_sec vs jobs_per_sec_1worker measures
+/// protocol headroom, not cross-host speedup — on a single busy CPU the
+/// two-worker rate can legitimately be flat.
+Metrics benchSweepFanout(std::size_t seedCount) {
+  namespace fs = std::filesystem;
+  sweep::SweepManifest manifest;
+  manifest.grid.base.trace = trace::homogeneousConfig(12, 6.0, sim::days(1), 9);
+  manifest.grid.base.catalog.itemCount = 2;
+  manifest.grid.base.catalog.refreshPeriod = sim::hours(12);
+  manifest.grid.base.workload.queriesPerNodePerDay = 2.0;
+  manifest.grid.base.cache.cachingNodesPerItem = 4;
+  manifest.grid.schemes = {runner::SchemeKind::kHierarchical,
+                           runner::SchemeKind::kEpidemic};
+  for (std::uint32_t s = 0; s < seedCount; ++s)
+    manifest.grid.seeds.push_back(s + 1);
+  manifest.wallClock = false;
+  const std::size_t jobs = manifest.grid.schemes.size() * seedCount;
+
+  Metrics m;
+  double wall[3] = {0.0, 0.0, 0.0};
+  for (const int workers : {1, 2}) {
+    const std::string store =
+        (fs::temp_directory_path() /
+         ("dtncache_bench_fanout_w" + std::to_string(workers))).string();
+    fs::remove_all(store);
+    const auto t0 = Clock::now();
+    sweep::CoordinatorReport report;
+    std::thread coordinator([&] {
+      sweep::CoordinatorOptions opts;
+      opts.storeDir = store;
+      opts.quiet = true;
+      report = sweep::runCoordinator(manifest, opts);
+    });
+    std::uint16_t port = 0;  // runCoordinator publishes it before serving
+    for (int i = 0; i < 400 && port == 0; ++i) {
+      std::ifstream in(store + "/coordinator.port");
+      int p = 0;
+      if (in >> p && p > 0 && p <= 65535) port = static_cast<std::uint16_t>(p);
+      if (port == 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    DTNCACHE_CHECK(port != 0);
+    std::vector<std::thread> pool;
+    for (int w = 0; w < workers; ++w)
+      pool.emplace_back([port] {
+        sweep::WorkerOptions wo;
+        wo.port = port;
+        wo.quiet = true;
+        sweep::runWorkerClient(wo);
+      });
+    for (auto& t : pool) t.join();
+    coordinator.join();
+    wall[workers] = secondsSince(t0);
+    DTNCACHE_CHECK(report.completed == jobs);
+    fs::remove_all(store);
+  }
+  m.set("jobs", static_cast<double>(jobs));
+  m.set("jobs_per_sec", static_cast<double>(jobs) / wall[2]);
+  m.set("jobs_per_sec_1worker", static_cast<double>(jobs) / wall[1]);
+  m.set("fanout_speedup", wall[1] / wall[2]);
+  m.set("wall_ms", wall[2] * 1e3);
+  return m;
+}
+
 /// Streamed mobility generation at large N: contact throughput of the
 /// heap-driven SyntheticMobility stream. This is the generation cost a
 /// 10^5-node scenario pays — O(edges) memory, no O(N^2) pass anywhere.
@@ -619,6 +691,10 @@ int main(int argc, char** argv) {
 
   run("estimator_snapshot", benchEstimatorSnapshot(200, 16, quick ? 500 : 2000));
   run("maintenance_tick", benchMaintenanceTick(quick, quick ? 2 : 3));
+
+  // Distributed-sweep overhead (docs/sweep.md): loopback coordinator + 1
+  // then 2 TCP worker clients over a small grid.
+  run("sweep_fanout", benchSweepFanout(quick ? 4 : 8));
 
   // Large-N suite: the sparse pair-state backend and the streamed mobility
   // generator at scales the dense paths cannot reach (docs/scaling.md).

@@ -28,12 +28,18 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-bench -j "$(nproc)" --target bench_kernel
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release ||
+  { echo "error: cmake configure of build-bench/ failed (exit $?)" >&2; exit 1; }
+cmake --build build-bench -j "$(nproc)" --target bench_kernel ||
+  { echo "error: bench_kernel build failed (exit $?)" >&2; exit 1; }
 
 snapshot="$(mktemp)"
 trap 'rm -f "$snapshot"' EXIT
-./build-bench/bench/bench_kernel --json="$snapshot" --label="$label" $quick
+./build-bench/bench/bench_kernel --json="$snapshot" --label="$label" $quick || {
+  rc=$?
+  echo "error: bench_kernel run failed (exit $rc); BENCH_kernel.json left untouched" >&2
+  exit "$rc"
+}
 
 FRESH="$fresh" SNAPSHOT="$snapshot" python3 - <<'EOF'
 import json, os

@@ -74,22 +74,44 @@ def direction_of(metric: str):
 
 
 def load_snapshot(spec: str):
-    """`file.json` or `file.json:label` -> (label, results dict)."""
+    """`file.json` or `file.json:label` -> (label, results dict).
+
+    Every malformation exits with a one-line diagnosis instead of a
+    traceback: missing file, invalid JSON, no snapshots, unknown label, or a
+    snapshot without a results table.
+    """
     path, _, label = spec.partition(":")
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"error: cannot read {path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"error: {path} is not valid JSON ({e})")
+    if not isinstance(doc, dict):
+        sys.exit(f"error: {path} is not a bench snapshot file (expected a JSON object)")
     snapshots = doc.get("snapshots", [doc] if "results" in doc else [])
-    if not snapshots:
+    if not isinstance(snapshots, list) or not snapshots:
         sys.exit(f"error: {path} contains no bench snapshots")
     if label:
-        matches = [s for s in snapshots if s.get("label") == label]
+        matches = [s for s in snapshots if isinstance(s, dict) and s.get("label") == label]
         if not matches:
-            known = ", ".join(s.get("label", "?") for s in snapshots)
+            known = ", ".join(s.get("label", "?") for s in snapshots
+                              if isinstance(s, dict)) or "none"
             sys.exit(f"error: no snapshot labelled {label!r} in {path} (have: {known})")
         snap = matches[-1]
     else:
         snap = snapshots[-1]
+    if not isinstance(snap, dict) or not isinstance(snap.get("results"), dict):
+        sys.exit(f"error: snapshot {spec!r} has no results table (malformed "
+                 "snapshot — regenerate with scripts/bench_baseline.sh)")
     return snap.get("label", path), snap["results"]
+
+
+def metric_tables(results: dict, bench: str):
+    """results[bench] as a metric dict, or None when malformed."""
+    table = results.get(bench)
+    return table if isinstance(table, dict) else None
 
 
 def speedup_table(before_spec: str, after_spec: str):
@@ -101,15 +123,18 @@ def speedup_table(before_spec: str, after_spec: str):
     print(f"after:  {after_label}")
     print(f"{'bench':<28} {'metric':>18} {'before':>14} {'after':>14} {'speedup':>9}")
     for bench in sorted(set(before) & set(after)):
+        b_table, a_table = metric_tables(before, bench), metric_tables(after, bench)
+        if b_table is None or a_table is None:
+            continue
         throughputs = sorted(
-            m for m in set(before[bench]) & set(after[bench])
+            m for m in set(b_table) & set(a_table)
             if m.endswith("per_sec")
-            and isinstance(before[bench][m], (int, float))
-            and isinstance(after[bench][m], (int, float)))
+            and isinstance(b_table[m], (int, float))
+            and isinstance(a_table[m], (int, float)))
         if not throughputs:
             continue
         metric = throughputs[0]
-        b, a = before[bench][metric], after[bench][metric]
+        b, a = b_table[metric], a_table[metric]
         ratio = f"x{a / b:.2f}" if b > 0 else "n/a"
         print(f"{bench:<28} {metric:>18} {b:>14.6g} {a:>14.6g} {ratio:>9}")
 
@@ -121,8 +146,10 @@ def shard_table(spec: str):
     print(f"snapshot: {label}")
     groups = {}
     for bench in results:
+        if metric_tables(results, bench) is None:
+            continue
         m = re.fullmatch(r"(.*)_shards(\d+)", bench)
-        if m and m.group(1) in results:
+        if m and metric_tables(results, m.group(1)) is not None:
             groups.setdefault(m.group(1), {})[int(m.group(2))] = bench
     if not groups:
         print("no *_shardsN benchmarks in this snapshot")
@@ -188,8 +215,11 @@ def main():
 
     regressions = []
     for bench in sorted(set(base) & set(cand)):
-        for metric in sorted(set(base[bench]) & set(cand[bench])):
-            b, c = base[bench][metric], cand[bench][metric]
+        b_table, c_table = metric_tables(base, bench), metric_tables(cand, bench)
+        if b_table is None or c_table is None:
+            continue
+        for metric in sorted(set(b_table) & set(c_table)):
+            b, c = b_table[metric], c_table[metric]
             if not isinstance(b, (int, float)) or not isinstance(c, (int, float)):
                 continue
             d = direction_of(metric)

@@ -20,9 +20,16 @@ while [[ $# -gt 0 ]]; do
   esac
 done
 
-cmake -B build -G Ninja
-cmake --build build -j "$jobs"
-ctest --test-dir build -j "$jobs" 2>&1 | tee test_output.txt
+cmake -B build -G Ninja ||
+  { echo "error: cmake configure failed (exit $?)" >&2; exit 1; }
+cmake --build build -j "$jobs" ||
+  { echo "error: build failed (exit $?)" >&2; exit 1; }
+# `set -o pipefail` already fails the pipeline, but a bare `tee` exit hides
+# which side died; say so explicitly and point at the transcript.
+if ! ctest --test-dir build -j "$jobs" 2>&1 | tee test_output.txt; then
+  echo "error: ctest failed — see test_output.txt for the failing tests" >&2
+  exit 1
+fi
 
 # Explicit bench order (paper table order), not glob order — a new binary
 # appearing mid-alphabet must not reshuffle bench_output.txt.
@@ -46,13 +53,19 @@ benches=(
 # Sweep-backed benches accept --jobs; the others ignore argv entirely.
 sweep_backed=" bench_freshness_time bench_freshness_tau bench_freshness_ncl bench_theta_guarantee bench_scaling "
 
+# Each bench failure aborts with its name and exit code — a partial
+# bench_output.txt must never pass silently as a regenerated table set.
 {
   for b in "${benches[@]}"; do
     if [[ "$sweep_backed" == *" $b "* ]]; then
       "build/bench/$b" --jobs "$jobs"
     else
       "build/bench/$b"
-    fi
+    fi || {
+      rc=$?
+      echo "error: build/bench/$b failed (exit $rc); bench_output.txt is incomplete" >&2
+      exit "$rc"
+    }
   done
 } | tee bench_output.txt
 echo "done: test_output.txt, bench_output.txt (jobs=$jobs)"

@@ -1,0 +1,157 @@
+#!/usr/bin/env bash
+# Exercise the distributed sweep's crash story end to end (docs/sweep.md):
+#
+#   1. reference run: single-process `dtncache_sweep --jobs 4 --no-wall`;
+#   2. coordinator + 2 TCP workers on localhost; once a few fragments are
+#      durable, SIGKILL one worker AND the coordinator mid-sweep;
+#   3. restart the coordinator with --resume plus a replacement worker and
+#      let it finish + merge;
+#   4. byte-compare JSONL/CSV/trace against the reference (cmp);
+#   5. repeat the sweep in spool mode (shared directory, no networking)
+#      with two concurrent workers and byte-compare the merge too.
+#
+# Exits non-zero the moment any step diverges — CI runs this as the
+# `sweep-distributed` job, and it doubles as a local demo of the recipes
+# in docs/sweep.md.
+#
+#   scripts/sweep_distributed_demo.sh [--bin PATH] [--workdir DIR]
+#
+#   --bin PATH     dtncache_sweep binary (default: build/apps/dtncache_sweep)
+#   --workdir DIR  scratch directory (default: mktemp -d; kept on failure,
+#                  removed on success unless explicitly provided)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bin="build/apps/dtncache_sweep"
+workdir=""
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin)       bin="$2"; shift 2 ;;
+    --bin=*)     bin="${1#--bin=}"; shift ;;
+    --workdir)   workdir="$2"; shift 2 ;;
+    --workdir=*) workdir="${1#--workdir=}"; shift ;;
+    *) echo "usage: $0 [--bin PATH] [--workdir DIR]" >&2; exit 2 ;;
+  esac
+done
+
+[[ -x "$bin" ]] || {
+  echo "error: $bin not found/executable — build it first:" >&2
+  echo "  cmake -B build && cmake --build build --target dtncache_sweep" >&2
+  exit 1
+}
+
+keep_workdir=0
+if [[ -z "$workdir" ]]; then
+  workdir="$(mktemp -d)"
+else
+  keep_workdir=1
+  mkdir -p "$workdir"
+fi
+
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+}
+trap cleanup EXIT
+
+# The whole point is byte identity, so every run (reference, both
+# coordinator generations, spool init) must describe the SAME sweep:
+# identical grid, --no-wall, and trace settings — they all feed the
+# manifest fingerprint.
+sweep_args=(--trace=infocom --days=20 --schemes=all --seeds=4 --no-wall
+            --trace-filter=job_start,job_done)
+jobs_total=28  # 7 schemes x 4 seeds
+
+wait_for_file() {  # path, tries (50ms each)
+  local i
+  for ((i = 0; i < $2; ++i)); do
+    [[ -s "$1" ]] && return 0
+    sleep 0.05
+  done
+  return 1
+}
+
+frag_count() { ls "$1/frags" 2>/dev/null | wc -l; }
+
+echo "== reference: single-process --jobs 4 =="
+"$bin" "${sweep_args[@]}" --jobs=4 --quiet \
+  --jsonl="$workdir/ref.jsonl" --csv="$workdir/ref.csv" \
+  --trace-out="$workdir/ref.trace"
+
+echo "== distributed: coordinator + 2 workers, SIGKILL mid-sweep =="
+store="$workdir/store"
+"$bin" "${sweep_args[@]}" --store="$store" --coordinator --quiet \
+  --jsonl="$workdir/doomed.jsonl" --csv="$workdir/doomed.csv" \
+  --trace-out="$workdir/doomed.trace" &
+coord=$!; pids+=("$coord")
+wait_for_file "$store/coordinator.port" 200 || {
+  echo "error: coordinator never published $store/coordinator.port" >&2
+  exit 1
+}
+port="$(cat "$store/coordinator.port")"
+"$bin" --worker="127.0.0.1:$port" --quiet & w1=$!; pids+=("$w1")
+"$bin" --worker="127.0.0.1:$port" --quiet & w2=$!; pids+=("$w2")
+
+# Let some fragments become durable, then kill one worker and the
+# coordinator outright (kill -9: no flush, no goodbye).
+for ((i = 0; i < 400; ++i)); do
+  [[ "$(frag_count "$store")" -ge 4 ]] && break
+  sleep 0.05
+done
+kill -9 "$w1" "$coord" 2>/dev/null || true
+wait "$coord" 2>/dev/null || true
+wait "$w1" 2>/dev/null || true
+wait "$w2" 2>/dev/null || true  # loses its connection and exits on its own
+survivors="$(frag_count "$store")"
+echo "   killed with $survivors/$jobs_total fragments durable"
+[[ "$survivors" -lt "$jobs_total" ]] || {
+  echo "error: sweep finished before the kill — grid too small for this host" >&2
+  exit 1
+}
+
+echo "== resume: new coordinator + replacement worker =="
+rm -f "$store/coordinator.port"
+"$bin" "${sweep_args[@]}" --store="$store" --coordinator --resume --quiet \
+  --jsonl="$workdir/dist.jsonl" --csv="$workdir/dist.csv" \
+  --trace-out="$workdir/dist.trace" &
+coord=$!; pids+=("$coord")
+wait_for_file "$store/coordinator.port" 200 || {
+  echo "error: resumed coordinator never published its port" >&2
+  exit 1
+}
+port="$(cat "$store/coordinator.port")"
+"$bin" --worker="127.0.0.1:$port" --quiet & w3=$!; pids+=("$w3")
+wait "$coord" || { echo "error: resumed coordinator failed" >&2; exit 1; }
+wait "$w3" 2>/dev/null || true
+
+python3 scripts/trace_summarize.py --sweep-store "$store"
+
+for f in jsonl csv trace; do
+  cmp "$workdir/ref.$f" "$workdir/dist.$f" || {
+    echo "error: distributed $f output differs from the single-process reference" >&2
+    exit 1
+  }
+done
+echo "   distributed (killed + resumed) outputs byte-identical to --jobs 4"
+
+echo "== spool mode: shared-directory workers, no networking =="
+spool="$workdir/spool"
+"$bin" "${sweep_args[@]}" --store="$spool" --spool-init --quiet \
+  --trace-out="$workdir/sp.trace"
+"$bin" --store="$spool" --spool-worker --quiet & s1=$!; pids+=("$s1")
+"$bin" --store="$spool" --spool-worker --quiet & s2=$!; pids+=("$s2")
+wait "$s1" || { echo "error: spool worker 1 failed" >&2; exit 1; }
+wait "$s2" || { echo "error: spool worker 2 failed" >&2; exit 1; }
+"$bin" --store="$spool" --merge --quiet \
+  --jsonl="$workdir/sp.jsonl" --csv="$workdir/sp.csv" \
+  --trace-out="$workdir/sp.trace"
+for f in jsonl csv trace; do
+  cmp "$workdir/ref.$f" "$workdir/sp.$f" || {
+    echo "error: spool $f output differs from the single-process reference" >&2
+    exit 1
+  }
+done
+echo "   spool outputs byte-identical to --jobs 4"
+
+echo "ok: distributed + spool sweeps reproduce the single-process bytes"
+[[ "$keep_workdir" -eq 1 ]] || rm -rf "$workdir"

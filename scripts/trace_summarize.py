@@ -14,6 +14,11 @@ per run fingerprint:
     version propagated through the caching set (pushes over time, time to
     first/median/last delivery before the next bump);
   - query outcome summary (local hits, delivered replies, fresh replies);
+  - with --sweep-store DIR (no trace file needed), a distributed-sweep
+    progress readout from the fragment store: jobs completed/total from the
+    coordinator's status.jsonl counters, fragment count and bytes on disk,
+    throughput in jobs/s from fragment mtimes, and an ETA for the jobs
+    still outstanding (see docs/sweep.md);
   - with --shard-map FILE, a shard-plan audit: per-shard node and contact
     load balance plus the cross-shard contact ratio, for sizing the sharded
     kernel (sim.shards, see docs/scaling.md). FILE holds one shard id per
@@ -31,8 +36,11 @@ Usage:
 
 import argparse
 import collections
+import glob
 import json
+import os
 import sys
+import time
 
 
 def hours(seconds):
@@ -147,6 +155,83 @@ def shard_summary(events, shard_map):
               f"imbalance x{imbalance:.2f}")
     if unmapped:
         print(f"    WARNING: {unmapped} contact(s) touch nodes beyond the map")
+
+
+def sweep_store_summary(store_dir):
+    """Progress/throughput readout for a distributed-sweep fragment store.
+
+    Reads the coordinator's status.jsonl (last counters line wins — the
+    coordinator rewrites cumulative totals) for the job ledger, and the
+    frags/ directory for on-disk completion. Throughput comes from fragment
+    mtimes, so it reflects this run's pace even after a resume: resumed
+    fragments keep their old mtimes and fall out of the recent window.
+    """
+    if not os.path.isdir(store_dir):
+        raise SystemExit(f"error: sweep store {store_dir!r} is not a directory")
+    counters = {}
+    status_path = os.path.join(store_dir, "status.jsonl")
+    try:
+        with open(status_path) as f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail of a live coordinator write
+                if event.get("kind") == "counters":
+                    counters = {k: v for k, v in event.items()
+                                if k.startswith("ctr.sweep.")}
+    except OSError:
+        pass  # spool mode has no coordinator, hence no status file
+
+    frags = glob.glob(os.path.join(store_dir, "frags", "*.frag"))
+    frag_bytes = 0
+    mtimes = []
+    for path in frags:
+        try:
+            st = os.stat(path)
+        except OSError:
+            continue  # raced a rename/cleanup
+        frag_bytes += st.st_size
+        mtimes.append(st.st_mtime)
+
+    total = counters.get("ctr.sweep.jobs_total", 0)
+    done = len(frags)
+    print(f"sweep store {store_dir}:")
+    if total:
+        pct = 100.0 * done / total
+        print(f"  jobs: {done}/{total} complete ({pct:.1f}%)")
+    else:
+        print(f"  jobs: {done} fragment(s) on disk "
+              "(no coordinator status.jsonl — total unknown)")
+    for key, label in (("ctr.sweep.jobs_resumed", "resumed from store"),
+                       ("ctr.sweep.jobs_released", "leases released"),
+                       ("ctr.sweep.results_duplicate", "duplicate results"),
+                       ("ctr.sweep.fragments_invalid", "invalid fragments dropped")):
+        if counters.get(key):
+            print(f"    {label}: {counters[key]}")
+    print(f"  fragments: {done} file(s), {frag_bytes / 1024.0:.1f} KiB")
+
+    # Rate over the most recent write window: fragments older than 10x the
+    # median inter-arrival gap (or a resumed store's pre-crash work) would
+    # drag the estimate; a simple span over the newest half avoids that.
+    if len(mtimes) >= 2:
+        recent = sorted(mtimes)[len(mtimes) // 2:]
+        span = recent[-1] - recent[0]
+        if len(recent) >= 2 and span > 0:
+            rate = (len(recent) - 1) / span
+            print(f"  throughput: {rate:.2f} jobs/s "
+                  f"(over the newest {len(recent)} fragments)")
+            remaining = total - done
+            if remaining > 0:
+                print(f"  ETA: {remaining / rate:.0f}s for "
+                      f"{remaining} remaining job(s)")
+            idle = time.time() - max(mtimes)
+            if idle > 60 and 0 < done < total:
+                print(f"  WARNING: newest fragment is {idle:.0f}s old — "
+                      "workers may be stalled or dead (check leases/)")
 
 
 def freshness_timelines(events, only_item=None):
@@ -276,7 +361,8 @@ def summarize(run, events, args):
 def main():
     parser = argparse.ArgumentParser(description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("trace", help="JSONL trace file, or '-' for stdin")
+    parser.add_argument("trace", nargs="?", default=None,
+                        help="JSONL trace file, or '-' for stdin")
     parser.add_argument("--item", type=int, default=None,
                         help="restrict freshness timelines to one item id")
     parser.add_argument("--per-version", action="store_true",
@@ -285,9 +371,20 @@ def main():
                         help="node->shard map (one shard id per node, "
                              "node-id order): print per-shard balance and "
                              "the cross-shard contact ratio")
+    parser.add_argument("--sweep-store", metavar="DIR", default=None,
+                        help="distributed-sweep fragment store: print job "
+                             "progress, fragment footprint, jobs/s, and ETA")
     args = parser.parse_args()
     args.shard_map_data = (load_shard_map(args.shard_map)
                            if args.shard_map else None)
+
+    if args.sweep_store is not None:
+        sweep_store_summary(args.sweep_store)
+        if args.trace is None:
+            return
+        print()
+    elif args.trace is None:
+        parser.error("need a trace file (or --sweep-store DIR)")
 
     stream = sys.stdin if args.trace == "-" else open(args.trace)
     with stream:

@@ -1,0 +1,59 @@
+#pragma once
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3 polynomial, reflected) plus little-endian integer
+/// put/read helpers — the record-guarding primitives shared by every
+/// append-only/checkpoint format in the tree. `peer::DiskStore`'s log and
+/// the sweep engine's result fragments both frame records as
+/// `length | crc | body` with these exact routines, so a torn or bit-flipped
+/// record is detected identically everywhere. Table built once at first use;
+/// no zlib dependency so the formats work in any build configuration.
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace dtncache::core {
+
+inline const std::array<std::uint32_t, 256>& crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+inline std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  const auto& table = crc32Table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+inline void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+inline std::uint32_t readU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t readU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace dtncache::core

@@ -9,58 +9,25 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/crc32.hpp"
 #include "sim/assert.hpp"
 
 namespace dtncache::peer {
 
 namespace {
 
+// Record guarding (CRC-32 + LE integer framing) comes from core/crc32.hpp,
+// shared with the sweep engine's result fragments.
+using core::crc32;
+using core::putU32;
+using core::putU64;
+using core::readU32;
+using core::readU64;
+
 constexpr std::uint8_t kRecordPut = 1;
 constexpr std::uint8_t kRecordRemove = 2;
 constexpr std::size_t kRecordHeaderBytes = 8;           // length + crc
 constexpr std::size_t kBodyFixedBytes = 1 + 4 + 8 + 4;  // kind|item|version|payloadLen
-
-// CRC-32 (IEEE 802.3 polynomial, reflected). Table built once at startup;
-// no zlib dependency so the store works in any build configuration.
-const std::array<std::uint32_t, 256>& crcTable() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
-
-std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
-  const auto& table = crcTable();
-  std::uint32_t c = 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < size; ++i) c = table[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
-
-void putU32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-void putU64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-}
-
-std::uint32_t readU32(const std::uint8_t* p) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
-  return v;
-}
-
-std::uint64_t readU64(const std::uint8_t* p) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
-  return v;
-}
 
 bool writeAll(int fd, const std::uint8_t* data, std::size_t size) {
   std::size_t done = 0;

@@ -128,27 +128,50 @@ std::vector<RecordField> recordFields(const JobResult& result, bool wallClock) {
   return f.fields;
 }
 
-void JsonlSink::write(const JobResult& result) {
-  const auto fields = recordFields(result, wallClock_);
-  out_ << '{';
+std::string renderJsonlLine(const std::vector<RecordField>& fields) {
+  std::string line = "{";
   for (std::size_t i = 0; i < fields.size(); ++i) {
-    if (i != 0) out_ << ", ";
-    out_ << '"' << fields[i].key << "\": " << fields[i].json;
+    if (i != 0) line += ", ";
+    line += '"';
+    line += fields[i].key;
+    line += "\": ";
+    line += fields[i].json;
   }
-  out_ << "}\n";
+  line += "}\n";
+  return line;
+}
+
+std::string renderCsvHeader(const std::vector<RecordField>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line += ',';
+    line += fields[i].key;
+  }
+  line += '\n';
+  return line;
+}
+
+std::string renderCsvRow(const std::vector<RecordField>& fields) {
+  std::string line;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) line += ',';
+    line += fields[i].csv;
+  }
+  line += '\n';
+  return line;
+}
+
+void JsonlSink::write(const JobResult& result) {
+  out_ << renderJsonlLine(recordFields(result, wallClock_));
 }
 
 void CsvSink::write(const JobResult& result) {
   const auto fields = recordFields(result, wallClock_);
   if (!headerWritten_) {
-    for (std::size_t i = 0; i < fields.size(); ++i)
-      out_ << (i == 0 ? "" : ",") << fields[i].key;
-    out_ << '\n';
+    out_ << renderCsvHeader(fields);
     headerWritten_ = true;
   }
-  for (std::size_t i = 0; i < fields.size(); ++i)
-    out_ << (i == 0 ? "" : ",") << fields[i].csv;
-  out_ << '\n';
+  out_ << renderCsvRow(fields);
 }
 
 }  // namespace dtncache::sweep

@@ -38,6 +38,14 @@ struct RecordField {
 /// override columns appear in grid declaration order).
 std::vector<RecordField> recordFields(const JobResult& result, bool wallClock);
 
+/// Shared text renderers — the sinks below and the distributed fragment
+/// writer both go through these, so a merged fragment store is byte-equal
+/// to a single-process sink stream by construction. Each returned string
+/// includes its trailing newline.
+std::string renderJsonlLine(const std::vector<RecordField>& fields);
+std::string renderCsvHeader(const std::vector<RecordField>& fields);
+std::string renderCsvRow(const std::vector<RecordField>& fields);
+
 /// One JSON object per line, keys in recordFields order.
 class JsonlSink : public ResultSink {
  public:

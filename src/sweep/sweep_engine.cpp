@@ -51,15 +51,23 @@ std::string jsonScalar(const std::string& raw) {
   return quoted;
 }
 
-std::string configFingerprint(const runner::ExperimentConfig& config) {
-  const std::string dump = runner::dumpConfig(config);
+std::uint64_t fnv1a64(const std::string& text) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a 64
-  for (const unsigned char c : dump) {
+  for (const unsigned char c : text) {
     h ^= c;
     h *= 0x100000001b3ULL;
   }
+  return h;
+}
+
+std::uint64_t configFingerprintU64(const runner::ExperimentConfig& config) {
+  return fnv1a64(runner::dumpConfig(config));
+}
+
+std::string configFingerprint(const runner::ExperimentConfig& config) {
   char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(h));
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(configFingerprintU64(config)));
   return buf;
 }
 

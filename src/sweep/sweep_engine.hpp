@@ -60,9 +60,17 @@ std::vector<SweepJob> expandGrid(const SweepGrid& grid);
 /// through, anything else is quoted).
 std::string jsonScalar(const std::string& raw);
 
+/// FNV-1a 64 of arbitrary text — the hash behind config and sweep
+/// fingerprints (work_unit.hpp).
+std::uint64_t fnv1a64(const std::string& text);
+
 /// 16-hex-digit FNV-1a of the full dumped config — the archival identity
 /// of a run. Two jobs with the same fingerprint ran the same experiment.
 std::string configFingerprint(const runner::ExperimentConfig& config);
+
+/// Same identity as a raw 64-bit value (what wire frames and fragment
+/// headers carry; configFingerprint is this rendered as 16 hex digits).
+std::uint64_t configFingerprintU64(const runner::ExperimentConfig& config);
 
 struct JobResult {
   SweepJob job;

@@ -235,6 +235,46 @@ bool ContactRateEstimator::rateStable(const PairState& s, sim::SimTime now) cons
   return false;
 }
 
+void ContactRateEstimator::evaluateBatch(sim::SimTime now) {
+  const std::size_t n = batchIdx_.size();
+  batchVal_.resize(n);
+  if (n == 0) return;
+  const double prior = config_.priorRate;
+  if (config_.mode == EstimatorMode::kSlidingWindow) {
+    // Window membership walks the per-pair recent row — stays scalar.
+    for (std::size_t k = 0; k < n; ++k) batchVal_[k] = rateOf(batchIdx_[k], now);
+    return;
+  }
+  batchCount_.resize(n);
+  for (std::size_t k = 0; k < n; ++k)
+    batchCount_[k] = static_cast<double>(pairs_[batchIdx_[k]].totalCount);
+  const double elapsed = now - startTime_;
+  if (config_.mode == EstimatorMode::kCumulative) {
+    // rateOf: totalCount == 0 or elapsed <= 0 -> prior, else count / elapsed.
+    if (elapsed <= 0.0) {
+      std::fill(batchVal_.begin(), batchVal_.end(), prior);
+      return;
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      const double c = batchCount_[k];
+      batchVal_[k] = c == 0.0 ? prior : c / elapsed;
+    }
+    return;
+  }
+  // kEwma: 1 / ewma, with rateOf's single-contact cumulative fallback.
+  batchEwma_.resize(n);
+  for (std::size_t k = 0; k < n; ++k)
+    batchEwma_[k] = pairs_[batchIdx_[k]].ewmaInterval;
+  for (std::size_t k = 0; k < n; ++k) {
+    const double c = batchCount_[k];
+    const double e = batchEwma_[k];
+    batchVal_[k] = c == 0.0        ? prior
+                   : e > 0.0       ? 1.0 / e
+                   : elapsed > 0.0 ? c / elapsed
+                                   : prior;
+  }
+}
+
 SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime now,
                                                  std::vector<NodeId>* changedNodes,
                                                  bool force) {
@@ -250,7 +290,11 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
     // same count even though the sparse pass only touches observed pairs
     // (never-met entries are trivially "re-evaluated" to the prior).
     stats.dirtyPairs = triangleCount();
-  } else {
+  } else if (force) {
+    // A forced full rewrite still reports the LOGICAL dirty count — what the
+    // incremental pass would have re-evaluated — so the full-recompute
+    // escape hatch stays counter-identical to the incremental engine (the
+    // IncrementalMaintenance equivalence tests diff this).
     stats.dirtyPairs = dirtyKeys_.size();
     for (const std::uint64_t key : varyingKeys_)
       if (!dirtyBits_.test(indexOfKey(key))) ++stats.dirtyPairs;
@@ -285,12 +329,38 @@ SnapshotStats ContactRateEstimator::snapshotInto(RateMatrix& out, sim::SimTime n
           if (nb.id > i && pairs_[nb.idx].totalCount > 0) updatePair(i, nb.id);
     }
   } else {
-    for (const std::uint64_t key : dirtyKeys_)
-      updatePair(core::pairHigh(key), core::pairLow(key));
+    // Data-oriented incremental pass. Gather (key, storage index) for the
+    // dirty list then the non-dirty time-varying list — the same pair order
+    // the scalar loop used — lift the state fields into contiguous columns,
+    // evaluate the mode arithmetic over them, and compare-and-scatter the
+    // results. The per-pair work in the middle loop is pure double math the
+    // compiler can vectorize; the hash probe happens once per pair here
+    // instead of inside every rate() call.
+    batchKeys_.clear();
+    batchIdx_.clear();
+    for (const std::uint64_t key : dirtyKeys_) {
+      batchKeys_.push_back(key);
+      batchIdx_.push_back(indexOfKey(key));
+    }
     for (const std::uint64_t key : varyingKeys_) {
-      const NodeId i = core::pairHigh(key);
-      const NodeId j = core::pairLow(key);
-      if (!dirtyBits_.test(indexOfKey(key))) updatePair(i, j);
+      const std::uint32_t idx = indexOfKey(key);
+      if (!dirtyBits_.test(idx)) {
+        batchKeys_.push_back(key);
+        batchIdx_.push_back(idx);
+      }
+    }
+    stats.dirtyPairs = batchKeys_.size();
+    evaluateBatch(now);
+    for (std::size_t k = 0; k < batchKeys_.size(); ++k) {
+      const NodeId i = core::pairHigh(batchKeys_[k]);
+      const NodeId j = core::pairLow(batchKeys_[k]);
+      const double v = batchVal_[k];
+      if (v != out.rate(i, j)) {
+        out.setRate(i, j, v);
+        ++stats.changedPairs;
+        changedRowBits_.set(i);
+        changedRowBits_.set(j);
+      }
     }
   }
 

@@ -193,6 +193,14 @@ class ContactRateEstimator {
   /// Estimate for a pair state (kNoPair reads as priorRate).
   double rateOf(std::uint32_t idx, sim::SimTime now) const;
 
+  /// Evaluate rates for every pair in batchIdx_ into batchVal_, using the
+  /// gathered contiguous columns (batchCount_/batchEwma_) so the per-mode
+  /// arithmetic runs as a straight-line loop over doubles instead of a
+  /// hash-probe + mode-switch per pair. Exactly the rateOf() expressions —
+  /// results are bit-identical. kSlidingWindow needs the per-pair recent
+  /// row and stays scalar.
+  void evaluateBatch(sim::SimTime now);
+
   /// Number of pairs a full snapshot conceptually re-evaluates (the whole
   /// triangle, identical across backends).
   std::size_t triangleCount() const {
@@ -236,6 +244,17 @@ class ContactRateEstimator {
   std::vector<std::uint64_t> varyingKeys_;
   core::DenseBitset changedRowBits_;  ///< per-snapshot scratch, node ids
   bool snapshotPrimed_ = false;
+
+  /// snapshotInto's data-oriented scratch: the incremental pass gathers
+  /// (key, storage index) for the dirty + time-varying lists once, lifts
+  /// the fields the mode needs into contiguous columns, evaluates, then
+  /// compare-and-scatters. Members (not locals) so steady-state snapshots
+  /// stay allocation-free.
+  std::vector<std::uint64_t> batchKeys_;
+  std::vector<std::uint32_t> batchIdx_;
+  std::vector<double> batchCount_;
+  std::vector<double> batchEwma_;
+  std::vector<double> batchVal_;
 
   /// Shard mode: per-context dirty sink (selected by sim::tlsShard). `bits`
   /// dedups within the sink between drains; entries carry the event key the

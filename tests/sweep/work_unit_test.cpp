@@ -1,0 +1,103 @@
+#include "sweep/work_unit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/assert.hpp"
+#include "trace/generators.hpp"
+
+namespace dtncache::sweep {
+namespace {
+
+runner::ExperimentConfig tinyConfig() {
+  runner::ExperimentConfig cfg;
+  cfg.trace = trace::homogeneousConfig(12, 6.0, sim::days(1), 9);
+  cfg.catalog.itemCount = 2;
+  cfg.catalog.refreshPeriod = sim::hours(12);
+  cfg.workload.queriesPerNodePerDay = 2.0;
+  cfg.cache.cachingNodesPerItem = 4;
+  return cfg;
+}
+
+SweepManifest sampleManifest() {
+  SweepManifest manifest;
+  manifest.grid.base = tinyConfig();
+  manifest.grid.schemes = {runner::SchemeKind::kHierarchical,
+                           runner::SchemeKind::kEpidemic};
+  manifest.grid.seeds = {7, 8, 9};
+  manifest.grid.axes = {{"catalog.itemCount", {"2", "4"}}};
+  manifest.wallClock = false;
+  manifest.traceEnabled = true;
+  manifest.traceFilter = 0x3;
+  return manifest;
+}
+
+TEST(SweepManifest, EncodeDecodeRoundTripsCanonically) {
+  const SweepManifest manifest = sampleManifest();
+  const std::string text = encodeManifest(manifest);
+  const SweepManifest decoded = decodeManifest(text);
+
+  EXPECT_EQ(decoded.wallClock, manifest.wallClock);
+  EXPECT_EQ(decoded.traceEnabled, manifest.traceEnabled);
+  EXPECT_EQ(decoded.traceFilter, manifest.traceFilter);
+  EXPECT_EQ(decoded.grid.schemes, manifest.grid.schemes);
+  EXPECT_EQ(decoded.grid.seeds, manifest.grid.seeds);
+  ASSERT_EQ(decoded.grid.axes.size(), 1u);
+  EXPECT_EQ(decoded.grid.axes[0].key, "catalog.itemCount");
+  EXPECT_EQ(decoded.grid.axes[0].values, manifest.grid.axes[0].values);
+
+  // Canonical: re-encoding the decoded manifest reproduces the exact bytes,
+  // so the sweep fingerprint survives a wire trip.
+  EXPECT_EQ(encodeManifest(decoded), text);
+  EXPECT_EQ(sweepFingerprint(encodeManifest(decoded)), sweepFingerprint(text));
+}
+
+TEST(SweepManifest, FingerprintSeparatesSweeps) {
+  const SweepManifest a = sampleManifest();
+  SweepManifest b = a;
+  b.grid.seeds.push_back(10);
+  SweepManifest c = a;
+  c.wallClock = true;
+  const auto fpA = sweepFingerprint(encodeManifest(a));
+  EXPECT_NE(fpA, sweepFingerprint(encodeManifest(b)));
+  EXPECT_NE(fpA, sweepFingerprint(encodeManifest(c)));
+}
+
+TEST(SweepManifest, DecodeRejectsMalformedText) {
+  const std::string good = encodeManifest(sampleManifest());
+  EXPECT_THROW(decodeManifest(""), InvariantViolation);
+  EXPECT_THROW(decodeManifest("dtncache-sweep-manifest 2\nconfig\n{}"),
+               InvariantViolation);
+  EXPECT_THROW(decodeManifest("dtncache-sweep-manifest 1\nbogus-key 1\nconfig\n{}"),
+               InvariantViolation);
+  EXPECT_THROW(
+      decodeManifest("dtncache-sweep-manifest 1\nschemes NotAScheme\nconfig\n{}"),
+      InvariantViolation);
+  // A manifest that never reaches its config section is torn, not empty.
+  const auto configAt = good.find("config\n");
+  ASSERT_NE(configAt, std::string::npos);
+  EXPECT_THROW(decodeManifest(good.substr(0, configAt)), InvariantViolation);
+}
+
+TEST(WorkUnits, MirrorExpandedJobs) {
+  const SweepManifest manifest = sampleManifest();
+  const auto jobs = expandGrid(manifest.grid);
+  const auto units = workUnits(jobs);
+  ASSERT_EQ(units.size(), jobs.size());
+  ASSERT_EQ(units.size(), 2u * 2u * 3u);  // axis x schemes x seeds
+  for (std::size_t i = 0; i < units.size(); ++i) {
+    EXPECT_EQ(units[i].index, i);
+    EXPECT_EQ(units[i].seed, jobs[i].config.seed);
+    EXPECT_EQ(units[i].configFp, configFingerprintU64(jobs[i].config));
+  }
+}
+
+TEST(WorkUnits, ConfigFingerprintTracksOverrides) {
+  const SweepManifest manifest = sampleManifest();
+  const auto units = workUnits(expandGrid(manifest.grid));
+  // Jobs 0 and 6 differ only in the axis override; their configs must not
+  // collide, or a lease could silently run the wrong experiment.
+  EXPECT_NE(units[0].configFp, units[6].configFp);
+}
+
+}  // namespace
+}  // namespace dtncache::sweep

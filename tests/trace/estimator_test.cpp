@@ -187,6 +187,38 @@ TEST(EstimatorSnapshot, IncrementalMatchesFullOnRandomStreamsAllModes) {
   }
 }
 
+TEST(EstimatorSnapshot, BatchedIncrementalMatchesFullOnSparseBackend) {
+  // Same contract as above but with the sparse pair backend forced, so the
+  // gathered-column batch evaluation (and its per-pair slot probes) is
+  // exercised against hash-indexed state in every mode.
+  constexpr NodeId kNodes = 16;
+  for (auto cfg : allModeConfigs()) {
+    cfg.backend = PairBackend::kSparse;
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      ContactRateEstimator e(kNodes, cfg, 0.0);
+      ASSERT_TRUE(e.isSparse());
+      RateMatrix m;
+      sim::Rng rng(seed * 31 + 5);
+      double now = 0.0;
+      for (int round = 0; round < 30; ++round) {
+        const int burst = static_cast<int>(rng.uniformInt(0, 5));
+        for (int c = 0; c < burst; ++c) {
+          const NodeId a = static_cast<NodeId>(rng.uniformInt(0, kNodes - 1));
+          NodeId b = static_cast<NodeId>(rng.uniformInt(0, kNodes - 2));
+          if (b >= a) ++b;
+          now += rng.uniform(0.0, 25.0);
+          e.recordContact(a, b, now);
+        }
+        now += rng.uniform(1.0, 180.0);
+        const auto stats = e.snapshotInto(m, now);
+        expectBitIdentical(m, e.snapshot(now));
+        // The batch covers exactly the dirty + still-time-varying pairs.
+        EXPECT_LE(stats.changedPairs, stats.dirtyPairs);
+      }
+    }
+  }
+}
+
 TEST(EstimatorSnapshot, ForceRewriteIsObservationallyIdentical) {
   // The full-recompute escape hatch (force=true) must produce the same
   // matrix, the same changed-node lists, and the same changedPairs count as
